@@ -1,0 +1,52 @@
+//! Criterion benches regenerating the paper's figures at reduced scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdt::topology::dragonfly::dragonfly;
+use sdt::topology::HostId;
+use sdt::workloads::apps::permutation_shift;
+use sdt_bench::{active_routing_compare, fig11_sweep, fig12_incast, fig13_point};
+use std::hint::black_box;
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    g.bench_function("latency_sweep_small", |b| {
+        b.iter(|| black_box(fig11_sweep(&[256, 16 * 1024], 10)))
+    });
+    g.finish();
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(10));
+    g.bench_function("incast_pfc_on_5ms", |b| b.iter(|| black_box(fig12_incast(true, 5))));
+    g.bench_function("incast_pfc_off_5ms", |b| b.iter(|| black_box(fig12_incast(false, 5))));
+    g.finish();
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(10));
+    let topo = dragonfly(4, 9, 2, 2);
+    g.bench_function("alltoall_8nodes", |b| {
+        b.iter(|| black_box(fig13_point(&topo, 8, 16 * 1024, 200_000_000)))
+    });
+    g.finish();
+}
+
+fn bench_active_routing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("active_routing");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(10));
+    let hosts: Vec<HostId> = (0..16).map(HostId).collect();
+    let trace = permutation_shift(16, 4, 64 * 1024, 2);
+    g.bench_function("shift_16nodes", |b| {
+        b.iter(|| black_box(active_routing_compare(&trace, &hosts)))
+    });
+    g.finish();
+}
+
+criterion_group!(figures, bench_fig11, bench_fig12, bench_fig13, bench_active_routing);
+criterion_main!(figures);

@@ -1,0 +1,105 @@
+//! Micro-benchmarks of the core machinery: partitioner, projector, flow
+//! tables, and raw simulator event throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sdt::core::cluster::ClusterBuilder;
+use sdt::core::methods::SwitchModel;
+use sdt::core::sdt::SdtProjector;
+use sdt::openflow::{Action, FlowEntry, FlowMatch, FlowMod, HostAddr, OpenFlowSwitch, PacketMeta, PortNo, SwitchConfig};
+use sdt::partition::{partition_topology, PartitionConfig};
+use sdt::routing::{generic::Bfs, RouteTable};
+use sdt::sim::{SimConfig, Simulator};
+use sdt::topology::chain::chain;
+use sdt::topology::fattree::fat_tree;
+use sdt::topology::HostId;
+use std::hint::black_box;
+
+fn bench_partition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partition");
+    g.sample_size(20);
+    for k in [4u32, 8] {
+        let topo = fat_tree(k);
+        g.bench_function(format!("fattree_k{k}_2way"), |b| {
+            b.iter(|| black_box(partition_topology(&topo, 2, &PartitionConfig::default())))
+        });
+    }
+    g.finish();
+}
+
+fn bench_projection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("projection");
+    g.sample_size(20);
+    let topo = fat_tree(4);
+    let cluster = ClusterBuilder::new(SwitchModel::openflow_128x100g(), 2)
+        .hosts_per_switch(16)
+        .inter_links_per_pair(16)
+        .build();
+    g.bench_function("fattree_k4_full_projection", |b| {
+        b.iter(|| {
+            black_box(
+                SdtProjector::default()
+                    .project_default(&topo, &cluster)
+                    .expect("fits"),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_flow_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("openflow");
+    let mut sw = OpenFlowSwitch::new(0, SwitchConfig::x128_100g());
+    for p in 0..64u16 {
+        sw.apply(0, FlowMod::Add(FlowEntry {
+            m: FlowMatch::on_port(PortNo(p)),
+            priority: 10,
+            action: Action::WriteMetadataGoto(p as u32 / 4),
+        }))
+        .unwrap();
+    }
+    for d in 0..256u32 {
+        sw.apply(1, FlowMod::Add(FlowEntry {
+            m: FlowMatch::to_dst(HostAddr(d)).and_metadata(d % 16),
+            priority: 10,
+            action: Action::Output(PortNo((d % 64) as u16)),
+        }))
+        .unwrap();
+    }
+    let meta = PacketMeta {
+        in_port: PortNo(63),
+        src: HostAddr(1),
+        dst: HostAddr(255),
+        l4_src: 4791,
+        l4_dst: 4791,
+    };
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("pipeline_forward_320_entries", |b| {
+        b.iter(|| black_box(sw.forward(&meta, 1500)))
+    });
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(8));
+    let topo = chain(8);
+    for (label, cfg) in [
+        ("packet_1MB_transfer", SimConfig::testbed_10g()),
+        ("flit_1MB_transfer", SimConfig::simulator_flit()),
+    ] {
+        let routes = RouteTable::build(&topo, &Bfs::new(&topo));
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut sim = Simulator::new(&topo, routes.clone(), cfg.clone());
+                sim.start_raw_flow(HostId(0), HostId(7), 1 << 20);
+                sim.run();
+                black_box(sim.stats().events)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(micro, bench_partition, bench_projection, bench_flow_table, bench_simulator);
+criterion_main!(micro);

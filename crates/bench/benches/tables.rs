@@ -1,0 +1,58 @@
+//! Criterion benches regenerating the paper's tables at reduced scale —
+//! one bench group per table, so `cargo bench` exercises every artifact.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdt::core::methods::SwitchModel;
+use sdt::routing::cdg::analyze;
+use sdt::routing::{default_strategy, RouteTable};
+use sdt::topology::dragonfly::dragonfly;
+use sdt::topology::fattree::fat_tree;
+use sdt::workloads::select_nodes;
+use sdt_bench::{table2_dc_grid, table2_wan_counts, table4_cell, table4_workloads};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1/render", |b| {
+        b.iter(|| black_box(sdt::core::compare::render_table1()))
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("dc_grid", |b| b.iter(|| black_box(table2_dc_grid())));
+    g.bench_function("wan_counts_64x4", |b| {
+        b.iter(|| black_box(table2_wan_counts(&SwitchModel::openflow_64x100g(), 4)))
+    });
+    g.finish();
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    for topo in [fat_tree(4), dragonfly(4, 9, 2, 2)] {
+        let strategy = default_strategy(&topo);
+        let table = RouteTable::build_for_hosts(&topo, strategy.as_ref());
+        g.bench_function(format!("cdg_analyze/{}", topo.name()), |b| {
+            b.iter(|| black_box(analyze(&table).is_free()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(8));
+    // One representative small cell: HPCG on fat-tree k=4, both fabrics.
+    let topo = fat_tree(4);
+    let (_, trace) = table4_workloads(8).swap_remove(0);
+    let hosts = select_nodes(&topo, 8, 2023);
+    g.bench_function("cell/hpcg_fattree", |b| {
+        b.iter(|| black_box(table4_cell(&topo, &trace, &hosts, 200_000_000)))
+    });
+    g.finish();
+}
+
+criterion_group!(tables, bench_table1, bench_table2, bench_table3, bench_table4);
+criterion_main!(tables);

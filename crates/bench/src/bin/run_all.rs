@@ -1,0 +1,59 @@
+//! Run every table/figure regenerator and archive the output under
+//! `results/` — one file per paper artifact.
+//!
+//! Run with: `cargo run --release -p sdt-bench --bin run_all`
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::Command;
+
+const BINS: &[&str] = &[
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "fig11",
+    "fig12",
+    "fig13",
+    "active_routing",
+    "ablations",
+];
+
+fn main() -> std::io::Result<()> {
+    // Sibling binaries live next to this one.
+    let dir = std::env::current_exe()?
+        .parent()
+        .expect("binary has a parent dir")
+        .to_path_buf();
+    let out_dir = PathBuf::from("results");
+    std::fs::create_dir_all(&out_dir)?;
+    let mut failures = 0;
+    for name in BINS {
+        let exe = dir.join(name);
+        print!("running {name:<16}... ");
+        std::io::stdout().flush()?;
+        let started = std::time::Instant::now();
+        let output = Command::new(&exe).output();
+        match output {
+            Ok(o) if o.status.success() => {
+                let path = out_dir.join(format!("{name}.txt"));
+                std::fs::write(&path, &o.stdout)?;
+                println!("ok ({:.1} s) -> {}", started.elapsed().as_secs_f64(), path.display());
+            }
+            Ok(o) => {
+                failures += 1;
+                println!("FAILED (status {:?})", o.status.code());
+                std::io::stderr().write_all(&o.stderr)?;
+            }
+            Err(e) => {
+                failures += 1;
+                println!("FAILED to launch: {e} (build with `cargo build --release -p sdt-bench --bins` first)");
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+    println!("\nall artifacts regenerated under results/");
+    Ok(())
+}

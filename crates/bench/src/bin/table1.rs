@@ -1,0 +1,8 @@
+//! Regenerates Table I: qualitative comparison of network evaluation tools.
+
+fn main() {
+    println!("Table I — Comparison of Network Evaluation Tools for Various Topologies\n");
+    print!("{}", sdt::core::compare::render_table1());
+    println!("\n(paper Table I: identical grading — SDT couples testbed-grade scalability");
+    println!(" and efficiency with simulator-grade reconfiguration ease at medium price)");
+}

@@ -1,0 +1,44 @@
+//! Regenerates Table III: routing strategies and deadlock-avoidance schemes
+//! per topology, each verified by channel-dependency-graph analysis.
+
+use sdt::routing::cdg::{analyze, DeadlockAnalysis};
+use sdt::routing::{default_strategy, RouteTable};
+use sdt::topology::dragonfly::dragonfly;
+use sdt::topology::fattree::fat_tree;
+use sdt::topology::meshtorus::{mesh, torus};
+use sdt::topology::Topology;
+
+fn verify(topo: &Topology, scheme: &str) {
+    let strategy = default_strategy(topo);
+    let table = RouteTable::build_for_hosts(topo, strategy.as_ref());
+    let verdict = match analyze(&table) {
+        DeadlockAnalysis::Free { nodes, edges } => {
+            format!("deadlock-free (CDG: {nodes} nodes, {edges} deps)")
+        }
+        DeadlockAnalysis::Cycle(c) => format!("CYCLE of length {}", c.len()),
+    };
+    println!(
+        "{:<20}{:<26}{:<28}{:<12}{}",
+        topo.name(),
+        strategy.name(),
+        scheme,
+        format!("{} VCs", strategy.num_vcs()),
+        verdict,
+    );
+}
+
+fn main() {
+    println!("Table III — Routing strategies and deadlock avoidance (verified)\n");
+    println!(
+        "{:<20}{:<26}{:<28}{:<12}verification",
+        "topology", "routing strategy", "deadlock avoidance", "resources"
+    );
+    verify(&fat_tree(4), "no need (up/down)");
+    verify(&dragonfly(4, 9, 2, 2), "changing VC [44],[3]");
+    verify(&mesh(&[4, 4]), "by routing (X-Y)");
+    verify(&mesh(&[3, 3, 3]), "by routing (X-Y-Z)");
+    verify(&torus(&[5, 5]), "by routing + VC (dateline)");
+    verify(&torus(&[4, 4, 4]), "by routing + VC (dateline)");
+    println!("\n(paper Table III lists the same strategy/scheme pairs; every row above is");
+    println!(" machine-checked with the Dally–Seitz CDG criterion)");
+}

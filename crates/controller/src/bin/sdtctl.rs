@@ -1,0 +1,145 @@
+//! `sdtctl` — command-line front end to the SDT controller.
+//!
+//! The operator workflow of Fig. 2: write a topology configuration file,
+//! point the controller at it, get a deployed testbed (or a precise list of
+//! cables to add).
+//!
+//! ```text
+//! sdtctl check  <config.toml>...   validate configs against their clusters
+//! sdtctl deploy <config.toml>      project + synthesize + audit, print report
+//! sdtctl plan   <switches> <config.toml>...
+//!                                  wiring plan covering a topology campaign
+//! sdtctl tables <config.toml>      dump the synthesized flow tables
+//! ```
+
+use sdt_controller::{plan_wiring, SdtController, TestbedConfig};
+use sdt_core::walk::IsolationReport;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => {
+            eprintln!("usage: sdtctl <check|deploy|plan|tables> ...");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd {
+        "check" => cmd_check(rest),
+        "deploy" => cmd_deploy(rest),
+        "plan" => cmd_plan(rest),
+        "tables" => cmd_tables(rest),
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("sdtctl: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load(path: &str) -> Result<TestbedConfig, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    TestbedConfig::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_check(paths: &[String]) -> Result<(), String> {
+    if paths.is_empty() {
+        return Err("check: need at least one config file".into());
+    }
+    let mut failed = false;
+    for path in paths {
+        let cfg = load(path)?;
+        let ctl = SdtController::from_config(&cfg);
+        let report = ctl.check(std::slice::from_ref(&cfg.topology));
+        match &report.verdicts[0] {
+            Ok(()) => println!("{path}: OK — {} deployable", cfg.topology.name()),
+            Err(e) => {
+                failed = true;
+                println!("{path}: NOT deployable — {e}");
+            }
+        }
+    }
+    if failed {
+        Err("some configurations are not deployable".into())
+    } else {
+        Ok(())
+    }
+}
+
+fn cmd_deploy(paths: &[String]) -> Result<(), String> {
+    let [path] = paths else { return Err("deploy: exactly one config file".into()) };
+    let cfg = load(path)?;
+    let mut ctl = SdtController::from_config(&cfg);
+    let d = ctl.deploy_with(&cfg.topology, &cfg.strategy).map_err(|e| e.to_string())?;
+    println!("deployed {} on {} x {}", cfg.topology.name(), cfg.switches, cfg.model.name);
+    println!("  routing strategy    : {}", d.routes.strategy());
+    println!("  inter-switch links  : {}", d.projection.inter_switch_links_used);
+    for (sw, n) in d.projection.synthesis.entries_per_switch.iter().enumerate() {
+        println!("  switch {sw} entries    : {n}");
+    }
+    println!("  deploy time (model) : {:.0} ms", d.deploy_time_ns as f64 / 1e6);
+    let audit = IsolationReport::audit(ctl.cluster(), &d.projection, &d.topology);
+    println!(
+        "  dataplane audit     : {} delivered, {} isolated, {} violations",
+        audit.delivered,
+        audit.isolated,
+        audit.violations.len()
+    );
+    if !audit.clean() {
+        return Err("audit found violations".into());
+    }
+    Ok(())
+}
+
+fn cmd_plan(args: &[String]) -> Result<(), String> {
+    let (switches, paths) = match args.split_first() {
+        Some((s, rest)) if !rest.is_empty() => {
+            (s.parse::<u32>().map_err(|_| "plan: <switches> must be a number")?, rest)
+        }
+        _ => return Err("plan: usage: sdtctl plan <switches> <config>...".into()),
+    };
+    let mut topologies = Vec::new();
+    let mut model = None;
+    for path in paths {
+        let cfg = load(path)?;
+        model.get_or_insert(cfg.model);
+        topologies.push(cfg.topology);
+    }
+    let model = model.expect("at least one config");
+    let plan = plan_wiring(&topologies, &model, switches)
+        .map_err(|e| format!("no feasible wiring: {e}"))?;
+    println!("wiring plan for {} topologies on {switches} x {}:", topologies.len(), model.name);
+    println!("  host ports per switch      : {}", plan.hosts_per_switch);
+    println!("  inter-switch links per pair: {}", plan.inter_links_per_pair);
+    println!("  self-links on busiest switch: {}", plan.max_self_links);
+    Ok(())
+}
+
+fn cmd_tables(paths: &[String]) -> Result<(), String> {
+    let [path] = paths else { return Err("tables: exactly one config file".into()) };
+    let cfg = load(path)?;
+    let mut ctl = SdtController::from_config(&cfg);
+    let d = ctl.deploy_with(&cfg.topology, &cfg.strategy).map_err(|e| e.to_string())?;
+    for (sw, (t0, t1)) in d
+        .projection
+        .synthesis
+        .table0
+        .iter()
+        .zip(&d.projection.synthesis.table1)
+        .enumerate()
+    {
+        println!("=== physical switch {sw}: table 0 ({} entries) ===", t0.len());
+        for e in t0 {
+            println!("  {e:?}");
+        }
+        println!("=== physical switch {sw}: table 1 ({} entries) ===", t1.len());
+        for e in t1 {
+            println!("  {e:?}");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,337 @@
+//! Topology Customization + deployment lifecycle.
+
+use crate::config::TestbedConfig;
+use crate::wiring::plan_wiring;
+use sdt_core::cluster::{ClusterBuilder, PhysicalCluster};
+use sdt_core::sdt::{ProjectionError, SdtProjection, SdtProjector};
+use sdt_core::walk::instantiate;
+use sdt_openflow::{InstallTiming, OpenFlowSwitch};
+use sdt_routing::cdg::{analyze, DeadlockAnalysis};
+use sdt_routing::{default_strategy, RouteTable, RoutingStrategy};
+use sdt_topology::{Topology, TopologyKind};
+
+/// Outcome of the checking function (§V-1): what the wiring supports and
+/// what would have to change.
+#[derive(Clone, Debug)]
+pub struct CheckReport {
+    /// Per-topology verdicts, in input order.
+    pub verdicts: Vec<Result<(), ProjectionError>>,
+}
+
+impl CheckReport {
+    /// True when every topology is deployable as-is.
+    pub fn all_ok(&self) -> bool {
+        self.verdicts.iter().all(Result::is_ok)
+    }
+}
+
+/// Why a deployment was refused.
+#[derive(Debug)]
+pub enum DeployError {
+    /// The projection failed (wiring or table capacity).
+    Projection(ProjectionError),
+    /// The Deadlock Avoidance module vetoed the routing (cyclic CDG).
+    DeadlockRisk {
+        /// Length of the offending dependency cycle.
+        cycle_len: usize,
+    },
+    /// Unknown routing strategy name in the config.
+    UnknownStrategy(String),
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployError::Projection(e) => write!(f, "projection failed: {e}"),
+            DeployError::DeadlockRisk { cycle_len } => {
+                write!(f, "routing rejected: channel dependency cycle of length {cycle_len}")
+            }
+            DeployError::UnknownStrategy(s) => write!(f, "unknown routing strategy `{s}`"),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+/// A live deployment: projection + programmed switches.
+#[derive(Debug)]
+pub struct Deployment {
+    /// The logical topology deployed.
+    pub topology: Topology,
+    /// The projection onto the cluster.
+    pub projection: SdtProjection,
+    /// Route table driving the flow tables.
+    pub routes: RouteTable,
+    /// Programmed switch instances.
+    pub switches: Vec<OpenFlowSwitch>,
+    /// Modeled deployment time, ns.
+    pub deploy_time_ns: u64,
+}
+
+/// The SDT controller.
+pub struct SdtController {
+    cluster: PhysicalCluster,
+    projector: SdtProjector,
+    timing: InstallTiming,
+    require_deadlock_free: bool,
+    /// Count of reconfigurations performed (reporting).
+    pub reconfigurations: u32,
+}
+
+impl SdtController {
+    /// Controller over an already-wired cluster.
+    pub fn new(cluster: PhysicalCluster) -> Self {
+        SdtController {
+            cluster,
+            // §VII-C: the controller's built-in module merges entries when
+            // a projection would exceed a switch's table capacity.
+            projector: SdtProjector { merge_entries_on_overflow: true, ..Default::default() },
+            timing: InstallTiming::default(),
+            require_deadlock_free: true,
+            reconfigurations: 0,
+        }
+    }
+
+    /// Build controller + cluster straight from a parsed config file.
+    pub fn from_config(cfg: &TestbedConfig) -> Self {
+        let cluster = ClusterBuilder::new(cfg.model, cfg.switches)
+            .hosts_per_switch(cfg.hosts_per_switch)
+            .inter_links_per_pair(cfg.inter_links_per_pair)
+            .build();
+        let mut c = SdtController::new(cluster);
+        c.require_deadlock_free = cfg.require_deadlock_free;
+        c
+    }
+
+    /// Build controller + a wiring plan sized for a whole topology
+    /// campaign (§IV-B: reserve the max inter-switch links over all
+    /// targets).
+    pub fn for_campaign(
+        topologies: &[Topology],
+        model: sdt_core::methods::SwitchModel,
+        switches: u32,
+    ) -> Result<Self, ProjectionError> {
+        let plan = plan_wiring(topologies, &model, switches)?;
+        Ok(SdtController::new(plan.build(model, switches)))
+    }
+
+    /// The wired cluster.
+    pub fn cluster(&self) -> &PhysicalCluster {
+        &self.cluster
+    }
+
+    /// Allow deployments with cyclic CDGs (e.g. to demonstrate deadlock in
+    /// the simulator).
+    pub fn allow_deadlock_risk(&mut self) {
+        self.require_deadlock_free = false;
+    }
+
+    /// Resolve a routing strategy by config name.
+    pub fn strategy_by_name(
+        &self,
+        name: &str,
+        topo: &Topology,
+    ) -> Result<Box<dyn RoutingStrategy>, DeployError> {
+        use sdt_routing::{dimension, dragonfly as dfr, fattree as ftr, generic};
+        let s: Box<dyn RoutingStrategy> = match (name, topo.kind()) {
+            ("default", _) => default_strategy(topo),
+            ("bfs", _) => Box::new(generic::Bfs::new(topo)),
+            ("updown", _) => Box::new(generic::UpDown::new(topo)),
+            ("fattree-dfs", TopologyKind::FatTree { k }) => Box::new(ftr::FatTreeDfs::new(*k)),
+            ("dragonfly-minimal", TopologyKind::Dragonfly { a, g, h, p }) => {
+                Box::new(dfr::DragonflyMinimal::new(*a, *g, *h, *p, topo))
+            }
+            ("dragonfly-valiant", TopologyKind::Dragonfly { a, g, h, p }) => {
+                Box::new(dfr::DragonflyValiant::new(*a, *g, *h, *p, topo))
+            }
+            ("dragonfly-ugal", TopologyKind::Dragonfly { a, g, h, p }) => {
+                Box::new(dfr::DragonflyUgal::new(*a, *g, *h, *p, topo))
+            }
+            ("dimension-order", TopologyKind::Mesh { dims }) => {
+                Box::new(dimension::DimensionOrder::mesh(dims.clone()))
+            }
+            ("dimension-order", TopologyKind::Torus { dims }) => {
+                Box::new(dimension::DimensionOrder::torus(dims.clone()))
+            }
+            (other, _) => return Err(DeployError::UnknownStrategy(other.into())),
+        };
+        Ok(s)
+    }
+
+    /// §V-1 checking function: can each topology be projected on this
+    /// wiring? Failed verdicts say which resource is short and by how much.
+    pub fn check(&self, topologies: &[Topology]) -> CheckReport {
+        let verdicts = topologies
+            .iter()
+            .map(|t| {
+                let strategy = default_strategy(t);
+                let routes = RouteTable::build_for_hosts(t, strategy.as_ref());
+                self.projector.project(t, &self.cluster, &routes).map(|_| ())
+            })
+            .collect();
+        CheckReport { verdicts }
+    }
+
+    /// Deploy a topology with its default (Table III) strategy.
+    pub fn deploy(&mut self, topo: &Topology) -> Result<Deployment, DeployError> {
+        self.deploy_with(topo, "default")
+    }
+
+    /// Deploy with an explicit routing strategy name.
+    pub fn deploy_with(
+        &mut self,
+        topo: &Topology,
+        strategy_name: &str,
+    ) -> Result<Deployment, DeployError> {
+        let strategy = self.strategy_by_name(strategy_name, topo)?;
+        let routes = RouteTable::build_for_hosts(topo, strategy.as_ref());
+        // Deadlock Avoidance gate (§V-3).
+        if self.require_deadlock_free {
+            if let DeadlockAnalysis::Cycle(c) = analyze(&routes) {
+                return Err(DeployError::DeadlockRisk { cycle_len: c.len() });
+            }
+        }
+        let projection = self
+            .projector
+            .project(topo, &self.cluster, &routes)
+            .map_err(DeployError::Projection)?;
+        let switches = instantiate(&self.cluster, &projection);
+        let deploy_time_ns = projection.deploy_time_ns(&self.timing);
+        Ok(Deployment {
+            topology: topo.clone(),
+            projection,
+            routes,
+            switches,
+            deploy_time_ns,
+        })
+    }
+
+    /// Reconfigure from a live deployment to a new topology (what the paper
+    /// does "by simply using different topology configuration files").
+    /// Only the flow-mod *delta* pays install latency: entries shared by
+    /// the old and new pipelines stay put. Returns the new deployment and
+    /// the modeled reconfiguration time.
+    pub fn reconfigure(
+        &mut self,
+        old: &Deployment,
+        topo: &Topology,
+    ) -> Result<(Deployment, u64), DeployError> {
+        let new = self.deploy(topo)?;
+        // Switches reprogram in parallel: the busiest one bounds the time.
+        let mut max_mods = 0usize;
+        for sw in 0..self.cluster.num_switches() as usize {
+            let mods = sdt_openflow::diff_tables(
+                &old.projection.synthesis.table0[sw],
+                &new.projection.synthesis.table0[sw],
+            )
+            .len()
+                + sdt_openflow::diff_tables(
+                    &old.projection.synthesis.table1[sw],
+                    &new.projection.synthesis.table1[sw],
+                )
+                .len();
+            max_mods = max_mods.max(mods);
+        }
+        let t = self.timing.install_time_ns(max_mods);
+        self.reconfigurations += 1;
+        Ok((new, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdt_core::methods::SwitchModel;
+    use sdt_core::walk::IsolationReport;
+    use sdt_topology::chain::{chain, ring};
+    use sdt_topology::fattree::fat_tree;
+    use sdt_topology::meshtorus::torus;
+
+    fn controller() -> SdtController {
+        let cluster = ClusterBuilder::new(SwitchModel::openflow_128x100g(), 2)
+            .hosts_per_switch(16)
+            .inter_links_per_pair(16)
+            .build();
+        SdtController::new(cluster)
+    }
+
+    #[test]
+    fn deploy_fat_tree_and_verify_dataplane() {
+        let mut c = controller();
+        let d = c.deploy(&fat_tree(4)).unwrap();
+        assert!(d.deploy_time_ns < 1_000_000_000);
+        let report = IsolationReport::audit(c.cluster(), &d.projection, &d.topology);
+        assert!(report.clean(), "{:?}", report.violations);
+        assert_eq!(report.delivered, 16 * 15);
+    }
+
+    #[test]
+    fn reconfigure_between_topologies() {
+        let mut c = controller();
+        let d1 = c.deploy(&fat_tree(4)).unwrap();
+        let (d2, t) = c.reconfigure(&d1, &torus(&[4, 4])).unwrap();
+        assert_eq!(c.reconfigurations, 1);
+        // Table II: SDT reconfiguration in the 100 ms – 1 s band.
+        assert!((100_000_000..=1_000_000_000).contains(&t), "{t} ns");
+        let report = IsolationReport::audit(c.cluster(), &d2.projection, &d2.topology);
+        assert!(report.clean());
+    }
+
+    #[test]
+    fn reconfigure_to_same_topology_is_nearly_free() {
+        // Identical pipelines diff to zero flow-mods: only the barrier pays.
+        let mut c = controller();
+        let d1 = c.deploy(&fat_tree(4)).unwrap();
+        let (_, t) = c.reconfigure(&d1, &fat_tree(4)).unwrap();
+        assert!(t <= 60_000_000, "{t} ns should be barrier-only");
+    }
+
+    #[test]
+    fn check_reports_shortfalls() {
+        let cluster = ClusterBuilder::new(SwitchModel::openflow_128x100g(), 2)
+            .hosts_per_switch(16)
+            .inter_links_per_pair(2) // too few for a torus cut
+            .build();
+        let c = SdtController::new(cluster);
+        let report = c.check(&[chain(8), torus(&[4, 4])]);
+        assert!(report.verdicts[0].is_ok());
+        assert!(matches!(
+            report.verdicts[1],
+            Err(ProjectionError::NotEnoughInterLinks { need: 8, .. })
+        ));
+        assert!(!report.all_ok());
+    }
+
+    #[test]
+    fn deadlock_gate_vetoes_cyclic_routing() {
+        // BFS on an odd ring has a cyclic CDG (all 1-VC shortest paths
+        // around a cycle).
+        let mut c = controller();
+        let r = ring(5);
+        let err = c.deploy_with(&r, "bfs").unwrap_err();
+        assert!(matches!(err, DeployError::DeadlockRisk { .. }));
+        // Up/down routing on the same ring passes the gate.
+        let d = c.deploy_with(&r, "updown").unwrap();
+        let report = IsolationReport::audit(c.cluster(), &d.projection, &d.topology);
+        assert!(report.clean());
+    }
+
+    #[test]
+    fn unknown_strategy_rejected() {
+        let mut c = controller();
+        assert!(matches!(
+            c.deploy_with(&chain(4), "warp-drive"),
+            Err(DeployError::UnknownStrategy(_))
+        ));
+    }
+
+    #[test]
+    fn from_config_roundtrip() {
+        let cfg = crate::config::TestbedConfig::parse(
+            "[topology]\nkind = \"fat-tree\"\nk = 4\n[cluster]\nswitches = 2\nhosts_per_switch = 16\ninter_links_per_pair = 16\n",
+        )
+        .unwrap();
+        let mut c = SdtController::from_config(&cfg);
+        assert!(c.deploy(&cfg.topology).is_ok());
+    }
+}

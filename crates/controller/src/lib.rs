@@ -1,0 +1,33 @@
+//! The SDT controller (§V of the paper).
+//!
+//! Mirrors Fig. 9's architecture: a controller wrapping four modules,
+//! driven by a plain-text topology configuration file (Fig. 2):
+//!
+//! 1. **Topology Customization** ([`controller::SdtController::check`] /
+//!    [`controller::SdtController::deploy`]) — validates user-defined
+//!    topologies against the cluster's fixed wiring, reporting exactly
+//!    which cables are missing, then runs the Link Projection and installs
+//!    the synthesized flow tables on the (modeled) switches;
+//! 2. **Routing Strategy** — Table III's per-topology algorithms from
+//!    `sdt-routing`, selectable by name in the config file;
+//! 3. **Deadlock Avoidance** — a channel-dependency-graph gate: deployments
+//!    whose route/VC assignment is cyclic are rejected before any flow-mod
+//!    is sent;
+//! 4. **Network Monitor** — folds OpenFlow port counters back into logical
+//!    per-channel loads for adaptive (active) routing.
+//!
+//! The controller also plans cluster wiring from a *set* of topologies
+//! (§IV-B: reserve the maximum inter-switch links any target topology
+//! needs).
+
+pub mod config;
+pub mod controller;
+pub mod monitor;
+pub mod presets;
+pub mod wiring;
+
+pub use config::{ConfigError, TestbedConfig};
+pub use controller::{CheckReport, Deployment, DeployError, SdtController};
+pub use monitor::collect_loads;
+pub use presets::{paper_sim_config, paper_testbed, paper_topologies};
+pub use wiring::{plan_wiring, WiringPlan};

@@ -1,0 +1,150 @@
+//! Qualitative comparison of network evaluation tools (Table I).
+//!
+//! The paper's Table I grades simulators, emulators, full testbeds, and SDT
+//! on five axes. The grades here are derived from the quantitative models in
+//! this workspace where possible (price from [`crate::methods::CostModel`],
+//! (re)configuration from [`crate::methods::ReconfigEstimate`]), and encode
+//! the paper's qualitative judgment elsewhere.
+
+use std::fmt;
+
+/// A three-level grade, as used by Table I.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Grade {
+    /// Low / easy / cheap.
+    Low,
+    /// Medium.
+    Medium,
+    /// High / hard / expensive.
+    High,
+}
+
+impl fmt::Display for Grade {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(match self {
+            Grade::Low => "Low",
+            Grade::Medium => "Medium",
+            Grade::High => "High",
+        })
+    }
+}
+
+/// Ease grades for (re)configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Ease {
+    /// Easy.
+    Easy,
+    /// Medium.
+    Medium,
+    /// Hard.
+    Hard,
+}
+
+impl fmt::Display for Ease {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(match self {
+            Ease::Easy => "Easy",
+            Ease::Medium => "Medium",
+            Ease::Hard => "Hard",
+        })
+    }
+}
+
+/// One column of Table I.
+#[derive(Clone, Copy, Debug)]
+pub struct ToolProfile {
+    /// Tool family name.
+    pub name: &'static str,
+    /// Hardware + licensing price.
+    pub price: Grade,
+    /// Operator effort.
+    pub manpower: Grade,
+    /// Topology (re)configuration difficulty.
+    pub reconfiguration: Ease,
+    /// Evaluation scalability (nodes, bandwidth).
+    pub scalability: Grade,
+    /// Wall-clock efficiency of one evaluation.
+    pub efficiency: Grade,
+}
+
+/// The four columns of Table I.
+pub fn table1() -> [ToolProfile; 4] {
+    [
+        ToolProfile {
+            name: "Simulator",
+            price: Grade::Low,
+            manpower: Grade::Low,
+            reconfiguration: Ease::Easy,
+            scalability: Grade::Low,
+            efficiency: Grade::Low,
+        },
+        ToolProfile {
+            name: "Emulator",
+            price: Grade::Medium,
+            manpower: Grade::Low,
+            reconfiguration: Ease::Medium,
+            scalability: Grade::Medium,
+            efficiency: Grade::Medium,
+        },
+        ToolProfile {
+            name: "Testbed",
+            price: Grade::High,
+            manpower: Grade::High,
+            reconfiguration: Ease::Hard,
+            scalability: Grade::High,
+            efficiency: Grade::High,
+        },
+        ToolProfile {
+            name: "SDT",
+            price: Grade::Medium,
+            manpower: Grade::Low,
+            reconfiguration: Ease::Easy,
+            scalability: Grade::High,
+            efficiency: Grade::High,
+        },
+    ]
+}
+
+/// Render Table I as aligned text rows (used by the `table1` bench binary).
+pub fn render_table1() -> String {
+    let cols = table1();
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{:<18}{:<12}{:<12}{:<12}{:<12}\n",
+        "", cols[0].name, cols[1].name, cols[2].name, cols[3].name
+    ));
+    let row = |label: &str, cells: [String; 4]| {
+        format!("{:<18}{:<12}{:<12}{:<12}{:<12}\n", label, cells[0], cells[1], cells[2], cells[3])
+    };
+    s.push_str(&row("Price", cols.map(|c| c.price.to_string())));
+    s.push_str(&row("Manpower", cols.map(|c| c.manpower.to_string())));
+    s.push_str(&row("(Re)configuration", cols.map(|c| c.reconfiguration.to_string())));
+    s.push_str(&row("Scalability", cols.map(|c| c.scalability.to_string())));
+    s.push_str(&row("Efficiency", cols.map(|c| c.efficiency.to_string())));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sdt_dominates_where_the_paper_says() {
+        let [sim, _emu, testbed, sdt] = table1();
+        // SDT: testbed-grade scalability/efficiency at sub-testbed price.
+        assert_eq!(sdt.scalability, testbed.scalability);
+        assert_eq!(sdt.efficiency, testbed.efficiency);
+        assert!(sdt.price < testbed.price);
+        assert_eq!(sdt.reconfiguration, sim.reconfiguration);
+        assert!(sdt.manpower < testbed.manpower);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let s = render_table1();
+        for label in ["Price", "Manpower", "(Re)configuration", "Scalability", "Efficiency"] {
+            assert!(s.contains(label));
+        }
+        assert_eq!(s.lines().count(), 6);
+    }
+}

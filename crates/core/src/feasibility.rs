@@ -1,0 +1,163 @@
+//! Projection feasibility and maximum link speed (the Table II mathematics).
+//!
+//! The paper's rule (§IV-A): *"A topology can be appropriately built if the
+//! total number of ports in the topology is less than or equal to the number
+//! of ports on the physical switch (excluding the ports connected to the end
+//! hosts)."* So the port demand of a topology is **two switch ports per
+//! logical fabric link** — each cable has two ends — and host attachments
+//! ride on ports outside this budget (the paper's cluster hangs nodes off
+//! separate breakout ports).
+//!
+//! When the demand exceeds the raw port count, 100G ports channelize into
+//! 2 x 50G or 4 x 25G breakouts, trading link speed for port count — that is
+//! how Table II's "Link ≤ 50G / ≤ 25G" cells arise. TurboNet additionally
+//! halves every link's usable bandwidth (loopback transit), and speeds below
+//! 25G are not deployable, which is what knocks its "×" cells out.
+
+use crate::methods::{Method, SwitchModel};
+use sdt_topology::Topology;
+
+/// Port demand of a logical topology under Topology Projection: two switch
+/// ports per fabric link (host ports excluded, §IV-A).
+pub fn port_demand(topo: &Topology) -> u32 {
+    2 * topo.num_fabric_links() as u32
+}
+
+/// Channelization factors: a port can split into 1, 2, or 4 breakout links.
+const FACTORS: [u32; 3] = [1, 2, 4];
+
+/// Slowest deployable link speed, Gbit/s.
+const MIN_GBPS: u32 = 25;
+
+/// Outcome of a feasibility query.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FeasibilityReport {
+    /// Method queried.
+    pub method: Method,
+    /// Maximum deployable link speed in Gbit/s (`None` = not projectable).
+    pub max_gbps: Option<u32>,
+    /// Port demand of the topology.
+    pub demand: u32,
+    /// Raw physical ports available (before channelization).
+    pub raw_ports: u32,
+}
+
+/// Maximum link speed at which `method` can project `topo` onto `count`
+/// switches of `model`, or `None` if it cannot.
+pub fn max_link_gbps(
+    method: Method,
+    topo: &Topology,
+    model: &SwitchModel,
+    count: u32,
+) -> FeasibilityReport {
+    let demand = port_demand(topo);
+    let raw_ports = model.ports * count;
+    let mut max_gbps = None;
+    for factor in FACTORS {
+        let ports = raw_ports * factor;
+        let speed = model.gbps / factor / method.bandwidth_divisor();
+        if demand <= ports && speed >= MIN_GBPS {
+            max_gbps = Some(speed);
+            break; // factors ascend, speeds descend: first hit is fastest
+        }
+    }
+    FeasibilityReport { method, max_gbps, demand, raw_ports }
+}
+
+/// Count how many of a corpus of topologies a method can project at all.
+pub fn projectable_count(
+    method: Method,
+    corpus: &[Topology],
+    model: &SwitchModel,
+    count: u32,
+) -> usize {
+    corpus
+        .iter()
+        .filter(|t| max_link_gbps(method, t, model, count).max_gbps.is_some())
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdt_topology::dragonfly::dragonfly;
+    use sdt_topology::fattree::fat_tree;
+    use sdt_topology::meshtorus::torus;
+
+    fn speed(method: Method, topo: &Topology, model: &SwitchModel) -> Option<u32> {
+        max_link_gbps(method, topo, model, 1).max_gbps
+    }
+
+    /// The Fat-Tree and Dragonfly cells of Table II, single switch per
+    /// column — the accounting the paper's §IV-A rule yields exactly.
+    #[test]
+    fn table2_fattree_cells() {
+        let m64 = SwitchModel::openflow_64x100g();
+        let m128 = SwitchModel::openflow_128x100g();
+        let k4 = fat_tree(4); // demand 64
+        let k6 = fat_tree(6); // demand 216
+        let k8 = fat_tree(8); // demand 512
+        assert_eq!(port_demand(&k4), 64);
+        assert_eq!(port_demand(&k6), 216);
+        assert_eq!(port_demand(&k8), 512);
+
+        // SDT == SP == SP-OS (same port math).
+        for m in [Method::Sdt, Method::Sp, Method::SpOs] {
+            assert_eq!(speed(m, &k4, &m64), Some(100));
+            assert_eq!(speed(m, &k4, &m128), Some(100));
+            assert_eq!(speed(m, &k6, &m64), Some(25));
+            assert_eq!(speed(m, &k6, &m128), Some(50));
+            assert_eq!(speed(m, &k8, &m64), None);
+            assert_eq!(speed(m, &k8, &m128), Some(25));
+        }
+        // TurboNet: halved speeds, earlier cutoffs.
+        assert_eq!(speed(Method::Turbonet, &k4, &m64), Some(50));
+        assert_eq!(speed(Method::Turbonet, &k4, &m128), Some(50));
+        assert_eq!(speed(Method::Turbonet, &k6, &m64), None);
+        assert_eq!(speed(Method::Turbonet, &k6, &m128), Some(25));
+        assert_eq!(speed(Method::Turbonet, &k8, &m128), None);
+    }
+
+    #[test]
+    fn table2_dragonfly_cells() {
+        let m64 = SwitchModel::openflow_64x100g();
+        let m128 = SwitchModel::openflow_128x100g();
+        let df = dragonfly(4, 9, 2, 2); // 90 fabric links -> demand 180
+        assert_eq!(port_demand(&df), 180);
+        assert_eq!(speed(Method::Sdt, &df, &m64), Some(25));
+        assert_eq!(speed(Method::Sdt, &df, &m128), Some(50));
+        assert_eq!(speed(Method::Turbonet, &df, &m64), None);
+        assert_eq!(speed(Method::Turbonet, &df, &m128), Some(25));
+    }
+
+    #[test]
+    fn torus_cells_monotone() {
+        // Paper's torus accounting is looser than the §IV-A rule; ours is
+        // conservative but must stay monotone: bigger tori are never easier.
+        let m128 = SwitchModel::openflow_128x100g();
+        let t4 = torus(&[4, 4, 4]);
+        let t5 = torus(&[5, 5, 5]);
+        let t6 = torus(&[6, 6, 6]);
+        let s4 = speed(Method::Sdt, &t4, &m128);
+        let s5 = speed(Method::Sdt, &t5, &m128);
+        let s6 = speed(Method::Sdt, &t6, &m128);
+        assert!(s4.unwrap_or(0) >= s5.unwrap_or(0));
+        assert!(s5.unwrap_or(0) >= s6.unwrap_or(0));
+        // More switches strictly help.
+        let more = max_link_gbps(Method::Sdt, &t4, &m128, 4).max_gbps;
+        assert!(more.unwrap_or(0) >= s4.unwrap_or(0));
+    }
+
+    #[test]
+    fn turbonet_never_beats_sdt() {
+        let m64 = SwitchModel::openflow_64x100g();
+        for topo in [fat_tree(4), fat_tree(6), dragonfly(4, 9, 2, 2), torus(&[4, 4])] {
+            for count in [1u32, 2, 4] {
+                let sdt = max_link_gbps(Method::Sdt, &topo, &m64, count).max_gbps.unwrap_or(0);
+                let tn =
+                    max_link_gbps(Method::Turbonet, &topo, &m64, count).max_gbps.unwrap_or(0);
+                assert!(tn <= sdt, "{}: turbonet {tn} > sdt {sdt}", topo.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! Optical-switch-enhanced SDT — the paper's §VII-A future work.
+//!
+//! Plain SDT fixes the split between self-links and inter-switch links at
+//! deployment time; a topology whose partition needs *more* inter-switch
+//! links than were reserved cannot deploy without manual recabling
+//! (§IV-B's reservation issue). The paper's proposed fix: route a pool of
+//! *flexible* ports through a small MEMS optical switch, so each flexible
+//! link can be turned into either a self-link or an inter-switch link by
+//! reprogramming the optical crossbar — ~100 ms, no hands.
+//!
+//! [`FlexCluster`] models that design: per switch, `hosts` host ports, a
+//! block of *fixed* self-links, and a block of flexible ports patched into
+//! the crossbar. [`FlexCluster::plan_for`] partitions a target topology,
+//! computes the self/inter shortfalls against the fixed wiring, assigns
+//! crossbar pairings to cover them, and returns a concrete
+//! [`PhysicalCluster`] ready for [`crate::sdt::SdtProjector`].
+
+use crate::cluster::{PhysPort, PhysicalCluster};
+use crate::methods::SwitchModel;
+use sdt_openflow::PortNo;
+use sdt_partition::{partition_topology, PartitionConfig};
+use sdt_topology::{HostId, Topology};
+use std::collections::HashMap;
+
+/// Why a flexible configuration cannot be produced.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FlexError {
+    /// Even with every flexible port consumed, the demand does not fit.
+    NotEnoughFlexPorts {
+        /// Physical switch that ran dry.
+        switch: u32,
+        /// Flexible ports still needed there.
+        missing: u32,
+    },
+    /// A crossbar pairing referenced a port outside the flexible region.
+    NotAFlexPort(PhysPort),
+    /// Host demand exceeds the reserved host ports.
+    NotEnoughHostPorts {
+        /// Physical switch.
+        switch: u32,
+        /// Hosts demanded.
+        need: u32,
+        /// Host ports reserved.
+        have: u32,
+    },
+}
+
+impl std::fmt::Display for FlexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlexError::NotEnoughFlexPorts { switch, missing } => {
+                write!(f, "switch {switch}: {missing} more flexible ports needed")
+            }
+            FlexError::NotAFlexPort(p) => write!(f, "{p:?} is not in the flexible region"),
+            FlexError::NotEnoughHostPorts { switch, need, have } => {
+                write!(f, "switch {switch}: {need} hosts demanded, {have} host ports")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlexError {}
+
+/// An SDT cluster with an optical-crossbar-backed flexible port pool.
+#[derive(Clone, Copy, Debug)]
+pub struct FlexCluster {
+    /// Switch model.
+    pub model: SwitchModel,
+    /// Number of electrical switches.
+    pub num_switches: u32,
+    /// Host ports per switch (ports `0..hosts`).
+    pub hosts_per_switch: u16,
+    /// Fixed self-links per switch (ports `hosts..hosts + 2*fixed_self`).
+    pub fixed_self_per_switch: u16,
+    /// Flexible ports per switch, patched into the optical crossbar
+    /// (the next `flex_per_switch` ports).
+    pub flex_per_switch: u16,
+    /// Optical switching time per reconfiguration, ns (~100 ms MEMS).
+    pub optical_switch_ns: u64,
+}
+
+impl FlexCluster {
+    /// A flexible cluster; panics if the port regions exceed the model.
+    pub fn new(
+        model: SwitchModel,
+        num_switches: u32,
+        hosts_per_switch: u16,
+        fixed_self_per_switch: u16,
+        flex_per_switch: u16,
+    ) -> Self {
+        let used = hosts_per_switch as u32
+            + 2 * fixed_self_per_switch as u32
+            + flex_per_switch as u32;
+        assert!(used <= model.ports, "port regions ({used}) exceed switch ports");
+        FlexCluster {
+            model,
+            num_switches,
+            hosts_per_switch,
+            fixed_self_per_switch,
+            flex_per_switch,
+            optical_switch_ns: 100_000_000,
+        }
+    }
+
+    /// First port index of the flexible region.
+    fn flex_base(&self) -> u16 {
+        self.hosts_per_switch + 2 * self.fixed_self_per_switch
+    }
+
+    /// Is a port inside the flexible (crossbar-patched) region?
+    pub fn is_flex_port(&self, p: PhysPort) -> bool {
+        let base = self.flex_base();
+        p.switch < self.num_switches
+            && p.port.0 >= base
+            && p.port.0 < base + self.flex_per_switch
+    }
+
+    /// The fixed cabling shared by every configuration.
+    fn fixed_cabling(&self) -> (Vec<(PhysPort, PhysPort)>, Vec<PhysPort>) {
+        let mut cables = Vec::new();
+        let mut hosts = Vec::new();
+        for s in 0..self.num_switches {
+            for h in 0..self.hosts_per_switch {
+                hosts.push(PhysPort { switch: s, port: PortNo(h) });
+            }
+            for i in 0..self.fixed_self_per_switch {
+                let a = PhysPort { switch: s, port: PortNo(self.hosts_per_switch + 2 * i) };
+                let b =
+                    PhysPort { switch: s, port: PortNo(self.hosts_per_switch + 2 * i + 1) };
+                cables.push((a, b));
+            }
+        }
+        (cables, hosts)
+    }
+
+    /// Materialize a configuration: fixed cabling plus the given crossbar
+    /// pairings over flexible ports.
+    pub fn configure(
+        &self,
+        pairings: &[(PhysPort, PhysPort)],
+    ) -> Result<PhysicalCluster, FlexError> {
+        for &(a, b) in pairings {
+            for p in [a, b] {
+                if !self.is_flex_port(p) {
+                    return Err(FlexError::NotAFlexPort(p));
+                }
+            }
+        }
+        let (mut cables, hosts) = self.fixed_cabling();
+        cables.extend_from_slice(pairings);
+        Ok(PhysicalCluster::custom(self.model, self.num_switches, cables, hosts))
+    }
+
+    /// Plan crossbar pairings for a topology: partition it, cover the
+    /// self-link / inter-switch shortfalls with flexible ports, and return
+    /// (pairings, configured cluster).
+    pub fn plan_for(
+        &self,
+        topo: &Topology,
+    ) -> Result<(Vec<(PhysPort, PhysPort)>, PhysicalCluster), FlexError> {
+        let k = self.num_switches;
+        let assignment: Vec<u32> = if k == 1 {
+            vec![0; topo.num_switches() as usize]
+        } else {
+            partition_topology(topo, k, &PartitionConfig::default()).assignment().to_vec()
+        };
+        // Demands.
+        let mut self_need = vec![0u32; k as usize];
+        let mut inter_need: HashMap<(u32, u32), u32> = HashMap::new();
+        for l in topo.fabric_links() {
+            let (a, b) = (
+                assignment[l.a.as_switch().unwrap().idx()],
+                assignment[l.b.as_switch().unwrap().idx()],
+            );
+            if a == b {
+                self_need[a as usize] += 1;
+            } else {
+                *inter_need.entry((a.min(b), a.max(b))).or_insert(0) += 1;
+            }
+        }
+        let mut host_need = vec![0u32; k as usize];
+        for h in 0..topo.num_hosts() {
+            for &(s, _) in topo.attachments(HostId(h)) {
+                host_need[assignment[s.idx()] as usize] += 1;
+            }
+        }
+        for (sw, &need) in host_need.iter().enumerate() {
+            if need > self.hosts_per_switch as u32 {
+                return Err(FlexError::NotEnoughHostPorts {
+                    switch: sw as u32,
+                    need,
+                    have: self.hosts_per_switch as u32,
+                });
+            }
+        }
+        // Flexible port cursors.
+        let base = self.flex_base();
+        let mut next = vec![0u16; k as usize];
+        let take = |sw: u32, next: &mut Vec<u16>| -> Result<PhysPort, FlexError> {
+            if next[sw as usize] >= self.flex_per_switch {
+                return Err(FlexError::NotEnoughFlexPorts { switch: sw, missing: 1 });
+            }
+            let p = PhysPort { switch: sw, port: PortNo(base + next[sw as usize]) };
+            next[sw as usize] += 1;
+            Ok(p)
+        };
+        let mut pairings = Vec::new();
+        // Self-link shortfall: pair two flexible ports on the same switch.
+        for sw in 0..k {
+            let deficit = self_need[sw as usize]
+                .saturating_sub(self.fixed_self_per_switch as u32);
+            for _ in 0..deficit {
+                let a = take(sw, &mut next)?;
+                let b = take(sw, &mut next)?;
+                pairings.push((a, b));
+            }
+        }
+        // Inter-switch links: always flexible in this design.
+        let mut pairs: Vec<_> = inter_need.into_iter().collect();
+        pairs.sort_unstable();
+        for ((x, y), n) in pairs {
+            for _ in 0..n {
+                let a = take(x, &mut next)?;
+                let b = take(y, &mut next)?;
+                pairings.push((a, b));
+            }
+        }
+        let cluster = self.configure(&pairings)?;
+        Ok((pairings, cluster))
+    }
+
+    /// Reconfiguration time from one pairing set to another: optical
+    /// switching (only if any pairing moved) plus flow-table installs.
+    pub fn reconfigure_time_ns(
+        &self,
+        old: &[(PhysPort, PhysPort)],
+        new: &[(PhysPort, PhysPort)],
+        flow_entries: usize,
+    ) -> u64 {
+        let a: std::collections::HashSet<_> = old.iter().collect();
+        let b: std::collections::HashSet<_> = new.iter().collect();
+        let moved = a.symmetric_difference(&b).count();
+        let optical = if moved > 0 { self.optical_switch_ns } else { 0 };
+        optical + sdt_openflow::InstallTiming::default().install_time_ns(flow_entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sdt::SdtProjector;
+    use crate::walk::IsolationReport;
+    use sdt_topology::fattree::fat_tree;
+    use sdt_topology::meshtorus::torus;
+
+    fn flex() -> FlexCluster {
+        // Few fixed self-links: topologies with big cuts need the crossbar.
+        FlexCluster::new(SwitchModel::openflow_128x100g(), 2, 16, 8, 64)
+    }
+
+    #[test]
+    fn plan_covers_fat_tree_and_torus_without_recabling() {
+        let f = flex();
+        for topo in [fat_tree(4), torus(&[4, 4])] {
+            let (pairings, cluster) = f.plan_for(&topo).unwrap();
+            assert!(!pairings.is_empty());
+            let p = SdtProjector::default()
+                .project_default(&topo, &cluster)
+                .unwrap_or_else(|e| panic!("{}: {e}", topo.name()));
+            let report = IsolationReport::audit(&cluster, &p, &topo);
+            assert!(report.clean(), "{}: {:?}", topo.name(), report.violations);
+        }
+    }
+
+    #[test]
+    fn flex_turns_ports_into_self_or_inter_links() {
+        let f = flex();
+        // Fat-tree k=4 on 2 switches: 8-ish inter links + ~24 internal links
+        // per side, of which only 8 are fixed — the rest come from flex.
+        let (pairings, cluster) = f.plan_for(&fat_tree(4)).unwrap();
+        let self_flex = pairings.iter().filter(|(a, b)| a.switch == b.switch).count();
+        let inter_flex = pairings.iter().filter(|(a, b)| a.switch != b.switch).count();
+        assert!(self_flex > 0, "some flexible self-links expected");
+        assert!(inter_flex > 0, "some flexible inter-switch links expected");
+        assert_eq!(
+            cluster.links().len(),
+            2 * 8 + pairings.len(),
+            "fixed self-links + crossbar pairings"
+        );
+    }
+
+    #[test]
+    fn reconfiguration_is_optical_not_manual() {
+        let f = flex();
+        let (p1, c1) = f.plan_for(&fat_tree(4)).unwrap();
+        // The chain's crossbar demand (1 inter link, no self deficit)
+        // genuinely differs from the fat-tree's.
+        let (p2, _) = f.plan_for(&sdt_topology::chain::chain(8)).unwrap();
+        assert_ne!(p1, p2);
+        let entries = {
+            let proj = SdtProjector::default().project_default(&fat_tree(4), &c1).unwrap();
+            proj.synthesis.entries_per_switch.iter().copied().max().unwrap()
+        };
+        let t = f.reconfigure_time_ns(&p1, &p2, entries);
+        // Optical (100 ms) + flow installs: still sub-second, no hands.
+        assert!((100_000_000..1_000_000_000).contains(&t), "{t} ns");
+        // Unchanged pairings skip the optical step.
+        let same = f.reconfigure_time_ns(&p1, &p1, entries);
+        assert!(same < 100_000_000 + 300_000_000);
+        assert!(same < t);
+    }
+
+    #[test]
+    fn flex_budget_exhaustion_reported() {
+        let tiny = FlexCluster::new(SwitchModel::openflow_64x100g(), 2, 16, 2, 4);
+        let err = tiny.plan_for(&fat_tree(4)).unwrap_err();
+        assert!(matches!(err, FlexError::NotEnoughFlexPorts { .. }));
+    }
+
+    #[test]
+    fn configure_rejects_non_flex_ports() {
+        let f = flex();
+        let bad = PhysPort { switch: 0, port: PortNo(0) }; // a host port
+        let ok = PhysPort { switch: 0, port: PortNo(f.flex_base()) };
+        assert!(matches!(
+            f.configure(&[(bad, ok)]),
+            Err(FlexError::NotAFlexPort(_))
+        ));
+    }
+}

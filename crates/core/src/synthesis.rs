@@ -1,0 +1,309 @@
+//! Flow-table synthesis: lowering a projection + routing to OpenFlow.
+//!
+//! Produces the two-table pipeline described in [`sdt_openflow::switch`]:
+//!
+//! * **table 0** — one entry per in-use physical port: `in_port = p →
+//!   write-metadata(sub-switch id), goto table 1`. This is the sub-switch
+//!   partition (§IV-A): it pins every packet to the logical switch its
+//!   ingress port belongs to.
+//! * **table 1** — one entry per (sub-switch, destination host):
+//!   `metadata = s ∧ ip_dst = d → output(port)`, where the port realizes the
+//!   routing strategy's next hop (or the host port at the last hop). When a
+//!   strategy is source-dependent (e.g. Valiant), higher-priority
+//!   src-specific entries override the destination default.
+//!
+//! Misses drop. Nothing can leave a sub-switch's forwarding domain, which
+//! is the property the §VI-B isolation experiment checks with a sniffer.
+
+use crate::cluster::PhysPort;
+use sdt_openflow::{Action, FlowEntry, FlowMatch, HostAddr};
+use sdt_routing::RouteTable;
+use sdt_topology::{HostId, LinkId, SwitchId, Topology};
+use std::collections::HashMap;
+
+/// Priorities of the synthesized entry classes.
+const PRIO_CLASSIFY: u16 = 10;
+const PRIO_DEFAULT: u16 = 5;
+const PRIO_DST: u16 = 10;
+const PRIO_SRC_OVERRIDE: u16 = 20;
+
+/// Synthesized pipeline for every physical switch.
+#[derive(Clone, Debug, Default)]
+pub struct SynthesisOutput {
+    /// Per physical switch: table-0 entries (port classification).
+    pub table0: Vec<Vec<FlowEntry>>,
+    /// Per physical switch: table-1 entries (routing per sub-switch).
+    pub table1: Vec<Vec<FlowEntry>>,
+    /// Per physical switch: total entries (both tables).
+    pub entries_per_switch: Vec<usize>,
+}
+
+/// The host address SDT assigns to a host id (identity mapping).
+pub fn addr_of(h: HostId) -> HostAddr {
+    HostAddr(h.0)
+}
+
+/// Lower `routes` over the projected `topo` to per-switch flow tables.
+///
+/// `assignment` maps logical→physical switches, `port_of` logical directed
+/// ports→physical ports, `host_port` host attachments→host ports (all from
+/// [`crate::sdt::SdtProjector`]).
+pub fn synthesize_flow_tables(
+    topo: &Topology,
+    routes: &RouteTable,
+    assignment: &[u32],
+    port_of: &HashMap<(SwitchId, LinkId), PhysPort>,
+    host_port: &HashMap<(HostId, LinkId), PhysPort>,
+    num_phys: u32,
+) -> SynthesisOutput {
+    synthesize_with(topo, routes, assignment, port_of, host_port, num_phys, false)
+}
+
+/// Like [`synthesize_flow_tables`], but with §VII-C entry merging: for each
+/// sub-switch the most common egress becomes one low-priority
+/// `metadata-only` default entry, and only exceptions keep exact
+/// destination entries. This shrinks tables by the fan-out factor when a
+/// projection would otherwise exceed capacity — at the cost that packets to
+/// *unknown* destinations entering that sub-switch follow the default
+/// instead of dropping (packets can still never leave their sub-switch's
+/// port domain, so co-deployed topologies remain port-isolated).
+pub fn synthesize_flow_tables_merged(
+    topo: &Topology,
+    routes: &RouteTable,
+    assignment: &[u32],
+    port_of: &HashMap<(SwitchId, LinkId), PhysPort>,
+    host_port: &HashMap<(HostId, LinkId), PhysPort>,
+    num_phys: u32,
+) -> SynthesisOutput {
+    synthesize_with(topo, routes, assignment, port_of, host_port, num_phys, true)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn synthesize_with(
+    topo: &Topology,
+    routes: &RouteTable,
+    assignment: &[u32],
+    port_of: &HashMap<(SwitchId, LinkId), PhysPort>,
+    host_port: &HashMap<(HostId, LinkId), PhysPort>,
+    num_phys: u32,
+    merge_defaults: bool,
+) -> SynthesisOutput {
+    // Egress demand: (logical switch, dst host) -> egress port, with
+    // src-specific overrides when routes conflict.
+    let mut egress: HashMap<(SwitchId, HostId), PhysPort> = HashMap::new();
+    let mut overrides: HashMap<(SwitchId, HostId, HostId), PhysPort> = HashMap::new();
+
+    // Link id joining two adjacent logical switches.
+    let link_between = |a: SwitchId, b: SwitchId| -> LinkId {
+        topo.neighbors(a)
+            .iter()
+            .find(|&&(n, _)| n == b)
+            .map(|&(_, lid)| lid)
+            .expect("route hops are fabric neighbors")
+    };
+
+    for src in 0..topo.num_hosts() {
+        let src = HostId(src);
+        for dst in 0..topo.num_hosts() {
+            let dst = HostId(dst);
+            if src == dst {
+                continue;
+            }
+            let sa = topo.host_switch(src);
+            let sb = topo.host_switch(dst);
+            // Hop sequence of logical switches the packet visits.
+            let hops: Vec<SwitchId> = if sa == sb {
+                vec![sa]
+            } else {
+                match routes.try_route(sa, sb) {
+                    Some(r) => r.hops.clone(),
+                    None => continue, // unreachable pair (disjoint component)
+                }
+            };
+            for (i, &s) in hops.iter().enumerate() {
+                let out: PhysPort = if i + 1 < hops.len() {
+                    let lid = link_between(s, hops[i + 1]);
+                    port_of[&(s, lid)]
+                } else {
+                    // Delivery hop: the destination's host port at `s`.
+                    let (_, lid) = topo
+                        .attachments(dst)
+                        .iter()
+                        .copied()
+                        .find(|&(att, _)| att == s)
+                        .expect("route ends at an attachment switch of dst");
+                    host_port[&(dst, lid)]
+                };
+                match egress.entry((s, dst)) {
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(out);
+                    }
+                    std::collections::hash_map::Entry::Occupied(o) => {
+                        if *o.get() != out {
+                            // Source-dependent route: record an override.
+                            overrides.insert((s, src, dst), out);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Emit per physical switch.
+    let mut out = SynthesisOutput {
+        table0: vec![Vec::new(); num_phys as usize],
+        table1: vec![Vec::new(); num_phys as usize],
+        entries_per_switch: vec![0; num_phys as usize],
+    };
+
+    // Table 0: port classification for every logical port.
+    for (&(s, _lid), &pp) in port_of {
+        out.table0[pp.switch as usize].push(FlowEntry {
+            m: FlowMatch::on_port(pp.port),
+            priority: PRIO_CLASSIFY,
+            action: Action::WriteMetadataGoto(s.0),
+        });
+    }
+
+    // Table 1: destination routing per sub-switch, optionally compressed
+    // around a per-sub-switch default egress (§VII-C entry merging).
+    let mut default_egress: HashMap<u32, sdt_openflow::PortNo> = HashMap::new();
+    if merge_defaults {
+        let mut counts: HashMap<(u32, sdt_openflow::PortNo), usize> = HashMap::new();
+        for (&(s, _), &pp) in &egress {
+            *counts.entry((s.0, pp.port)).or_insert(0) += 1;
+        }
+        for (&(s, port), &n) in &counts {
+            let best = default_egress.get(&s).map(|p| counts[&(s, *p)]).unwrap_or(0);
+            if n > best {
+                default_egress.insert(s, port);
+            }
+        }
+        for (&s, &port) in &default_egress {
+            out.table1[assignment[s as usize] as usize].push(FlowEntry {
+                m: FlowMatch { metadata: Some(s), ..FlowMatch::any() },
+                priority: PRIO_DEFAULT,
+                action: Action::Output(port),
+            });
+        }
+    }
+    for (&(s, dst), &pp) in &egress {
+        if merge_defaults && default_egress.get(&s.0) == Some(&pp.port) {
+            continue; // covered by the sub-switch default
+        }
+        out.table1[assignment[s.idx()] as usize].push(FlowEntry {
+            m: FlowMatch::to_dst(addr_of(dst)).and_metadata(s.0),
+            priority: PRIO_DST,
+            action: Action::Output(pp.port),
+        });
+    }
+    for (&(s, src, dst), &pp) in &overrides {
+        let mut m = FlowMatch::to_dst(addr_of(dst)).and_metadata(s.0);
+        m.src = Some(addr_of(src));
+        out.table1[assignment[s.idx()] as usize].push(FlowEntry {
+            m,
+            priority: PRIO_SRC_OVERRIDE,
+            action: Action::Output(pp.port),
+        });
+    }
+
+    // Deterministic order (HashMap iteration is not).
+    for t in out.table0.iter_mut().chain(out.table1.iter_mut()) {
+        t.sort_unstable_by_key(|e| {
+            (std::cmp::Reverse(e.priority), e.m.in_port, e.m.metadata, e.m.dst, e.m.src)
+        });
+    }
+    for sw in 0..num_phys as usize {
+        out.entries_per_switch[sw] = out.table0[sw].len() + out.table1[sw].len();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterBuilder;
+    use crate::methods::SwitchModel;
+    use crate::sdt::SdtProjector;
+    use sdt_topology::fattree::fat_tree;
+
+    #[test]
+    fn fat_tree_k4_entry_budget_matches_paper() {
+        // §VII-C: projecting fat-tree k=4 (20 switches, 16 nodes) onto 2
+        // OpenFlow switches needs "about only 300 flow table entries" per
+        // switch. Our two-table pipeline: table0 = logical ports on the
+        // switch (~40), table1 = sub-switches x destinations (~160).
+        let t = fat_tree(4);
+        let c = ClusterBuilder::new(SwitchModel::openflow_128x100g(), 2)
+            .hosts_per_switch(16)
+            .inter_links_per_pair(16)
+            .build();
+        let p = SdtProjector::default().project_default(&t, &c).unwrap();
+        for (sw, &n) in p.synthesis.entries_per_switch.iter().enumerate() {
+            assert!(
+                (100..=400).contains(&n),
+                "switch {sw}: {n} entries, expected a few hundred"
+            );
+        }
+        let total: usize = p.synthesis.entries_per_switch.iter().sum();
+        // 80 classification entries (one per logical port) plus routing
+        // entries for every sub-switch actually traversed by some route.
+        assert!((240..=800).contains(&total), "total {total}");
+    }
+
+    #[test]
+    fn merged_synthesis_shrinks_tables_and_still_delivers() {
+        use crate::walk::IsolationReport;
+        let t = fat_tree(4);
+        let c = ClusterBuilder::new(SwitchModel::openflow_128x100g(), 2)
+            .hosts_per_switch(16)
+            .inter_links_per_pair(16)
+            .build();
+        let mut proj = SdtProjector::default().project_default(&t, &c).unwrap();
+        let plain: usize = proj.synthesis.entries_per_switch.iter().sum();
+        // Re-synthesize with merging and swap it in.
+        let strategy = sdt_routing::default_strategy(&t);
+        let routes = sdt_routing::RouteTable::build_for_hosts(&t, strategy.as_ref());
+        proj.synthesis = synthesize_flow_tables_merged(
+            &t,
+            &routes,
+            &proj.assignment,
+            &proj.port_of,
+            &proj.host_port,
+            2,
+        );
+        let merged: usize = proj.synthesis.entries_per_switch.iter().sum();
+        assert!(merged < plain, "merged {merged} vs plain {plain}");
+        let report = IsolationReport::audit(&c, &proj, &t);
+        assert!(report.clean(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn every_table1_entry_keeps_domain() {
+        // An entry for sub-switch s must output on a port of s — forwarding
+        // domain closure, the isolation property.
+        let t = fat_tree(4);
+        let c = ClusterBuilder::new(SwitchModel::openflow_128x100g(), 2)
+            .hosts_per_switch(16)
+            .inter_links_per_pair(16)
+            .build();
+        let p = SdtProjector::default().project_default(&t, &c).unwrap();
+        for (sw, entries) in p.synthesis.table1.iter().enumerate() {
+            for e in entries {
+                let s = SwitchId(e.m.metadata.expect("table1 entries are metadata-scoped"));
+                let ports = p.subswitches[sw]
+                    .iter()
+                    .find(|(ls, _)| *ls == s)
+                    .map(|(_, ps)| ps.clone())
+                    .expect("sub-switch present on this physical switch");
+                match e.action {
+                    Action::Output(port) => assert!(
+                        ports.iter().any(|pp| pp.port == port),
+                        "entry {e:?} escapes sub-switch {s:?}"
+                    ),
+                    other => panic!("unexpected action {other:?}"),
+                }
+            }
+        }
+    }
+}

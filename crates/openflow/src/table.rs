@@ -1,0 +1,497 @@
+//! Priority-matched flow tables with capacity accounting.
+
+use crate::{HostAddr, PortNo};
+use serde::{Deserialize, Serialize};
+
+/// Wildcard-able match over the fields SDT programs: ingress port, pipeline
+/// metadata (OpenFlow 1.3 multi-table), plus an IPv4-style 5-tuple subset.
+/// `None` matches anything.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct FlowMatch {
+    /// Ingress port.
+    pub in_port: Option<PortNo>,
+    /// Pipeline metadata written by an earlier table (sub-switch id in SDT).
+    pub metadata: Option<u32>,
+    /// Source host address.
+    pub src: Option<HostAddr>,
+    /// Destination host address.
+    pub dst: Option<HostAddr>,
+    /// L4 source port.
+    pub l4_src: Option<u16>,
+    /// L4 destination port.
+    pub l4_dst: Option<u16>,
+}
+
+impl FlowMatch {
+    /// Match anything.
+    pub fn any() -> Self {
+        FlowMatch::default()
+    }
+
+    /// Match a specific ingress port (the sub-switch domain restriction).
+    pub fn on_port(in_port: PortNo) -> Self {
+        FlowMatch { in_port: Some(in_port), ..Default::default() }
+    }
+
+    /// Match a destination host (routing entry).
+    pub fn to_dst(dst: HostAddr) -> Self {
+        FlowMatch { dst: Some(dst), ..Default::default() }
+    }
+
+    /// Restrict this match to an ingress port.
+    pub fn and_port(mut self, p: PortNo) -> Self {
+        self.in_port = Some(p);
+        self
+    }
+
+    /// Restrict this match to a destination host.
+    pub fn and_dst(mut self, d: HostAddr) -> Self {
+        self.dst = Some(d);
+        self
+    }
+
+    /// Restrict this match to pipeline metadata (sub-switch id).
+    pub fn and_metadata(mut self, m: u32) -> Self {
+        self.metadata = Some(m);
+        self
+    }
+
+    /// Does a packet (with current pipeline metadata) fit this match?
+    pub fn matches(&self, m: &PacketMeta, metadata: Option<u32>) -> bool {
+        fn ok<T: PartialEq>(field: Option<T>, v: T) -> bool {
+            field.is_none_or(|f| f == v)
+        }
+        let meta_ok = match self.metadata {
+            None => true,
+            Some(want) => metadata == Some(want),
+        };
+        meta_ok
+            && ok(self.in_port, m.in_port)
+            && ok(self.src, m.src)
+            && ok(self.dst, m.dst)
+            && ok(self.l4_src, m.l4_src)
+            && ok(self.l4_dst, m.l4_dst)
+    }
+}
+
+/// The packet header fields a switch pipeline inspects.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PacketMeta {
+    /// Port the packet arrived on.
+    pub in_port: PortNo,
+    /// Source host.
+    pub src: HostAddr,
+    /// Destination host.
+    pub dst: HostAddr,
+    /// L4 source port.
+    pub l4_src: u16,
+    /// L4 destination port.
+    pub l4_dst: u16,
+}
+
+/// Forwarding action of a flow entry.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Action {
+    /// Emit on a port.
+    Output(PortNo),
+    /// Drop the packet (domain isolation).
+    Drop,
+    /// OpenFlow 1.3 `write-metadata` + `goto-table`: stamp the packet with
+    /// metadata (SDT uses the sub-switch id) and continue in the next table.
+    WriteMetadataGoto(u32),
+}
+
+/// One flow rule: match + priority + action.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct FlowEntry {
+    /// Match fields.
+    pub m: FlowMatch,
+    /// Higher priority wins.
+    pub priority: u16,
+    /// Action on match.
+    pub action: Action,
+}
+
+/// Flow-table modification messages (the controller→switch protocol subset
+/// SDT uses).
+#[derive(Clone, Debug)]
+pub enum FlowMod {
+    /// Install an entry.
+    Add(FlowEntry),
+    /// Remove every entry (used at the start of a reconfiguration).
+    Clear,
+    /// Remove entries whose (match, priority) equal the given ones exactly.
+    Delete(FlowMatch, u16),
+}
+
+/// Errors from table mutation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TableError {
+    /// Capacity exhausted (paper §VII-C): the projection does not fit.
+    TableFull {
+        /// Configured entry capacity.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableError::TableFull { capacity } => {
+                write!(f, "flow table full (capacity {capacity})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+/// Aggregate occupancy statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TableStats {
+    /// Installed entries.
+    pub entries: usize,
+    /// Total lookups served.
+    pub lookups: u64,
+    /// Lookups that matched no entry.
+    pub misses: u64,
+}
+
+/// A priority-ordered flow table with bounded capacity.
+#[derive(Clone, Debug)]
+pub struct FlowTable {
+    /// Entries sorted by descending priority (stable insertion order within
+    /// a priority level — first match wins, as in OpenFlow).
+    entries: Vec<FlowEntry>,
+    capacity: usize,
+    lookups: std::cell::Cell<u64>,
+    misses: std::cell::Cell<u64>,
+}
+
+impl FlowTable {
+    /// An empty table holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        FlowTable {
+            entries: Vec::new(),
+            capacity,
+            lookups: std::cell::Cell::new(0),
+            misses: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Installed entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries are installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Remaining entry budget.
+    pub fn free(&self) -> usize {
+        self.capacity - self.entries.len()
+    }
+
+    /// Apply a flow-mod.
+    pub fn apply(&mut self, m: FlowMod) -> Result<(), TableError> {
+        match m {
+            FlowMod::Add(e) => {
+                if self.entries.len() >= self.capacity {
+                    return Err(TableError::TableFull { capacity: self.capacity });
+                }
+                // Insert keeping descending priority, stable within a level.
+                let pos = self
+                    .entries
+                    .partition_point(|x| x.priority >= e.priority);
+                self.entries.insert(pos, e);
+                Ok(())
+            }
+            FlowMod::Clear => {
+                self.entries.clear();
+                Ok(())
+            }
+            FlowMod::Delete(fm, priority) => {
+                self.entries.retain(|e| !(e.m == fm && e.priority == priority));
+                Ok(())
+            }
+        }
+    }
+
+    /// Highest-priority matching action, or `None` on a table miss.
+    pub fn lookup(&self, meta: &PacketMeta) -> Option<Action> {
+        self.lookup_with(meta, None)
+    }
+
+    /// Lookup with pipeline metadata from an earlier table.
+    pub fn lookup_with(&self, meta: &PacketMeta, metadata: Option<u32>) -> Option<Action> {
+        self.lookups.set(self.lookups.get() + 1);
+        for e in &self.entries {
+            if e.m.matches(meta, metadata) {
+                return Some(e.action);
+            }
+        }
+        self.misses.set(self.misses.get() + 1);
+        None
+    }
+
+    /// Occupancy and lookup statistics.
+    pub fn stats(&self) -> TableStats {
+        TableStats {
+            entries: self.entries.len(),
+            lookups: self.lookups.get(),
+            misses: self.misses.get(),
+        }
+    }
+
+    /// Installed entries, highest priority first.
+    pub fn entries(&self) -> &[FlowEntry] {
+        &self.entries
+    }
+}
+
+/// Does match `a` cover every packet that `b` covers? (Field-wise: each of
+/// `a`'s constraints is absent or equal to `b`'s.)
+fn covers(a: &FlowMatch, b: &FlowMatch) -> bool {
+    fn field<T: PartialEq + Copy>(a: Option<T>, b: Option<T>) -> bool {
+        match (a, b) {
+            (None, _) => true,
+            (Some(x), Some(y)) => x == y,
+            (Some(_), None) => false,
+        }
+    }
+    field(a.in_port, b.in_port)
+        && field(a.metadata, b.metadata)
+        && field(a.src, b.src)
+        && field(a.dst, b.dst)
+        && field(a.l4_src, b.l4_src)
+        && field(a.l4_dst, b.l4_dst)
+}
+
+/// Entries that can never match because an earlier (higher- or
+/// equal-priority) entry covers their entire match space. Shadowed entries
+/// waste TCAM and usually indicate a synthesis bug; the SDT pipeline is
+/// expected to produce none.
+pub fn shadowed_entries(entries: &[FlowEntry]) -> Vec<FlowEntry> {
+    // entries are priority-sorted descending (FlowTable order).
+    let mut shadowed = Vec::new();
+    for (i, e) in entries.iter().enumerate() {
+        for earlier in &entries[..i] {
+            if earlier.priority >= e.priority && covers(&earlier.m, &e.m) {
+                shadowed.push(*e);
+                break;
+            }
+        }
+    }
+    shadowed
+}
+
+/// Incremental reconfiguration: the flow-mods turning the entry set `old`
+/// into `new` (deletes first, then adds). Unchanged entries are untouched,
+/// which is what keeps SDT reconfigurations between *similar* topologies
+/// fast — only the delta pays install latency.
+pub fn diff_tables(old: &[FlowEntry], new: &[FlowEntry]) -> Vec<FlowMod> {
+    let old_set: std::collections::HashSet<&FlowEntry> = old.iter().collect();
+    let new_set: std::collections::HashSet<&FlowEntry> = new.iter().collect();
+    let mut mods = Vec::new();
+    for e in old {
+        if !new_set.contains(e) {
+            mods.push(FlowMod::Delete(e.m, e.priority));
+        }
+    }
+    for e in new {
+        if !old_set.contains(e) {
+            mods.push(FlowMod::Add(*e));
+        }
+    }
+    mods
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(in_port: u16, src: u32, dst: u32) -> PacketMeta {
+        PacketMeta {
+            in_port: PortNo(in_port),
+            src: HostAddr(src),
+            dst: HostAddr(dst),
+            l4_src: 1000,
+            l4_dst: 2000,
+        }
+    }
+
+    #[test]
+    fn priority_order_wins() {
+        let mut t = FlowTable::new(10);
+        t.apply(FlowMod::Add(FlowEntry {
+            m: FlowMatch::any(),
+            priority: 0,
+            action: Action::Drop,
+        }))
+        .unwrap();
+        t.apply(FlowMod::Add(FlowEntry {
+            m: FlowMatch::to_dst(HostAddr(7)),
+            priority: 10,
+            action: Action::Output(PortNo(3)),
+        }))
+        .unwrap();
+        assert_eq!(t.lookup(&meta(0, 1, 7)), Some(Action::Output(PortNo(3))));
+        assert_eq!(t.lookup(&meta(0, 1, 8)), Some(Action::Drop));
+    }
+
+    #[test]
+    fn in_port_restriction() {
+        let mut t = FlowTable::new(10);
+        t.apply(FlowMod::Add(FlowEntry {
+            m: FlowMatch::to_dst(HostAddr(5)).and_port(PortNo(1)),
+            priority: 5,
+            action: Action::Output(PortNo(2)),
+        }))
+        .unwrap();
+        assert_eq!(t.lookup(&meta(1, 9, 5)), Some(Action::Output(PortNo(2))));
+        assert_eq!(t.lookup(&meta(3, 9, 5)), None, "wrong in-port must miss");
+        assert_eq!(t.stats().misses, 1);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut t = FlowTable::new(2);
+        for i in 0..2 {
+            t.apply(FlowMod::Add(FlowEntry {
+                m: FlowMatch::to_dst(HostAddr(i)),
+                priority: 1,
+                action: Action::Drop,
+            }))
+            .unwrap();
+        }
+        let err = t
+            .apply(FlowMod::Add(FlowEntry {
+                m: FlowMatch::any(),
+                priority: 1,
+                action: Action::Drop,
+            }))
+            .unwrap_err();
+        assert_eq!(err, TableError::TableFull { capacity: 2 });
+    }
+
+    #[test]
+    fn clear_and_delete() {
+        let mut t = FlowTable::new(10);
+        let m1 = FlowMatch::to_dst(HostAddr(1));
+        let m2 = FlowMatch::to_dst(HostAddr(2));
+        for m in [m1, m2] {
+            t.apply(FlowMod::Add(FlowEntry { m, priority: 1, action: Action::Drop })).unwrap();
+        }
+        t.apply(FlowMod::Delete(m1, 1)).unwrap();
+        assert_eq!(t.len(), 1);
+        // Wrong priority deletes nothing.
+        t.apply(FlowMod::Delete(m2, 9)).unwrap();
+        assert_eq!(t.len(), 1);
+        t.apply(FlowMod::Clear).unwrap();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn diff_produces_minimal_mods() {
+        let e = |dst: u32, port: u16| FlowEntry {
+            m: FlowMatch::to_dst(HostAddr(dst)),
+            priority: 1,
+            action: Action::Output(PortNo(port)),
+        };
+        let old = [e(1, 1), e(2, 2), e(3, 3)];
+        let new = [e(2, 2), e(3, 9), e(4, 4)];
+        let mods = diff_tables(&old, &new);
+        // Remove dst1 and dst3@3; add dst3@9 and dst4: 4 mods, not 6.
+        assert_eq!(mods.len(), 4);
+        let dels = mods.iter().filter(|m| matches!(m, FlowMod::Delete(..))).count();
+        assert_eq!(dels, 2);
+        // Applying the diff really transforms the table.
+        let mut t = FlowTable::new(10);
+        for &entry in &old {
+            t.apply(FlowMod::Add(entry)).unwrap();
+        }
+        for m in mods {
+            t.apply(m).unwrap();
+        }
+        let mut have: Vec<FlowEntry> = t.entries().to_vec();
+        let mut want = new.to_vec();
+        have.sort_by_key(|e| e.m.dst);
+        want.sort_by_key(|e| e.m.dst);
+        assert_eq!(have, want);
+    }
+
+    #[test]
+    fn shadow_detection() {
+        let any_drop = FlowEntry { m: FlowMatch::any(), priority: 10, action: Action::Drop };
+        let specific = FlowEntry {
+            m: FlowMatch::to_dst(HostAddr(5)),
+            priority: 5,
+            action: Action::Output(PortNo(1)),
+        };
+        // The catch-all at higher priority shadows the specific entry.
+        assert_eq!(shadowed_entries(&[any_drop, specific]), vec![specific]);
+        // Reversed priorities: nothing shadowed (specific matches first).
+        let specific_hi = FlowEntry { priority: 20, ..specific };
+        assert!(shadowed_entries(&[specific_hi, any_drop]).is_empty());
+        // Disjoint matches never shadow.
+        let other = FlowEntry {
+            m: FlowMatch::to_dst(HostAddr(6)),
+            priority: 5,
+            action: Action::Drop,
+        };
+        assert!(shadowed_entries(&[specific_hi, other]).is_empty());
+    }
+
+    #[test]
+    fn diff_identity_is_empty() {
+        let e = FlowEntry { m: FlowMatch::any(), priority: 0, action: Action::Drop };
+        assert!(diff_tables(&[e], &[e]).is_empty());
+    }
+
+    #[test]
+    fn first_match_within_priority_is_stable() {
+        let mut t = FlowTable::new(10);
+        t.apply(FlowMod::Add(FlowEntry {
+            m: FlowMatch::on_port(PortNo(0)),
+            priority: 5,
+            action: Action::Output(PortNo(1)),
+        }))
+        .unwrap();
+        t.apply(FlowMod::Add(FlowEntry {
+            m: FlowMatch::on_port(PortNo(0)),
+            priority: 5,
+            action: Action::Output(PortNo(2)),
+        }))
+        .unwrap();
+        assert_eq!(t.lookup(&meta(0, 0, 0)), Some(Action::Output(PortNo(1))));
+    }
+
+    #[test]
+    fn five_tuple_fields_match() {
+        let mut t = FlowTable::new(4);
+        t.apply(FlowMod::Add(FlowEntry {
+            m: FlowMatch {
+                in_port: None,
+                metadata: None,
+                src: Some(HostAddr(1)),
+                dst: Some(HostAddr(2)),
+                l4_src: Some(1000),
+                l4_dst: Some(2000),
+            },
+            priority: 9,
+            action: Action::Output(PortNo(4)),
+        }))
+        .unwrap();
+        assert_eq!(t.lookup(&meta(0, 1, 2)), Some(Action::Output(PortNo(4))));
+        let mut other = meta(0, 1, 2);
+        other.l4_dst = 2001;
+        assert_eq!(t.lookup(&other), None);
+    }
+}

@@ -1,0 +1,95 @@
+//! Multilevel graph partitioning for SDT topology cuts (§IV-C of the paper).
+//!
+//! When one physical switch cannot hold the whole logical topology, SDT cuts
+//! the topology into sub-topologies, one per physical switch. The paper's
+//! `Cut(G(E,V), params…)` function must
+//!
+//! 1. **minimize the number of inter-switch links** (cut edges), because
+//!    inter-switch links are a scarce, pre-wired resource, and
+//! 2. **balance the number of links/ports per physical switch**, formalized
+//!    as minimizing `α·Cut(E_A, E_B) + β·(1/|E_A| + 1/|E_B|)`.
+//!
+//! The paper delegates to METIS; this crate implements the same classic
+//! multilevel scheme (Karypis & Kumar, SIAM J. Sci. Comput. 1998): heavy-edge
+//! matching coarsens the graph, a greedy region-growing pass seeds the
+//! bisection, and Fiduccia–Mattheyses refinement runs at every uncoarsening
+//! level. k-way partitions come from recursive bisection with proportional
+//! target weights.
+//!
+//! Vertex weights are the logical switches' radixes (fabric degree + attached
+//! hosts), so "balanced vertex weight" is literally "balanced port usage per
+//! physical switch" — requirement 2.
+//!
+//! ```
+//! use sdt_partition::{partition_topology, PartitionConfig};
+//! use sdt_topology::meshtorus::torus;
+//!
+//! let topo = torus(&[4, 4]);
+//! let p = partition_topology(&topo, 2, &PartitionConfig::default());
+//! // The minimum balanced bisection of a 4x4 torus cuts 8 links — those
+//! // become the inter-switch links SDT must reserve (Fig. 7 Case A).
+//! assert_eq!(p.assignment().len(), 16);
+//! ```
+
+mod fm;
+mod graph;
+mod multilevel;
+
+pub use graph::Graph;
+pub use multilevel::{bisect, partition, PartitionConfig, Partitioning};
+
+use sdt_topology::Topology;
+
+/// Partition a logical topology's switch graph across `k` physical switches.
+///
+/// Convenience wrapper: extracts the switch graph (vertex weight = radix),
+/// runs the multilevel partitioner, and returns the assignment of each
+/// logical switch to a physical switch `0..k`.
+pub fn partition_topology(topo: &Topology, k: u32, cfg: &PartitionConfig) -> Partitioning {
+    let (adj, vwgt) = topo.switch_graph();
+    let g = Graph::from_adj(adj, vwgt);
+    partition(&g, k, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdt_topology::{fattree::fat_tree, meshtorus::torus};
+
+    #[test]
+    fn torus_4x4_two_parts_matches_paper_case_a() {
+        // Fig. 7 Case A: a 4x4 torus on two switches needs 8 inter-switch
+        // links per side (cutting the torus in half crosses 2 rows x 2 wrap
+        // columns... the minimum bisection of a 4x4 torus cuts 8 edges).
+        let t = torus(&[4, 4]);
+        let p = partition_topology(&t, 2, &PartitionConfig::default());
+        let (adj, vwgt) = t.switch_graph();
+        let g = Graph::from_adj(adj, vwgt);
+        assert_eq!(p.cut_edges(&g), 8);
+        let loads = p.part_vertex_loads(&g);
+        assert_eq!(loads[0], loads[1], "perfectly balanceable instance");
+    }
+
+    #[test]
+    fn fat_tree_partition_is_balanced() {
+        let t = fat_tree(4);
+        let p = partition_topology(&t, 2, &PartitionConfig::default());
+        let (adj, vwgt) = t.switch_graph();
+        let g = Graph::from_adj(adj, vwgt);
+        let loads = p.part_vertex_loads(&g);
+        let total: u64 = loads.iter().sum();
+        for l in &loads {
+            assert!((*l as f64) < total as f64 * 0.5 * 1.15, "loads {loads:?}");
+        }
+    }
+
+    #[test]
+    fn four_way_covers_everything() {
+        let t = torus(&[4, 4]);
+        let p = partition_topology(&t, 4, &PartitionConfig::default());
+        assert_eq!(p.assignment().len(), 16);
+        for part in 0..4 {
+            assert!(p.assignment().contains(&part), "part {part} empty");
+        }
+    }
+}

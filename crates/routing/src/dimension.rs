@@ -1,0 +1,192 @@
+//! Dimension-order routing for meshes and tori (Table III rows 3-5).
+//!
+//! * **Mesh**: X-Y (2D) / X-Y-Z (3D) routing — correcting coordinates in a
+//!   fixed dimension order makes the turn graph acyclic, so the mesh needs
+//!   no virtual channels ("deadlock avoidance by routing").
+//! * **Torus**: the wraparound links reintroduce cycles *within* a
+//!   dimension. We use the classic dateline scheme that Clue-style torus
+//!   routing builds on: packets start on VC0 and switch to VC1 when they
+//!   cross the dateline (the wraparound edge) of the current dimension,
+//!   breaking the intra-dimension cycle ("by routing **and** changing VC").
+
+use crate::{Route, RoutingStrategy};
+use sdt_topology::meshtorus::GridIds;
+use sdt_topology::{SwitchId, Topology};
+
+/// Dimension-order routing over an n-dimensional mesh or torus.
+#[derive(Clone, Debug)]
+pub struct DimensionOrder {
+    ids: GridIds,
+    wrap: bool,
+    name: String,
+}
+
+impl DimensionOrder {
+    /// X-Y(-Z-…) routing on a mesh.
+    pub fn mesh(dims: Vec<u32>) -> Self {
+        let name = format!("mesh-{}d-dimension-order", dims.len());
+        DimensionOrder { ids: GridIds::new(&dims), wrap: false, name }
+    }
+
+    /// Dimension-order + dateline-VC routing on a torus.
+    pub fn torus(dims: Vec<u32>) -> Self {
+        let name = format!("torus-{}d-clue-dateline", dims.len());
+        DimensionOrder { ids: GridIds::new(&dims), wrap: true, name }
+    }
+
+    /// Steps to correct one dimension: list of (coordinate, crossed_dateline).
+    fn dim_steps(&self, cur: u32, dst: u32, extent: u32) -> Vec<(u32, bool)> {
+        let mut steps = Vec::new();
+        if cur == dst {
+            return steps;
+        }
+        if !self.wrap || extent == 2 {
+            // Monotone correction (mesh, or torus dims of extent 2 which have
+            // no distinct wraparound link).
+            let range: Box<dyn Iterator<Item = u32>> = if dst > cur {
+                Box::new(cur + 1..=dst)
+            } else {
+                Box::new((dst..cur).rev())
+            };
+            for c in range {
+                steps.push((c, false));
+            }
+            return steps;
+        }
+        // Torus: go the short way; ties go in the positive direction.
+        let fwd = (dst + extent - cur) % extent;
+        let bwd = (cur + extent - dst) % extent;
+        let positive = fwd <= bwd;
+        let mut c = cur;
+        loop {
+            let next = if positive { (c + 1) % extent } else { (c + extent - 1) % extent };
+            // The dateline is the wraparound edge between extent-1 and 0.
+            let crossed = (positive && c == extent - 1) || (!positive && c == 0);
+            steps.push((next, crossed));
+            c = next;
+            if c == dst {
+                return steps;
+            }
+        }
+    }
+}
+
+impl RoutingStrategy for DimensionOrder {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_vcs(&self) -> u8 {
+        if self.wrap {
+            2
+        } else {
+            1
+        }
+    }
+
+    fn route(&self, _topo: &Topology, from: SwitchId, to: SwitchId) -> Route {
+        if from == to {
+            return Route::local(from);
+        }
+        let mut coord = self.ids.coord_of(from);
+        let dst = self.ids.coord_of(to);
+        let mut hops = vec![from];
+        let mut vcs = Vec::new();
+        for dim in 0..coord.len() {
+            let extent = self.ids.dims()[dim];
+            let mut vc = 0u8;
+            for (c, crossed) in self.dim_steps(coord[dim], dst[dim], extent) {
+                if crossed {
+                    vc = 1;
+                }
+                coord[dim] = c;
+                hops.push(self.ids.id_of(&coord));
+                vcs.push(vc);
+            }
+        }
+        Route { hops, vcs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RouteTable;
+    use sdt_topology::meshtorus::{mesh, torus};
+
+    #[test]
+    fn mesh_xy_corrects_x_first() {
+        let t = mesh(&[4, 4]);
+        let ids = GridIds::new(&[4, 4]);
+        let s = DimensionOrder::mesh(vec![4, 4]);
+        let r = s.route(&t, ids.id_of(&[0, 0]), ids.id_of(&[2, 3]));
+        // Dimension 0 corrected first: (1,0), (2,0), then (2,1)...
+        assert_eq!(r.hops[1], ids.id_of(&[1, 0]));
+        assert_eq!(r.hops[2], ids.id_of(&[2, 0]));
+        assert_eq!(r.hops.last(), Some(&ids.id_of(&[2, 3])));
+        assert_eq!(r.len(), 5);
+        assert!(r.vcs.iter().all(|&v| v == 0), "mesh needs no VC change");
+    }
+
+    #[test]
+    fn mesh_all_pairs_valid() {
+        for t in [mesh(&[3, 3]), mesh(&[2, 3, 4])] {
+            let dims = match t.kind() {
+                sdt_topology::TopologyKind::Mesh { dims } => dims.clone(),
+                _ => unreachable!(),
+            };
+            let s = DimensionOrder::mesh(dims);
+            let table = RouteTable::build(&t, &s);
+            for ((a, b), r) in table.iter() {
+                r.validate(&t).unwrap_or_else(|e| panic!("{a:?}->{b:?}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn torus_takes_wraparound_shortcut() {
+        let t = torus(&[5, 5]);
+        let ids = GridIds::new(&[5, 5]);
+        let s = DimensionOrder::torus(vec![5, 5]);
+        let r = s.route(&t, ids.id_of(&[0, 0]), ids.id_of(&[4, 0]));
+        assert_eq!(r.len(), 1, "wraparound is one hop");
+        assert_eq!(r.vcs, vec![1], "crossing the dateline bumps the VC");
+    }
+
+    #[test]
+    fn torus_all_pairs_valid_2d_and_3d() {
+        for t in [torus(&[5, 5]), torus(&[4, 4, 4])] {
+            let dims = match t.kind() {
+                sdt_topology::TopologyKind::Torus { dims } => dims.clone(),
+                _ => unreachable!(),
+            };
+            let s = DimensionOrder::torus(dims);
+            let table = RouteTable::build(&t, &s);
+            for ((a, b), r) in table.iter() {
+                r.validate(&t).unwrap_or_else(|e| panic!("{a:?}->{b:?}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn torus_path_length_is_torus_distance() {
+        let t = torus(&[4, 4]);
+        let ids = GridIds::new(&[4, 4]);
+        let s = DimensionOrder::torus(vec![4, 4]);
+        let r = s.route(&t, ids.id_of(&[0, 0]), ids.id_of(&[2, 2]));
+        assert_eq!(r.len(), 4);
+        let r = s.route(&t, ids.id_of(&[1, 1]), ids.id_of(&[3, 0]));
+        assert_eq!(r.len(), 3); // dim0: 2 hops, dim1: 1 hop (wrap)
+    }
+
+    #[test]
+    fn extent_two_torus_has_no_dateline() {
+        let t = torus(&[2, 2]);
+        let s = DimensionOrder::torus(vec![2, 2]);
+        let table = RouteTable::build(&t, &s);
+        for (_, r) in table.iter() {
+            assert!(r.vcs.iter().all(|&v| v == 0));
+            r.validate(&t).unwrap();
+        }
+    }
+}

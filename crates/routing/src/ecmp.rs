@@ -1,0 +1,166 @@
+//! ECMP-style shortest-path spreading for irregular topologies.
+//!
+//! WAN graphs and other irregular fabrics usually run shortest-path routing
+//! with equal-cost multipath: each flow hashes onto one of the shortest
+//! paths. [`Ecmp`] enumerates next-hop candidates per (node, destination)
+//! with BFS and picks deterministically by a per-pair hash, so distinct
+//! pairs spread over the equal-cost fan while each pair stays stable (no
+//! reordering).
+//!
+//! ECMP over an arbitrary cyclic graph is *not* inherently deadlock-free on
+//! a lossless fabric — callers should gate it through
+//! [`crate::cdg::analyze`] like the controller does, or run it on lossy
+//! fabrics. (On trees and fat-tree-like graphs it passes the CDG check.)
+
+use crate::{Route, RoutingStrategy};
+use sdt_topology::{SwitchId, Topology};
+use std::collections::VecDeque;
+
+/// Deterministic ECMP over BFS shortest paths.
+#[derive(Clone, Debug)]
+pub struct Ecmp {
+    /// dist[dst][v] = hop distance from v to dst.
+    dist: Vec<Vec<u32>>,
+    /// Salt folded into the path hash (lets experiments re-roll placements).
+    pub salt: u64,
+}
+
+impl Ecmp {
+    /// Precompute distances for all destinations.
+    pub fn new(topo: &Topology) -> Self {
+        let n = topo.num_switches() as usize;
+        let mut dist = vec![vec![u32::MAX; n]; n];
+        for d in 0..n as u32 {
+            let dd = &mut dist[d as usize];
+            dd[d as usize] = 0;
+            let mut q = VecDeque::new();
+            q.push_back(SwitchId(d));
+            while let Some(u) = q.pop_front() {
+                for &(v, _) in topo.neighbors(u) {
+                    if dd[v.idx()] == u32::MAX {
+                        dd[v.idx()] = dd[u.idx()] + 1;
+                        q.push_back(v);
+                    }
+                }
+            }
+        }
+        Ecmp { dist, salt: 0 }
+    }
+
+    fn hash(&self, a: u32, b: u32, hop: u32) -> u64 {
+        let mut x = ((a as u64) << 40) ^ ((b as u64) << 16) ^ hop as u64 ^ self.salt;
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+}
+
+impl RoutingStrategy for Ecmp {
+    fn name(&self) -> &str {
+        "ecmp-shortest"
+    }
+
+    fn num_vcs(&self) -> u8 {
+        1
+    }
+
+    fn route(&self, topo: &Topology, from: SwitchId, to: SwitchId) -> Route {
+        let mut hops = vec![from];
+        let mut at = from;
+        let mut step = 0u32;
+        while at != to {
+            let d = self.dist[to.idx()][at.idx()];
+            assert_ne!(d, u32::MAX, "{from:?} cannot reach {to:?}");
+            // Equal-cost candidates: neighbors one hop closer.
+            let mut cands: Vec<SwitchId> = topo
+                .neighbors(at)
+                .iter()
+                .filter(|&&(v, _)| self.dist[to.idx()][v.idx()] == d - 1)
+                .map(|&(v, _)| v)
+                .collect();
+            cands.sort_unstable();
+            let pick = self.hash(from.0, to.0, step) as usize % cands.len();
+            at = cands[pick];
+            hops.push(at);
+            step += 1;
+        }
+        let vcs = vec![0; hops.len() - 1];
+        Route { hops, vcs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cdg::analyze;
+    use crate::RouteTable;
+    use sdt_topology::fattree::fat_tree;
+    use sdt_topology::zoo::zoo_graph;
+
+    #[test]
+    fn routes_are_shortest() {
+        let t = zoo_graph(20);
+        let e = Ecmp::new(&t);
+        for a in [0u32, 3, 9] {
+            for b in [1u32, 7, 12] {
+                if a == b {
+                    continue;
+                }
+                let r = e.route(&t, SwitchId(a), SwitchId(b));
+                r.validate(&t).unwrap();
+                assert_eq!(
+                    r.len() as u32,
+                    t.switch_distance(SwitchId(a), SwitchId(b)).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spreads_over_equal_cost_paths() {
+        // Fat-Tree k=4 edge-to-edge cross-pod: 2 aggs x 2 cores = 4 equal
+        // paths; many (src,dst) pairs should not all pick the same one.
+        let t = fat_tree(4);
+        let e = Ecmp::new(&t);
+        let mut seconds = std::collections::HashSet::new();
+        for dst in 8..16u32 {
+            // edge switches of pods 2..3 wait -- edges are ids 0..8
+            let r = e.route(&t, SwitchId(0), SwitchId(dst % 8));
+            if r.hops.len() > 2 {
+                seconds.insert(r.hops[1]);
+            }
+        }
+        assert!(seconds.len() >= 2, "no spreading: {seconds:?}");
+    }
+
+    #[test]
+    fn deterministic_per_pair() {
+        let t = zoo_graph(8);
+        let e = Ecmp::new(&t);
+        let a = e.route(&t, SwitchId(0), SwitchId(5));
+        let b = e.route(&t, SwitchId(0), SwitchId(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn salt_changes_choices_somewhere() {
+        let t = fat_tree(4);
+        let mut e1 = Ecmp::new(&t);
+        let mut e2 = Ecmp::new(&t);
+        e1.salt = 1;
+        e2.salt = 2;
+        let diff = (0..8u32).flat_map(|a| (8..16u32).map(move |b| (a, b))).any(|(a, b)| {
+            e1.route(&t, SwitchId(a), SwitchId(b % 8 + 8))
+                != e2.route(&t, SwitchId(a), SwitchId(b % 8 + 8))
+        });
+        assert!(diff, "different salts should differ on some pair");
+    }
+
+    #[test]
+    fn ecmp_on_fattree_host_pairs_is_deadlock_free() {
+        let t = fat_tree(4);
+        let table = RouteTable::build_for_hosts(&t, &Ecmp::new(&t));
+        assert!(analyze(&table).is_free());
+    }
+}

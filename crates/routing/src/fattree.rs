@@ -1,0 +1,204 @@
+//! Fat-Tree up/down routing in deterministic DFS order (Table III row 1).
+//!
+//! The paper routes Fat-Trees with a depth-first search over the up/down
+//! fabric. Up/down paths in a Fat-Tree cannot deadlock (the tree orientation
+//! breaks every cycle), so one VC suffices. We keep the DFS's determinism
+//! (first feasible choice) but seed the choice with the destination so
+//! distinct flows spread over the redundant aggs/cores the way ECMP-style
+//! deployments do.
+
+use crate::{Route, RoutingStrategy};
+use sdt_topology::fattree::{FatTreeIds, FatTreeTier};
+use sdt_topology::{SwitchId, Topology};
+
+/// Deterministic up/down routing for k-ary Fat-Trees.
+#[derive(Clone, Debug)]
+pub struct FatTreeDfs {
+    ids: FatTreeIds,
+    k: u32,
+}
+
+impl FatTreeDfs {
+    /// Strategy for a k-ary Fat-Tree.
+    pub fn new(k: u32) -> Self {
+        FatTreeDfs { ids: FatTreeIds::new(k), k }
+    }
+
+    fn tier(&self, s: SwitchId) -> FatTreeTier {
+        self.ids.tier_of(s)
+    }
+}
+
+impl RoutingStrategy for FatTreeDfs {
+    fn name(&self) -> &str {
+        "fattree-dfs"
+    }
+
+    fn num_vcs(&self) -> u8 {
+        1
+    }
+
+    fn route(&self, _topo: &Topology, from: SwitchId, to: SwitchId) -> Route {
+        if from == to {
+            return Route::local(from);
+        }
+        let half = self.k / 2;
+        let ids = &self.ids;
+        // The deterministic "DFS" choice: pick the upstream switch indexed by
+        // the destination id, which is what a first-feasible DFS seeded in
+        // destination order visits first.
+        let pick = |seed: u32| seed % half;
+
+        let hops: Vec<SwitchId> = match (self.tier(from), self.tier(to)) {
+            (FatTreeTier::Edge { pod: pf, .. }, FatTreeTier::Edge { pod: pt, index: it }) => {
+                if pf == pt {
+                    // Same pod: up to one agg, down.
+                    let a = pick(to.0);
+                    vec![from, ids.agg(pf, a), to]
+                } else {
+                    // Cross pod: edge -> agg -> core -> agg -> edge.
+                    let a = pick(to.0);
+                    let c = pick(to.0 + it);
+                    vec![
+                        from,
+                        ids.agg(pf, a),
+                        ids.core(a, c),
+                        ids.agg(pt, a),
+                        to,
+                    ]
+                }
+            }
+            (FatTreeTier::Edge { pod: pf, .. }, FatTreeTier::Agg { pod: pt, index: at }) => {
+                if pf == pt {
+                    vec![from, to]
+                } else {
+                    let c = pick(to.0);
+                    vec![from, ids.agg(pf, at), ids.core(at, c), to]
+                }
+            }
+            (FatTreeTier::Edge { pod: pf, .. }, FatTreeTier::Core { row, col }) => {
+                vec![from, ids.agg(pf, row), ids.core(row, col)]
+            }
+            (FatTreeTier::Agg { pod: pf, index: af }, FatTreeTier::Edge { pod: pt, .. }) => {
+                if pf == pt {
+                    vec![from, to]
+                } else {
+                    let c = pick(to.0);
+                    vec![from, ids.core(af, c), ids.agg(pt, af), to]
+                }
+            }
+            (FatTreeTier::Agg { pod: pf, index: af }, FatTreeTier::Agg { pod: pt, index: at }) => {
+                if pf == pt {
+                    // Sibling aggs: down to an edge, back up.
+                    let e = pick(to.0);
+                    vec![from, ids.edge(pf, e), to]
+                } else {
+                    let c = pick(to.0);
+                    let mut v = vec![from, ids.core(af, c), ids.agg(pt, af)];
+                    if af != at {
+                        // Land on the destination pod's agg row `af`, then
+                        // bounce through an edge to reach row `at`.
+                        v.push(ids.edge(pt, pick(to.0)));
+                        v.push(to);
+                    }
+                    v
+                }
+            }
+            (FatTreeTier::Agg { pod: pf, index: af }, FatTreeTier::Core { row, col }) => {
+                if af == row {
+                    vec![from, ids.core(row, col)]
+                } else {
+                    let e = pick(to.0);
+                    vec![from, ids.edge(pf, e), ids.agg(pf, row), ids.core(row, col)]
+                }
+            }
+            (FatTreeTier::Core { row, .. }, FatTreeTier::Edge { pod: pt, .. }) => {
+                vec![from, ids.agg(pt, row), to]
+            }
+            (FatTreeTier::Core { row, .. }, FatTreeTier::Agg { pod: pt, index: at }) => {
+                if row == at {
+                    vec![from, to]
+                } else {
+                    vec![from, ids.agg(pt, row), ids.edge(pt, pick(to.0)), to]
+                }
+            }
+            (FatTreeTier::Core { row: rf, .. }, FatTreeTier::Core { row: rt, col }) => {
+                // Core to core: down to an agg that reaches both rows' pods.
+                let pod = pick(to.0 + 1) % self.k;
+                if rf == rt {
+                    vec![from, ids.agg(pod, rf), to]
+                } else {
+                    vec![from, ids.agg(pod, rf), ids.edge(pod, pick(to.0)), ids.agg(pod, rt), ids.core(rt, col)]
+                }
+            }
+        };
+        let vcs = vec![0; hops.len() - 1];
+        Route { hops, vcs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RouteTable;
+    use sdt_topology::fattree::fat_tree;
+
+    #[test]
+    fn all_pairs_valid_k4() {
+        let t = fat_tree(4);
+        let table = RouteTable::build(&t, &FatTreeDfs::new(4));
+        for ((a, b), r) in table.iter() {
+            r.validate(&t).unwrap_or_else(|e| panic!("{a:?}->{b:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn all_pairs_valid_k6() {
+        let t = fat_tree(6);
+        let table = RouteTable::build(&t, &FatTreeDfs::new(6));
+        for ((a, b), r) in table.iter() {
+            r.validate(&t).unwrap_or_else(|e| panic!("{a:?}->{b:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn same_pod_stays_in_pod() {
+        let t = fat_tree(4);
+        let ids = FatTreeIds::new(4);
+        let s = FatTreeDfs::new(4);
+        let r = s.route(&t, ids.edge(1, 0), ids.edge(1, 1));
+        assert_eq!(r.hops.len(), 3);
+        assert!(matches!(ids.tier_of(r.hops[1]), FatTreeTier::Agg { pod: 1, .. }));
+    }
+
+    #[test]
+    fn cross_pod_goes_via_core() {
+        let t = fat_tree(4);
+        let ids = FatTreeIds::new(4);
+        let s = FatTreeDfs::new(4);
+        let r = s.route(&t, ids.edge(0, 0), ids.edge(3, 1));
+        assert_eq!(r.hops.len(), 5);
+        assert!(matches!(ids.tier_of(r.hops[2]), FatTreeTier::Core { .. }));
+        r.validate(&t).unwrap();
+    }
+
+    #[test]
+    fn deterministic() {
+        let t = fat_tree(4);
+        let s = FatTreeDfs::new(4);
+        let a = s.route(&t, SwitchId(0), SwitchId(7));
+        let b = s.route(&t, SwitchId(0), SwitchId(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn destination_spreads_paths() {
+        // Different destinations in another pod should not all share one agg.
+        let t = fat_tree(4);
+        let ids = FatTreeIds::new(4);
+        let s = FatTreeDfs::new(4);
+        let r1 = s.route(&t, ids.edge(0, 0), ids.edge(2, 0));
+        let r2 = s.route(&t, ids.edge(0, 0), ids.edge(2, 1));
+        assert_ne!(r1.hops[1], r2.hops[1], "paths should diversify by destination");
+    }
+}

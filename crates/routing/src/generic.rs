@@ -1,0 +1,232 @@
+//! Topology-agnostic strategies: BFS shortest path and spanning-tree
+//! up/down routing.
+//!
+//! BFS is the natural choice for trees and chains (Fig. 10's fixture), where
+//! it is trivially deadlock-free. For arbitrary cyclic graphs — the WAN
+//! corpus — [`UpDown`] restricts paths to go *up* a spanning tree (toward
+//! the root) and then *down*, which breaks every channel-dependency cycle
+//! without virtual channels (the classic Autonet/up-down argument).
+
+use crate::{Route, RoutingStrategy};
+use sdt_topology::{SwitchId, Topology};
+use std::collections::VecDeque;
+
+/// Deterministic BFS shortest-path routing (lowest-id tie-break), VC 0.
+#[derive(Clone, Debug)]
+pub struct Bfs {
+    /// parent[dst][v] = next hop from v toward dst.
+    next: Vec<Vec<u32>>,
+}
+
+impl Bfs {
+    /// Precompute shortest-path next hops for all destinations.
+    pub fn new(topo: &Topology) -> Self {
+        let n = topo.num_switches() as usize;
+        let mut next = vec![vec![u32::MAX; n]; n];
+        for dst in 0..n as u32 {
+            // BFS from dst; next hop toward dst = BFS parent.
+            let nd = &mut next[dst as usize];
+            let mut queue = VecDeque::new();
+            nd[dst as usize] = dst;
+            queue.push_back(SwitchId(dst));
+            while let Some(u) = queue.pop_front() {
+                let mut nbrs: Vec<SwitchId> =
+                    topo.neighbors(u).iter().map(|&(v, _)| v).collect();
+                nbrs.sort_unstable(); // deterministic tie-break
+                for v in nbrs {
+                    if nd[v.idx()] == u32::MAX {
+                        nd[v.idx()] = u.0;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        Bfs { next }
+    }
+}
+
+impl RoutingStrategy for Bfs {
+    fn name(&self) -> &str {
+        "bfs-shortest"
+    }
+
+    fn num_vcs(&self) -> u8 {
+        1
+    }
+
+    fn route(&self, _topo: &Topology, from: SwitchId, to: SwitchId) -> Route {
+        let mut hops = vec![from];
+        let mut at = from;
+        while at != to {
+            let nh = self.next[to.idx()][at.idx()];
+            assert_ne!(nh, u32::MAX, "{from:?} cannot reach {to:?}");
+            at = SwitchId(nh);
+            hops.push(at);
+        }
+        let vcs = vec![0; hops.len() - 1];
+        Route { hops, vcs }
+    }
+}
+
+/// Spanning-tree up/down routing: deadlock-free on arbitrary graphs.
+///
+/// A BFS spanning tree rooted at the highest-degree switch assigns each
+/// switch a level; a path first ascends (strictly decreasing level toward
+/// the lowest common ancestor) and then descends. Only tree links are used,
+/// which wastes cross links but guarantees an acyclic channel dependency
+/// graph — the right default for irregular WAN topologies.
+#[derive(Clone, Debug)]
+pub struct UpDown {
+    parent: Vec<u32>,
+    level: Vec<u32>,
+}
+
+impl UpDown {
+    /// Build the spanning forest: one BFS tree per connected component,
+    /// each rooted at the component's highest-degree switch (id tie-break).
+    pub fn new(topo: &Topology) -> Self {
+        let n = topo.num_switches() as usize;
+        assert!(n > 0);
+        let mut parent = vec![u32::MAX; n];
+        let mut level = vec![u32::MAX; n];
+        let comp = topo.component_of();
+        let num_comps = comp.iter().copied().max().map_or(0, |m| m + 1);
+        for c in 0..num_comps {
+            let root = (0..n as u32)
+                .filter(|&s| comp[s as usize] == c)
+                .max_by_key(|&s| (topo.degree(SwitchId(s)), std::cmp::Reverse(s)))
+                .expect("every component label has members");
+            let mut queue = VecDeque::new();
+            parent[root as usize] = root;
+            level[root as usize] = 0;
+            queue.push_back(SwitchId(root));
+            while let Some(u) = queue.pop_front() {
+                let mut nbrs: Vec<SwitchId> =
+                    topo.neighbors(u).iter().map(|&(v, _)| v).collect();
+                nbrs.sort_unstable();
+                for v in nbrs {
+                    if level[v.idx()] == u32::MAX {
+                        level[v.idx()] = level[u.idx()] + 1;
+                        parent[v.idx()] = u.0;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        UpDown { parent, level }
+    }
+
+    /// BFS-tree level of a switch (root = 0). Exposed for diagnostics and
+    /// tests of the up-then-down property.
+    pub fn level_of(&self, s: SwitchId) -> u32 {
+        self.level[s.idx()]
+    }
+
+    fn path_to_root(&self, mut s: SwitchId) -> Vec<SwitchId> {
+        let mut p = vec![s];
+        while self.parent[s.idx()] != s.0 {
+            s = SwitchId(self.parent[s.idx()]);
+            p.push(s);
+        }
+        p
+    }
+}
+
+impl RoutingStrategy for UpDown {
+    fn name(&self) -> &str {
+        "updown-tree"
+    }
+
+    fn num_vcs(&self) -> u8 {
+        1
+    }
+
+    fn route(&self, _topo: &Topology, from: SwitchId, to: SwitchId) -> Route {
+        // Walk both endpoints to the root, splice at the lowest common
+        // ancestor.
+        let up = self.path_to_root(from);
+        let down = self.path_to_root(to);
+        let mut on_up = vec![false; self.parent.len()];
+        let mut idx_on_up = vec![0usize; self.parent.len()];
+        for (i, &s) in up.iter().enumerate() {
+            on_up[s.idx()] = true;
+            idx_on_up[s.idx()] = i;
+        }
+        let (lca_down_idx, lca) = down
+            .iter()
+            .enumerate()
+            .find(|&(_, &s)| on_up[s.idx()])
+            .map(|(i, &s)| (i, s))
+            .expect("endpoints must share a connected component");
+        let mut hops: Vec<SwitchId> = up[..=idx_on_up[lca.idx()]].to_vec();
+        hops.extend(down[..lca_down_idx].iter().rev());
+        let vcs = vec![0; hops.len() - 1];
+        Route { hops, vcs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdt_topology::chain::{chain, ring, star};
+    use sdt_topology::zoo::zoo_graph;
+
+    #[test]
+    fn bfs_is_shortest_on_ring() {
+        let t = ring(6);
+        let b = Bfs::new(&t);
+        let r = b.route(&t, SwitchId(0), SwitchId(2));
+        assert_eq!(r.len(), 2);
+        let r = b.route(&t, SwitchId(0), SwitchId(4));
+        assert_eq!(r.len(), 2, "wraps the short way");
+    }
+
+    #[test]
+    fn bfs_on_chain_is_the_line() {
+        let t = chain(8);
+        let b = Bfs::new(&t);
+        let r = b.route(&t, SwitchId(0), SwitchId(7));
+        assert_eq!(r.hops, (0..8).map(SwitchId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn updown_star_routes_via_hub() {
+        let t = star(4);
+        let u = UpDown::new(&t);
+        let r = u.route(&t, SwitchId(1), SwitchId(3));
+        assert_eq!(r.hops, vec![SwitchId(1), SwitchId(0), SwitchId(3)]);
+    }
+
+    #[test]
+    fn updown_valid_on_wan() {
+        let t = zoo_graph(5);
+        let u = UpDown::new(&t);
+        for a in [0u32, 1, 2] {
+            for b in 0..t.num_switches() {
+                if a == b {
+                    continue;
+                }
+                let r = u.route(&t, SwitchId(a), SwitchId(b));
+                r.validate(&t).unwrap();
+                assert_eq!(*r.hops.first().unwrap(), SwitchId(a));
+                assert_eq!(*r.hops.last().unwrap(), SwitchId(b));
+            }
+        }
+    }
+
+    #[test]
+    fn updown_level_monotone_then_down() {
+        let t = zoo_graph(9);
+        let u = UpDown::new(&t);
+        let r = u.route(&t, SwitchId(1), SwitchId(t.num_switches() - 1));
+        // Levels must first strictly decrease, then strictly increase.
+        let levels: Vec<u32> = r.hops.iter().map(|s| u.level_of(*s)).collect();
+        let min_pos = levels.iter().enumerate().min_by_key(|&(_, l)| l).unwrap().0;
+        for w in levels[..=min_pos].windows(2) {
+            assert!(w[1] < w[0]);
+        }
+        for w in levels[min_pos..].windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+}

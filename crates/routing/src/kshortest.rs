@@ -1,0 +1,197 @@
+//! Yen's k-shortest loopless paths over the switch graph.
+//!
+//! Path diversity is the quantity behind ECMP spreading, UGAL detours, and
+//! failure resilience; this module computes it exactly. Used by tests and
+//! reports (e.g. "how many disjoint minimal paths does this pair have?").
+
+use sdt_topology::{SwitchId, Topology};
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+
+/// A loopless switch path (endpoints included).
+pub type Path = Vec<SwitchId>;
+
+/// BFS shortest path avoiding `banned_nodes` (not containing `banned_edges`)
+/// from `from` to `to`; `None` if disconnected under the bans.
+fn shortest_with_bans(
+    topo: &Topology,
+    from: SwitchId,
+    to: SwitchId,
+    banned_nodes: &HashSet<SwitchId>,
+    banned_edges: &HashSet<(SwitchId, SwitchId)>,
+) -> Option<Path> {
+    if banned_nodes.contains(&from) || banned_nodes.contains(&to) {
+        return None;
+    }
+    let n = topo.num_switches() as usize;
+    let mut prev = vec![u32::MAX; n];
+    let mut seen = vec![false; n];
+    let mut q = VecDeque::new();
+    seen[from.idx()] = true;
+    q.push_back(from);
+    while let Some(u) = q.pop_front() {
+        if u == to {
+            let mut path = vec![to];
+            let mut at = to;
+            while at != from {
+                at = SwitchId(prev[at.idx()]);
+                path.push(at);
+            }
+            path.reverse();
+            return Some(path);
+        }
+        let mut nbrs: Vec<SwitchId> = topo.neighbors(u).iter().map(|&(v, _)| v).collect();
+        nbrs.sort_unstable();
+        for v in nbrs {
+            if seen[v.idx()]
+                || banned_nodes.contains(&v)
+                || banned_edges.contains(&(u, v))
+                || banned_edges.contains(&(v, u))
+            {
+                continue;
+            }
+            seen[v.idx()] = true;
+            prev[v.idx()] = u.0;
+            q.push_back(v);
+        }
+    }
+    None
+}
+
+/// Yen's algorithm: up to `k` loopless paths from `from` to `to`, sorted by
+/// length then lexicographically (deterministic).
+pub fn k_shortest_paths(topo: &Topology, from: SwitchId, to: SwitchId, k: usize) -> Vec<Path> {
+    if from == to || k == 0 {
+        return Vec::new();
+    }
+    let Some(first) = shortest_with_bans(topo, from, to, &HashSet::new(), &HashSet::new())
+    else {
+        return Vec::new();
+    };
+    let mut found: Vec<Path> = vec![first];
+    // Candidate heap: min by (len, path) via Reverse ordering on a max-heap.
+    let mut candidates: BinaryHeap<std::cmp::Reverse<(usize, Path)>> = BinaryHeap::new();
+    let mut seen_candidates: HashSet<Path> = HashSet::new();
+
+    while found.len() < k {
+        let last = found.last().expect("at least the first path").clone();
+        // Each prefix of the last path spawns a spur.
+        for i in 0..last.len() - 1 {
+            let spur_node = last[i];
+            let root = &last[..=i];
+            // Ban edges used by any found path sharing this root, and ban
+            // the root's interior nodes to keep paths loopless.
+            let mut banned_edges = HashSet::new();
+            for p in &found {
+                if p.len() > i && p[..=i] == *root {
+                    banned_edges.insert((p[i], p[i + 1]));
+                }
+            }
+            let banned_nodes: HashSet<SwitchId> = root[..i].iter().copied().collect();
+            if let Some(spur) =
+                shortest_with_bans(topo, spur_node, to, &banned_nodes, &banned_edges)
+            {
+                let mut total = root[..i].to_vec();
+                total.extend(spur);
+                if seen_candidates.insert(total.clone()) {
+                    candidates.push(std::cmp::Reverse((total.len(), total)));
+                }
+            }
+        }
+        match candidates.pop() {
+            Some(std::cmp::Reverse((_, path))) => {
+                if !found.contains(&path) {
+                    found.push(path);
+                }
+            }
+            None => break,
+        }
+    }
+    found
+}
+
+/// Number of *edge-disjoint* paths among the k shortest (greedy count) — a
+/// lower bound on the pair's max-flow and the diversity ECMP can exploit.
+pub fn edge_disjoint_count(paths: &[Path]) -> usize {
+    let mut used: HashSet<(SwitchId, SwitchId)> = HashSet::new();
+    let mut count = 0;
+    for p in paths {
+        let edges: Vec<(SwitchId, SwitchId)> = p
+            .windows(2)
+            .map(|w| (w[0].min(w[1]), w[0].max(w[1])))
+            .collect();
+        if edges.iter().any(|e| used.contains(e)) {
+            continue;
+        }
+        used.extend(edges);
+        count += 1;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdt_topology::chain::{chain, ring};
+    use sdt_topology::fattree::fat_tree;
+    use sdt_topology::meshtorus::torus;
+
+    #[test]
+    fn chain_has_exactly_one_path() {
+        let t = chain(5);
+        let ps = k_shortest_paths(&t, SwitchId(0), SwitchId(4), 5);
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].len(), 5);
+    }
+
+    #[test]
+    fn ring_has_two_loopless_paths() {
+        let t = ring(6);
+        let ps = k_shortest_paths(&t, SwitchId(0), SwitchId(3), 5);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].len(), 4); // 3 hops either way
+        assert_eq!(ps[1].len(), 4);
+        assert_eq!(edge_disjoint_count(&ps), 2);
+    }
+
+    #[test]
+    fn paths_are_loopless_sorted_and_valid() {
+        let t = torus(&[4, 4]);
+        let ps = k_shortest_paths(&t, SwitchId(0), SwitchId(10), 12);
+        assert!(!ps.is_empty());
+        for w in ps.windows(2) {
+            assert!(w[0].len() <= w[1].len(), "not sorted by length");
+        }
+        for p in &ps {
+            let uniq: HashSet<_> = p.iter().collect();
+            assert_eq!(uniq.len(), p.len(), "loop in {p:?}");
+            for w in p.windows(2) {
+                assert!(
+                    t.neighbors(w[0]).iter().any(|&(v, _)| v == w[1]),
+                    "invalid hop {w:?}"
+                );
+            }
+            assert_eq!(p[0], SwitchId(0));
+            assert_eq!(*p.last().unwrap(), SwitchId(10));
+        }
+        // All returned paths are distinct.
+        let uniq: HashSet<_> = ps.iter().collect();
+        assert_eq!(uniq.len(), ps.len());
+    }
+
+    #[test]
+    fn fat_tree_cross_pod_diversity_is_k_squared_over_4() {
+        // Edge-to-edge across pods in a k=4 fat-tree: 4 minimal paths
+        // (2 aggs x 2 cores).
+        let t = fat_tree(4);
+        let ps = k_shortest_paths(&t, SwitchId(0), SwitchId(6), 16);
+        let minimal = ps.iter().filter(|p| p.len() == 5).count();
+        assert_eq!(minimal, 4);
+    }
+
+    #[test]
+    fn k_zero_and_same_node() {
+        let t = ring(4);
+        assert!(k_shortest_paths(&t, SwitchId(0), SwitchId(2), 0).is_empty());
+        assert!(k_shortest_paths(&t, SwitchId(1), SwitchId(1), 3).is_empty());
+    }
+}

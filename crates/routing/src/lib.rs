@@ -1,0 +1,313 @@
+//! Routing strategies and deadlock avoidance for SDT logical topologies.
+//!
+//! Implements the paper's Table III:
+//!
+//! | Topology     | Routing strategy                  | Deadlock avoidance      |
+//! |--------------|-----------------------------------|-------------------------|
+//! | Fat-Tree     | deterministic up/down (DFS order) | none needed             |
+//! | Dragonfly    | minimal routing                   | VC change (Dally'93)    |
+//! | 2D-Mesh      | X-Y routing                       | by routing (turn order) |
+//! | 3D-Mesh      | X-Y-Z routing                     | by routing              |
+//! | 2D/3D-Torus  | dimension order + dateline VCs    | by routing + VC change  |
+//!
+//! plus Valiant and UGAL-style adaptive routing for Dragonfly (the §VI-E
+//! "active routing" experiment), odd-even turn-model meshes ([`oddeven`]),
+//! ECMP shortest-path spreading ([`ecmp`]), Yen's k-shortest paths
+//! ([`kshortest`]), and a spanning-tree up/down fallback for arbitrary
+//! graphs (WANs, chains, rings).
+//!
+//! Every strategy emits [`Route`]s whose per-hop virtual-channel assignment
+//! can be checked for deadlock freedom with the channel-dependency-graph
+//! analysis in [`cdg`] (Dally & Seitz's criterion: the CDG over
+//! (channel, VC) pairs must be acyclic).
+
+pub mod cdg;
+pub mod dimension;
+pub mod dragonfly;
+pub mod ecmp;
+pub mod fattree;
+pub mod generic;
+pub mod kshortest;
+pub mod oddeven;
+
+use sdt_topology::{SwitchId, Topology};
+use std::collections::HashMap;
+
+/// A switch-level path with per-channel virtual channel assignment.
+///
+/// `hops` lists the switches traversed, source switch first, destination
+/// switch last. `vcs[i]` is the virtual channel used on the fabric link from
+/// `hops[i]` to `hops[i+1]` (so `vcs.len() == hops.len() - 1`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Route {
+    /// Switches traversed, endpoints included.
+    pub hops: Vec<SwitchId>,
+    /// Virtual channel per fabric link.
+    pub vcs: Vec<u8>,
+}
+
+impl Route {
+    /// A route that never leaves the source switch.
+    pub fn local(s: SwitchId) -> Self {
+        Route { hops: vec![s], vcs: Vec::new() }
+    }
+
+    /// Number of fabric links traversed.
+    pub fn len(&self) -> usize {
+        self.vcs.len()
+    }
+
+    /// True for single-switch routes.
+    pub fn is_empty(&self) -> bool {
+        self.vcs.is_empty()
+    }
+
+    /// Validate the route against a topology: consecutive hops must be
+    /// fabric neighbors and vc count must match.
+    pub fn validate(&self, topo: &Topology) -> Result<(), String> {
+        if self.hops.is_empty() {
+            return Err("empty route".into());
+        }
+        if self.vcs.len() + 1 != self.hops.len() {
+            return Err(format!(
+                "vc count {} does not match hop count {}",
+                self.vcs.len(),
+                self.hops.len()
+            ));
+        }
+        for w in self.hops.windows(2) {
+            if !topo.neighbors(w[0]).iter().any(|&(n, _)| n == w[1]) {
+                return Err(format!("{:?} -> {:?} is not a fabric link", w[0], w[1]));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Observed per-directed-channel load, fed by the Network Monitor module
+/// (§V-3 of the paper) and consumed by adaptive strategies.
+#[derive(Clone, Debug, Default)]
+pub struct LoadMap {
+    loads: HashMap<(SwitchId, SwitchId), f64>,
+}
+
+impl LoadMap {
+    /// Empty load map (all channels idle).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the load estimate of the directed channel `from -> to`.
+    pub fn set(&mut self, from: SwitchId, to: SwitchId, load: f64) {
+        self.loads.insert((from, to), load);
+    }
+
+    /// Load estimate of the directed channel `from -> to` (0.0 if unknown).
+    pub fn get(&self, from: SwitchId, to: SwitchId) -> f64 {
+        self.loads.get(&(from, to)).copied().unwrap_or(0.0)
+    }
+
+    /// Sum of loads along a route.
+    pub fn route_cost(&self, route: &Route) -> f64 {
+        route.hops.windows(2).map(|w| self.get(w[0], w[1])).sum()
+    }
+}
+
+/// A routing strategy: maps switch pairs to routes.
+pub trait RoutingStrategy {
+    /// Strategy name for reports (e.g. `"dragonfly-minimal"`).
+    fn name(&self) -> &str;
+
+    /// Number of virtual channels the strategy requires.
+    fn num_vcs(&self) -> u8;
+
+    /// Route between two switches. Must return a route starting at `from`
+    /// and ending at `to`.
+    fn route(&self, topo: &Topology, from: SwitchId, to: SwitchId) -> Route;
+
+    /// Adaptive variant consulting channel loads; the default ignores them.
+    fn route_adaptive(
+        &self,
+        topo: &Topology,
+        from: SwitchId,
+        to: SwitchId,
+        _loads: &LoadMap,
+    ) -> Route {
+        self.route(topo, from, to)
+    }
+}
+
+/// Precomputed all-pairs route table, the form consumed by the simulator and
+/// by the controller's flow-table synthesis.
+#[derive(Clone, Debug)]
+pub struct RouteTable {
+    routes: HashMap<(SwitchId, SwitchId), Route>,
+    num_vcs: u8,
+    strategy: String,
+}
+
+impl RouteTable {
+    /// Build routes for every ordered switch pair under `strategy`.
+    pub fn build(topo: &Topology, strategy: &dyn RoutingStrategy) -> Self {
+        Self::build_adaptive(topo, strategy, None)
+    }
+
+    /// Build routes, optionally consulting a load map (adaptive routing).
+    pub fn build_adaptive(
+        topo: &Topology,
+        strategy: &dyn RoutingStrategy,
+        loads: Option<&LoadMap>,
+    ) -> Self {
+        let n = topo.num_switches();
+        let mut routes = HashMap::with_capacity((n * n) as usize);
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                let (from, to) = (SwitchId(a), SwitchId(b));
+                let r = match loads {
+                    Some(l) => strategy.route_adaptive(topo, from, to, l),
+                    None => strategy.route(topo, from, to),
+                };
+                debug_assert_eq!(r.hops.first(), Some(&from));
+                debug_assert_eq!(r.hops.last(), Some(&to));
+                routes.insert((from, to), r);
+            }
+        }
+        RouteTable { routes, num_vcs: strategy.num_vcs(), strategy: strategy.name().to_string() }
+    }
+
+    /// Build routes only for the switch pairs that carry host traffic
+    /// (attachment switches of host pairs). This is the set that matters for
+    /// deadlock analysis: strategies like Fat-Tree up/down are only defined
+    /// — and only need to be deadlock-free — for edge-to-edge traffic.
+    pub fn build_for_hosts(topo: &Topology, strategy: &dyn RoutingStrategy) -> Self {
+        let comp = topo.component_of();
+        let mut pairs = std::collections::HashSet::new();
+        for a in 0..topo.num_hosts() {
+            for b in 0..topo.num_hosts() {
+                if a == b {
+                    continue;
+                }
+                let (sa, sb) = (
+                    topo.host_switch(sdt_topology::HostId(a)),
+                    topo.host_switch(sdt_topology::HostId(b)),
+                );
+                // Hosts in different connected components have no route —
+                // co-deployed disjoint topologies stay isolated.
+                if sa != sb && comp[sa.idx()] == comp[sb.idx()] {
+                    pairs.insert((sa, sb));
+                }
+            }
+        }
+        let mut routes = HashMap::with_capacity(pairs.len());
+        for (from, to) in pairs {
+            let r = strategy.route(topo, from, to);
+            debug_assert_eq!(r.hops.first(), Some(&from));
+            debug_assert_eq!(r.hops.last(), Some(&to));
+            routes.insert((from, to), r);
+        }
+        RouteTable { routes, num_vcs: strategy.num_vcs(), strategy: strategy.name().to_string() }
+    }
+
+    /// The route between two distinct switches.
+    pub fn route(&self, from: SwitchId, to: SwitchId) -> &Route {
+        &self.routes[&(from, to)]
+    }
+
+    /// The route between two switches, if the table has one (host-pair
+    /// tables omit unreachable and untraversed pairs).
+    pub fn try_route(&self, from: SwitchId, to: SwitchId) -> Option<&Route> {
+        self.routes.get(&(from, to))
+    }
+
+    /// All routes in the table.
+    pub fn iter(&self) -> impl Iterator<Item = (&(SwitchId, SwitchId), &Route)> {
+        self.routes.iter()
+    }
+
+    /// VC count of the generating strategy.
+    pub fn num_vcs(&self) -> u8 {
+        self.num_vcs
+    }
+
+    /// Name of the generating strategy.
+    pub fn strategy(&self) -> &str {
+        &self.strategy
+    }
+
+    /// Next hop and VC from switch `at` toward destination switch `to`.
+    /// `None` when `at == to` (delivery).
+    pub fn next_hop(&self, at: SwitchId, to: SwitchId) -> Option<(SwitchId, u8)> {
+        if at == to {
+            return None;
+        }
+        let r = &self.routes[&(at, to)];
+        Some((r.hops[1], r.vcs[0]))
+    }
+}
+
+/// Pick the strategy the paper pairs with each topology family
+/// (Table III), as a boxed trait object.
+pub fn default_strategy(topo: &Topology) -> Box<dyn RoutingStrategy> {
+    use sdt_topology::TopologyKind as K;
+    match topo.kind() {
+        K::FatTree { k } => Box::new(fattree::FatTreeDfs::new(*k)),
+        K::Dragonfly { a, g, h, p } => {
+            Box::new(dragonfly::DragonflyMinimal::new(*a, *g, *h, *p, topo))
+        }
+        K::Mesh { dims } => Box::new(dimension::DimensionOrder::mesh(dims.clone())),
+        K::Torus { dims } => Box::new(dimension::DimensionOrder::torus(dims.clone())),
+        _ => Box::new(generic::UpDown::new(topo)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdt_topology::chain::chain;
+
+    #[test]
+    fn route_table_covers_all_pairs() {
+        let t = chain(4);
+        let table = RouteTable::build(&t, &generic::Bfs::new(&t));
+        assert_eq!(table.iter().count(), 12);
+        let r = table.route(SwitchId(0), SwitchId(3));
+        assert_eq!(r.hops.len(), 4);
+    }
+
+    #[test]
+    fn next_hop_walks_route() {
+        let t = chain(4);
+        let table = RouteTable::build(&t, &generic::Bfs::new(&t));
+        let mut at = SwitchId(0);
+        let mut hops = 0;
+        while let Some((next, _vc)) = table.next_hop(at, SwitchId(3)) {
+            at = next;
+            hops += 1;
+            assert!(hops <= 4);
+        }
+        assert_eq!(at, SwitchId(3));
+        assert_eq!(hops, 3);
+    }
+
+    #[test]
+    fn load_map_costs() {
+        let mut l = LoadMap::new();
+        l.set(SwitchId(0), SwitchId(1), 2.0);
+        l.set(SwitchId(1), SwitchId(2), 3.0);
+        let r = Route { hops: vec![SwitchId(0), SwitchId(1), SwitchId(2)], vcs: vec![0, 0] };
+        assert_eq!(l.route_cost(&r), 5.0);
+        assert_eq!(l.get(SwitchId(2), SwitchId(0)), 0.0);
+    }
+
+    #[test]
+    fn route_validate_catches_gaps() {
+        let t = chain(4);
+        let bad = Route { hops: vec![SwitchId(0), SwitchId(2)], vcs: vec![0] };
+        assert!(bad.validate(&t).is_err());
+        let good = Route { hops: vec![SwitchId(0), SwitchId(1)], vcs: vec![0] };
+        assert!(good.validate(&t).is_ok());
+    }
+}

@@ -1,0 +1,172 @@
+//! Odd-even turn-model routing for 2D meshes (Chiu's odd-even model, the
+//! basis of the fault-tolerant scheme of Wu — the paper's reference \[45\]).
+//!
+//! The odd-even model forbids east→north and east→south turns at nodes in
+//! *even* columns, and north→west / south→west turns at nodes in *odd*
+//! columns. Any routing that respects those restrictions is deadlock-free
+//! on a mesh with a single VC — more path freedom than plain X-Y while
+//! keeping the turn graph acyclic.
+//!
+//! [`OddEven`] is a deterministic instance: westbound traffic routes
+//! X-then-Y (whose W→N / W→S turns are never restricted); eastbound traffic
+//! turns vertical at the destination column if it is odd, else one column
+//! short of it, finishing with a single east step (N→E / S→E turns are
+//! never restricted). The CDG analysis in [`crate::cdg`] certifies the
+//! result.
+
+use crate::{Route, RoutingStrategy};
+use sdt_topology::meshtorus::GridIds;
+use sdt_topology::{SwitchId, Topology};
+
+/// Deterministic odd-even-compliant routing for a 2D mesh.
+#[derive(Clone, Debug)]
+pub struct OddEven {
+    ids: GridIds,
+}
+
+impl OddEven {
+    /// Routing over a `dims[0] x dims[1]` mesh (2D only).
+    pub fn new(dims: &[u32]) -> Self {
+        assert_eq!(dims.len(), 2, "odd-even turn model is defined for 2D meshes");
+        OddEven { ids: GridIds::new(dims) }
+    }
+}
+
+impl RoutingStrategy for OddEven {
+    fn name(&self) -> &str {
+        "mesh-2d-odd-even"
+    }
+
+    fn num_vcs(&self) -> u8 {
+        1
+    }
+
+    fn route(&self, _topo: &Topology, from: SwitchId, to: SwitchId) -> Route {
+        if from == to {
+            return Route::local(from);
+        }
+        let src = self.ids.coord_of(from);
+        let dst = self.ids.coord_of(to);
+        let mut hops = vec![from];
+        let mut cur = src.clone();
+        let push = |hops: &mut Vec<SwitchId>, c: &[u32]| hops.push(self.ids.id_of(c));
+
+        if dst[0] >= cur[0] {
+            // Eastbound (or same column): pick the turning column.
+            let turn_col = if dst[0] == cur[0] {
+                cur[0]
+            } else if dst[0] % 2 == 1 {
+                dst[0] // odd destination column: EN/ES turn allowed there
+            } else {
+                dst[0] - 1 // even: turn one column short (odd), finish east
+            };
+            while cur[0] < turn_col {
+                cur[0] += 1;
+                push(&mut hops, &cur);
+            }
+            while cur[1] != dst[1] {
+                cur[1] = if dst[1] > cur[1] { cur[1] + 1 } else { cur[1] - 1 };
+                push(&mut hops, &cur);
+            }
+            while cur[0] < dst[0] {
+                cur[0] += 1;
+                push(&mut hops, &cur);
+            }
+        } else {
+            // Westbound: X first (W→N/W→S turns are unrestricted).
+            while cur[0] > dst[0] {
+                cur[0] -= 1;
+                push(&mut hops, &cur);
+            }
+            while cur[1] != dst[1] {
+                cur[1] = if dst[1] > cur[1] { cur[1] + 1 } else { cur[1] - 1 };
+                push(&mut hops, &cur);
+            }
+        }
+        let vcs = vec![0; hops.len() - 1];
+        Route { hops, vcs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cdg::analyze;
+    use crate::RouteTable;
+    use sdt_topology::meshtorus::mesh;
+
+    #[test]
+    fn all_pairs_valid_and_minimal() {
+        for dims in [[4u32, 4], [5, 3], [6, 6]] {
+            let t = mesh(&dims);
+            let s = OddEven::new(&dims);
+            let table = RouteTable::build(&t, &s);
+            let ids = GridIds::new(&dims);
+            for ((a, b), r) in table.iter() {
+                r.validate(&t).unwrap_or_else(|e| panic!("{a:?}->{b:?}: {e}"));
+                let (ca, cb) = (ids.coord_of(*a), ids.coord_of(*b));
+                let manhattan =
+                    ca[0].abs_diff(cb[0]) + ca[1].abs_diff(cb[1]);
+                assert_eq!(r.len() as u32, manhattan, "{a:?}->{b:?} not minimal");
+            }
+        }
+    }
+
+    #[test]
+    fn deadlock_free_by_cdg() {
+        for dims in [[4u32, 4], [5, 5], [3, 7]] {
+            let t = mesh(&dims);
+            let table = RouteTable::build(&t, &OddEven::new(&dims));
+            assert!(analyze(&table).is_free(), "dims {dims:?}");
+        }
+    }
+
+    #[test]
+    fn no_forbidden_turns() {
+        let dims = [6u32, 6];
+        let t = mesh(&dims);
+        let s = OddEven::new(&dims);
+        let ids = GridIds::new(&dims);
+        let table = RouteTable::build(&t, &s);
+        for (_, r) in table.iter() {
+            for w in r.hops.windows(3) {
+                let a = ids.coord_of(w[0]);
+                let b = ids.coord_of(w[1]);
+                let c = ids.coord_of(w[2]);
+                let in_east = b[0] > a[0];
+                let out_vertical = c[1] != b[1];
+                // EN/ES turn at an even column: forbidden.
+                if in_east && out_vertical {
+                    assert_eq!(b[0] % 2, 1, "EN/ES turn at even column {b:?}");
+                }
+                let in_vertical = b[1] != a[1];
+                let out_west = c[0] < b[0];
+                // NW/SW turn at an odd column: forbidden.
+                if in_vertical && out_west {
+                    assert_eq!(b[0] % 2, 0, "NW/SW turn at odd column {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eastbound_even_column_destination_turns_early() {
+        let dims = [6u32, 4];
+        let t = mesh(&dims);
+        let s = OddEven::new(&dims);
+        let ids = GridIds::new(&dims);
+        // (0,0) -> (4,2): dst column 4 is even; vertical movement must
+        // happen at column 3.
+        let r = s.route(&t, ids.id_of(&[0, 0]), ids.id_of(&[4, 2]));
+        let cols_with_vertical: Vec<u32> = r
+            .hops
+            .windows(2)
+            .filter(|w| {
+                let (a, b) = (ids.coord_of(w[0]), ids.coord_of(w[1]));
+                a[1] != b[1]
+            })
+            .map(|w| ids.coord_of(w[0])[0])
+            .collect();
+        assert!(cols_with_vertical.iter().all(|&c| c == 3), "{cols_with_vertical:?}");
+    }
+}

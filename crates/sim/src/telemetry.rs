@@ -1,0 +1,150 @@
+//! Telemetry reports: the analysis layer on top of the Network Monitor's
+//! raw counters (§V-3 "the collected data can be further used...").
+
+use crate::engine::{Simulator, Time};
+use sdt_topology::SwitchId;
+
+/// Flow-completion-time distribution over finished flows.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FctSummary {
+    /// Finished flows.
+    pub count: usize,
+    /// Mean FCT, ns.
+    pub mean_ns: f64,
+    /// Median FCT, ns.
+    pub p50_ns: u64,
+    /// 99th percentile FCT, ns.
+    pub p99_ns: u64,
+    /// Maximum FCT, ns.
+    pub max_ns: u64,
+}
+
+/// Utilization of one directed fabric channel.
+#[derive(Clone, Copy, Debug)]
+pub struct ChannelUtilization {
+    /// Upstream switch.
+    pub from: SwitchId,
+    /// Downstream switch.
+    pub to: SwitchId,
+    /// Bytes carried over the whole run.
+    pub bytes: u64,
+    /// Fraction of the channel's capacity used (0..1).
+    pub utilization: f64,
+}
+
+impl Simulator {
+    /// Flow-completion-time summary over all finished flows.
+    pub fn fct_summary(&self) -> FctSummary {
+        let mut fcts: Vec<Time> = (0..self.num_flows())
+            .filter_map(|f| {
+                let st = self.flow_stats(f);
+                st.finish.map(|t| t.saturating_sub(st.start))
+            })
+            .collect();
+        if fcts.is_empty() {
+            return FctSummary::default();
+        }
+        fcts.sort_unstable();
+        let n = fcts.len();
+        let pct = |p: f64| fcts[(((n - 1) as f64) * p).round() as usize];
+        FctSummary {
+            count: n,
+            mean_ns: fcts.iter().sum::<u64>() as f64 / n as f64,
+            p50_ns: pct(0.50),
+            p99_ns: pct(0.99),
+            max_ns: fcts[n - 1],
+        }
+    }
+
+    /// Per-channel utilization over the run so far, sorted hottest-first.
+    /// Only switch↔switch channels are reported (host links mirror them).
+    pub fn utilization_report(&self) -> Vec<ChannelUtilization> {
+        let elapsed = self.now_ns().max(1) as f64;
+        let cap = self.config().bytes_per_ns() * elapsed;
+        let mut rows: Vec<ChannelUtilization> = self
+            .fabric_channels()
+            .map(|(from, to, bytes)| ChannelUtilization {
+                from,
+                to,
+                bytes,
+                utilization: bytes as f64 / cap,
+            })
+            .collect();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.bytes));
+        rows
+    }
+
+    /// The max-link-utilization hotspot factor: hottest channel's bytes over
+    /// the mean channel's bytes (1.0 = perfectly balanced fabric).
+    pub fn hotspot_factor(&self) -> f64 {
+        let rows = self.utilization_report();
+        if rows.is_empty() {
+            return 1.0;
+        }
+        let max = rows[0].bytes as f64;
+        let mean = rows.iter().map(|r| r.bytes as f64).sum::<f64>() / rows.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{SimConfig, Simulator};
+    use sdt_routing::{generic::Bfs, RouteTable};
+    use sdt_topology::chain::chain;
+    use sdt_topology::HostId;
+
+    fn run_two_flows() -> Simulator {
+        let t = chain(4);
+        let routes = RouteTable::build(&t, &Bfs::new(&t));
+        let mut sim = Simulator::new(&t, routes, SimConfig::default());
+        sim.start_raw_flow(HostId(0), HostId(3), 600_000);
+        sim.start_raw_flow(HostId(0), HostId(1), 150_000);
+        sim.run();
+        sim
+    }
+
+    #[test]
+    fn fct_summary_orders_percentiles() {
+        let sim = run_two_flows();
+        let s = sim.fct_summary();
+        assert_eq!(s.count, 2);
+        assert!(s.p50_ns <= s.p99_ns);
+        assert!(s.p99_ns <= s.max_ns);
+        assert!(s.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn fct_summary_empty_when_nothing_finished() {
+        let t = chain(3);
+        let routes = RouteTable::build(&t, &Bfs::new(&t));
+        let sim = Simulator::new(&t, routes, SimConfig::default());
+        assert_eq!(sim.fct_summary().count, 0);
+    }
+
+    #[test]
+    fn utilization_hottest_channel_first() {
+        let sim = run_two_flows();
+        let rows = sim.utilization_report();
+        assert!(!rows.is_empty());
+        for w in rows.windows(2) {
+            assert!(w[0].bytes >= w[1].bytes);
+        }
+        // The s0->s1 channel carried both flows' bytes.
+        let top = &rows[0];
+        assert_eq!((top.from.0, top.to.0), (0, 1));
+        assert!(top.bytes >= 750_000);
+        assert!(top.utilization > 0.0 && top.utilization <= 1.0);
+    }
+
+    #[test]
+    fn hotspot_factor_reflects_skew() {
+        let sim = run_two_flows();
+        // Traffic concentrated near switch 0: clearly unbalanced.
+        assert!(sim.hotspot_factor() > 1.5, "{}", sim.hotspot_factor());
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests of the fabric engine's conservation laws.
+
+use proptest::prelude::*;
+use sdt_routing::{generic::Bfs, RouteTable};
+use sdt_sim::{Granularity, SimConfig, SimOutcome, Simulator};
+use sdt_topology::chain::{chain, ring, star};
+use sdt_topology::{HostId, Topology};
+
+fn run_flows(
+    topo: &Topology,
+    flows: &[(u32, u32, u64)],
+    cfg: SimConfig,
+) -> (Simulator, SimOutcome) {
+    let routes = RouteTable::build(topo, &Bfs::new(topo));
+    let mut sim = Simulator::new(topo, routes, cfg);
+    for &(a, b, bytes) in flows {
+        sim.start_raw_flow(HostId(a), HostId(b), bytes);
+    }
+    let out = sim.run();
+    (sim, out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Lossless fabric: every injected byte is delivered, nothing dropped,
+    /// credits conserved — for arbitrary flow sets on several topologies.
+    #[test]
+    fn lossless_conserves_bytes(
+        topo_pick in 0u8..3,
+        raw_flows in proptest::collection::vec((0u32..6, 0u32..6, 1u64..200_000), 1..8),
+        flit in any::<bool>(),
+    ) {
+        let topo = match topo_pick {
+            0 => chain(6),
+            1 => ring(6),
+            _ => star(5),
+        };
+        let h = topo.num_hosts();
+        let flows: Vec<(u32, u32, u64)> = raw_flows
+            .into_iter()
+            .map(|(a, b, bytes)| (a % h, b % h, bytes))
+            .filter(|(a, b, _)| a != b)
+            .collect();
+        prop_assume!(!flows.is_empty());
+        let cfg = SimConfig {
+            granularity: if flit { Granularity::Flit } else { Granularity::Packet },
+            ..SimConfig::default()
+        };
+        let (sim, out) = run_flows(&topo, &flows, cfg);
+        prop_assert_eq!(out, SimOutcome::Completed);
+        prop_assert_eq!(sim.stats().drops, 0);
+        for f in 0..sim.num_flows() {
+            let st = sim.flow_stats(f);
+            let want = flows[f as usize].2;
+            prop_assert_eq!(st.bytes_delivered, want, "flow {}", f);
+            prop_assert!(st.finish.is_some());
+        }
+        prop_assert!(sim.credits_intact());
+    }
+
+    /// Goodput never exceeds line rate, per flow and at any bottleneck.
+    #[test]
+    fn goodput_bounded_by_line_rate(
+        raw_flows in proptest::collection::vec((0u32..6, 0u32..6, 50_000u64..500_000), 1..6),
+    ) {
+        let topo = chain(6);
+        let flows: Vec<(u32, u32, u64)> = raw_flows
+            .into_iter()
+            .map(|(a, b, bytes)| (a % 6, b % 6, bytes))
+            .filter(|(a, b, _)| a != b)
+            .collect();
+        prop_assume!(!flows.is_empty());
+        let (sim, out) = run_flows(&topo, &flows, SimConfig::default());
+        prop_assert_eq!(out, SimOutcome::Completed);
+        for f in 0..sim.num_flows() {
+            let g = sim.flow_stats(f).goodput_gbps(sim.now_ns());
+            prop_assert!(g <= 10.05, "flow {} goodput {}", f, g);
+        }
+    }
+
+    /// Lossy fabric: delivered + dropped cells account for every cell that
+    /// entered the network, and completed flows received all their bytes.
+    #[test]
+    fn lossy_accounts_for_every_cell(
+        raw_flows in proptest::collection::vec((0u32..5, 0u32..5, 10_000u64..200_000), 2..6),
+        cap_kb in 4u32..64,
+    ) {
+        let topo = star(5);
+        let flows: Vec<(u32, u32, u64)> = raw_flows
+            .into_iter()
+            .map(|(a, b, bytes)| (a % 5, b % 5, bytes))
+            .filter(|(a, b, _)| a != b)
+            .collect();
+        prop_assume!(!flows.is_empty());
+        let cfg = SimConfig {
+            lossless: false,
+            queue_cap_bytes: cap_kb * 1024,
+            ..SimConfig::default()
+        };
+        let (sim, out) = run_flows(&topo, &flows, cfg);
+        prop_assert_eq!(out, SimOutcome::Completed);
+        let injected_cells: u64 = flows
+            .iter()
+            .map(|&(_, _, bytes)| bytes.div_ceil(1500))
+            .sum();
+        prop_assert_eq!(
+            sim.stats().cells_delivered + sim.stats().drops,
+            injected_cells,
+            "delivered {} + dropped {} != injected {}",
+            sim.stats().cells_delivered,
+            sim.stats().drops,
+            injected_cells
+        );
+    }
+}

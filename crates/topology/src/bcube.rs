@@ -1,0 +1,116 @@
+//! BCube generator (Guo et al., SIGCOMM 2009).
+//!
+//! BCube(n, k) is *server-centric*: `n^(k+1)` hosts, each with `k+1` NIC
+//! ports, and `(k+1) · n^k` switches of radix `n`. Level-`l` switch `j`
+//! connects the `n` hosts whose base-`n` host index agrees with `j` in every
+//! digit except digit `l`. There are no switch↔switch links — all fabric
+//! transit bounces through multi-homed hosts, which is why BCube stresses a
+//! projection method's host-port accounting rather than its fabric-link
+//! accounting.
+
+use crate::graph::{HostId, SwitchId, Topology, TopologyBuilder, TopologyKind};
+
+/// Id layout of BCube(n, k): level-`l` switches occupy ids
+/// `l·n^k .. (l+1)·n^k`.
+#[derive(Clone, Copy, Debug)]
+pub struct BcubeIds {
+    /// Ports per switch.
+    pub n: u32,
+    /// Level count minus one.
+    pub k: u32,
+}
+
+impl BcubeIds {
+    /// Layout helper. `n >= 2`, any `k >= 0`.
+    pub fn new(n: u32, k: u32) -> Self {
+        assert!(n >= 2);
+        BcubeIds { n, k }
+    }
+    /// Switches per level (`n^k`).
+    pub fn per_level(&self) -> u32 {
+        self.n.pow(self.k)
+    }
+    /// Total switches.
+    pub fn num_switches(&self) -> u32 {
+        (self.k + 1) * self.per_level()
+    }
+    /// Total hosts (`n^(k+1)`).
+    pub fn num_hosts(&self) -> u32 {
+        self.n.pow(self.k + 1)
+    }
+    /// Switch id for level `l`, index `j`.
+    pub fn switch(&self, l: u32, j: u32) -> SwitchId {
+        debug_assert!(l <= self.k && j < self.per_level());
+        SwitchId(l * self.per_level() + j)
+    }
+    /// (level, index) of a switch.
+    pub fn level_of(&self, s: SwitchId) -> (u32, u32) {
+        (s.0 / self.per_level(), s.0 % self.per_level())
+    }
+}
+
+/// Build BCube(n, k). Hosts are multi-homed with `k+1` attachments.
+pub fn bcube(n: u32, k: u32) -> Topology {
+    let ids = BcubeIds::new(n, k);
+    let mut b = TopologyBuilder::new(format!("bcube-n{n}-k{k}"), ids.num_switches(), ids.num_hosts())
+        .kind(TopologyKind::BCube { n, k });
+
+    // Host h (base-n digits d_k..d_0) connects at level l to the switch whose
+    // index is h with digit l removed.
+    for h in 0..ids.num_hosts() {
+        for l in 0..=k {
+            let low = h % n.pow(l);
+            let high = h / n.pow(l + 1);
+            let j = high * n.pow(l) + low;
+            b.attach(HostId(h), ids.switch(l, j));
+        }
+    }
+    b.build().expect("bcube generator produces a valid topology")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bcube_4_1_counts() {
+        let t = bcube(4, 1);
+        assert_eq!(t.num_hosts(), 16);
+        assert_eq!(t.num_switches(), 8);
+        assert_eq!(t.num_fabric_links(), 0);
+        // Every host double-homed, every switch radix 4.
+        for h in 0..16 {
+            assert_eq!(t.attachments(HostId(h)).len(), 2);
+        }
+        for s in 0..8 {
+            assert_eq!(t.radix(SwitchId(s)), 4);
+        }
+    }
+
+    #[test]
+    fn level0_groups_consecutive_hosts() {
+        let t = bcube(4, 1);
+        let ids = BcubeIds::new(4, 1);
+        let hosts: Vec<u32> = t.hosts_of(ids.switch(0, 0)).iter().map(|&(h, _)| h.0).collect();
+        assert_eq!(hosts, vec![0, 1, 2, 3]);
+        let hosts1: Vec<u32> = t.hosts_of(ids.switch(1, 0)).iter().map(|&(h, _)| h.0).collect();
+        assert_eq!(hosts1, vec![0, 4, 8, 12]);
+    }
+
+    #[test]
+    fn port_demand_counts_host_links_once() {
+        let t = bcube(4, 1);
+        // 32 host links -> 32 switch ports.
+        assert_eq!(t.total_switch_ports(), 32);
+    }
+
+    #[test]
+    fn bcube_2_2_shape() {
+        let t = bcube(2, 2);
+        assert_eq!(t.num_hosts(), 8);
+        assert_eq!(t.num_switches(), 12);
+        for h in 0..8 {
+            assert_eq!(t.attachments(HostId(h)).len(), 3);
+        }
+    }
+}

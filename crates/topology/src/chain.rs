@@ -1,0 +1,78 @@
+//! Small fixture topologies: chain, ring, and star.
+//!
+//! The paper's latency/bandwidth accuracy experiments (§VI-B, Fig. 10) use a
+//! chain of 8 switches with one host per switch; these generators provide
+//! that and two other common fixtures.
+
+use crate::graph::{HostId, SwitchId, Topology, TopologyBuilder, TopologyKind};
+
+/// Linear chain of `n` switches, one host each (Fig. 10 of the paper with
+/// `n = 8`). Host `i` hangs off switch `i`.
+pub fn chain(n: u32) -> Topology {
+    assert!(n >= 1);
+    let mut b =
+        TopologyBuilder::new(format!("chain-{n}"), n, n).kind(TopologyKind::Chain { n });
+    for s in 0..n {
+        b.attach(HostId(s), SwitchId(s));
+        if s + 1 < n {
+            b.fabric(SwitchId(s), SwitchId(s + 1));
+        }
+    }
+    b.build().expect("chain generator produces a valid topology")
+}
+
+/// Ring of `n >= 3` switches, one host each.
+pub fn ring(n: u32) -> Topology {
+    assert!(n >= 3);
+    let mut b = TopologyBuilder::new(format!("ring-{n}"), n, n).kind(TopologyKind::Ring { n });
+    for s in 0..n {
+        b.attach(HostId(s), SwitchId(s));
+        b.fabric(SwitchId(s), SwitchId((s + 1) % n));
+    }
+    b.build().expect("ring generator produces a valid topology")
+}
+
+/// Star: one hub switch (id 0) with `leaves` single-host leaf switches.
+pub fn star(leaves: u32) -> Topology {
+    assert!(leaves >= 1);
+    let mut b = TopologyBuilder::new(format!("star-{leaves}"), leaves + 1, leaves)
+        .kind(TopologyKind::Star { leaves });
+    for i in 0..leaves {
+        let leaf = SwitchId(i + 1);
+        b.fabric(SwitchId(0), leaf);
+        b.attach(HostId(i), leaf);
+    }
+    b.build().expect("star generator produces a valid topology")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain8_matches_fig10() {
+        let t = chain(8);
+        assert_eq!(t.num_switches(), 8);
+        assert_eq!(t.num_hosts(), 8);
+        assert_eq!(t.num_fabric_links(), 7);
+        assert_eq!(t.diameter(), Some(7));
+        // Node 1 to node 8: 8 switch hops -> "10-hop" path counting NIC links.
+        assert_eq!(t.switch_distance(SwitchId(0), SwitchId(7)), Some(7));
+    }
+
+    #[test]
+    fn ring_wraps() {
+        let t = ring(6);
+        assert_eq!(t.num_fabric_links(), 6);
+        assert_eq!(t.diameter(), Some(3));
+    }
+
+    #[test]
+    fn star_shape() {
+        let t = star(5);
+        assert_eq!(t.num_switches(), 6);
+        assert_eq!(t.degree(SwitchId(0)), 5);
+        assert_eq!(t.radix(SwitchId(0)), 5);
+        assert_eq!(t.radix(SwitchId(1)), 2);
+    }
+}

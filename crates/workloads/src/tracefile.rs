@@ -1,0 +1,191 @@
+//! Plain-text trace files.
+//!
+//! The paper's simulator "uses the traces collected from running an HPC
+//! application on real computing nodes". This module gives our synthetic
+//! traces the same shape as a collected artifact: a line-oriented text
+//! format that round-trips through [`Trace::to_text`] / [`Trace::from_text`]
+//! and can be shipped alongside experiment configs.
+//!
+//! ```text
+//! # sdt-trace v1
+//! trace imb-pingpong-1500B-x2 2
+//! rank 0
+//!   compute 1000
+//!   send 1 1500 0
+//!   recv 1 0
+//! rank 1
+//!   recv 0 0
+//!   send 0 1500 0
+//! ```
+
+use crate::trace::{MpiOp, Trace};
+
+/// Errors from parsing a trace file.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TraceParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+impl Trace {
+    /// Serialize to the line format above.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# sdt-trace v1\n");
+        out.push_str(&format!("trace {} {}\n", self.name.replace(' ', "_"), self.num_ranks()));
+        for (r, prog) in self.ranks.iter().enumerate() {
+            out.push_str(&format!("rank {r}\n"));
+            for op in &prog.ops {
+                match *op {
+                    MpiOp::Compute { ns } => out.push_str(&format!("  compute {ns}\n")),
+                    MpiOp::Send { to, bytes, tag } => {
+                        out.push_str(&format!("  send {to} {bytes} {tag}\n"))
+                    }
+                    MpiOp::Recv { from, tag } => {
+                        out.push_str(&format!("  recv {from} {tag}\n"))
+                    }
+                    MpiOp::SendRecv { to, bytes, stag, from, rtag } => out
+                        .push_str(&format!("  sendrecv {to} {bytes} {stag} {from} {rtag}\n")),
+                }
+            }
+        }
+        out
+    }
+
+    /// Parse the line format back into a trace.
+    pub fn from_text(text: &str) -> Result<Trace, TraceParseError> {
+        let err = |line: usize, msg: String| TraceParseError { line, msg };
+        let mut trace: Option<Trace> = None;
+        let mut cur_rank: Option<u32> = None;
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let head = parts.next().expect("non-empty line");
+            fn num(
+                parts: &mut std::str::SplitWhitespace<'_>,
+                line: usize,
+                what: &str,
+            ) -> Result<u64, TraceParseError> {
+                parts.next().and_then(|t| t.parse().ok()).ok_or_else(|| TraceParseError {
+                    line,
+                    msg: format!("expected {what}"),
+                })
+            }
+            match head {
+                "trace" => {
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| err(i + 1, "expected trace name".into()))?
+                        .to_string();
+                    let ranks = num(&mut parts, i + 1, "rank count")? as u32;
+                    trace = Some(Trace::new(name, ranks));
+                }
+                "rank" => {
+                    let r = num(&mut parts, i + 1, "rank id")? as u32;
+                    let t = trace.as_ref().ok_or_else(|| {
+                        err(i + 1, "`rank` before `trace` header".into())
+                    })?;
+                    if r >= t.num_ranks() {
+                        return Err(err(i + 1, format!("rank {r} out of range")));
+                    }
+                    cur_rank = Some(r);
+                }
+                op @ ("compute" | "send" | "recv" | "sendrecv") => {
+                    let r = cur_rank
+                        .ok_or_else(|| err(i + 1, "op before any `rank` line".into()))?;
+                    let p = &mut parts;
+                    let l = i + 1;
+                    let parsed = match op {
+                        "compute" => MpiOp::Compute { ns: num(p, l, "ns")? },
+                        "send" => MpiOp::Send {
+                            to: num(p, l, "dst rank")? as u32,
+                            bytes: num(p, l, "bytes")?,
+                            tag: num(p, l, "tag")? as u32,
+                        },
+                        "recv" => MpiOp::Recv {
+                            from: num(p, l, "src rank")? as u32,
+                            tag: num(p, l, "tag")? as u32,
+                        },
+                        _ => MpiOp::SendRecv {
+                            to: num(p, l, "dst rank")? as u32,
+                            bytes: num(p, l, "bytes")?,
+                            stag: num(p, l, "stag")? as u32,
+                            from: num(p, l, "src rank")? as u32,
+                            rtag: num(p, l, "rtag")? as u32,
+                        },
+                    };
+                    trace
+                        .as_mut()
+                        .expect("rank implies trace header")
+                        .push(r, parsed);
+                }
+                other => return Err(err(i + 1, format!("unknown directive `{other}`"))),
+            }
+        }
+        trace.ok_or_else(|| err(0, "no `trace` header found".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps;
+    use crate::trace::MachineModel;
+
+    #[test]
+    fn roundtrip_every_generator() {
+        let m = MachineModel::default();
+        for t in [
+            apps::imb_pingpong(1500, 2),
+            apps::imb_alltoall(5, 999, 1),
+            apps::hpcg(8, 16, 1, &m),
+            apps::hpl(4, 1024, 128, &m),
+            apps::minighost(8, 8, 4, 2, &m),
+            apps::minife(8, 8, 2, &m),
+            apps::permutation_shift(6, 2, 4096, 3),
+        ] {
+            let text = t.to_text();
+            let back = Trace::from_text(&text).unwrap_or_else(|e| panic!("{}: {e}", t.name));
+            assert_eq!(back.num_ranks(), t.num_ranks(), "{}", t.name);
+            assert_eq!(back.total_bytes(), t.total_bytes(), "{}", t.name);
+            assert_eq!(back.max_compute_ns(), t.max_compute_ns(), "{}", t.name);
+            for (a, b) in back.ranks.iter().zip(&t.ranks) {
+                assert_eq!(a.ops, b.ops);
+            }
+            back.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Trace::from_text("").is_err());
+        assert!(Trace::from_text("trace t 2\nrank 5\n").is_err());
+        assert!(Trace::from_text("trace t 2\nwarp 9\n").is_err());
+        assert!(Trace::from_text("trace t 1\nrank 0\n  send 0\n").is_err());
+        assert!(Trace::from_text("rank 0\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let t = Trace::from_text("# hi\n\ntrace x 1\nrank 0\n  compute 5\n").unwrap();
+        assert_eq!(t.max_compute_ns(), 5);
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let e = Trace::from_text("trace t 1\nrank 0\n  compute nope\n").unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+}

@@ -1,0 +1,59 @@
+//! Failure injection on a Dragonfly: kill a global link mid-experiment and
+//! watch the Network Monitor + UGAL active routing steer traffic around it.
+//!
+//! Run with: `cargo run --release --example failure_recovery`
+
+use sdt::routing::dragonfly::{DragonflyMinimal, DragonflyUgal};
+use sdt::routing::RouteTable;
+use sdt::sim::{SimConfig, Simulator};
+use sdt::topology::dragonfly::dragonfly;
+use sdt::topology::{HostId, SwitchId};
+
+fn main() {
+    let topo = dragonfly(4, 9, 2, 2);
+    let minimal = DragonflyMinimal::new(4, 9, 2, 2, &topo);
+    let routes = RouteTable::build(&topo, &minimal);
+
+    // The minimal route group 0 -> group 1 and its global hop.
+    let min_route = routes.route(SwitchId(0), SwitchId(5));
+    let (ga, gb) = min_route
+        .hops
+        .windows(2)
+        .find(|w| (w[0].0 / 4) != (w[1].0 / 4))
+        .map(|w| (w[0], w[1]))
+        .expect("cross-group route has a global hop");
+    println!("minimal g0->g1 route: {:?}", min_route.hops);
+    println!("injecting failure on global link {ga:?} <-> {gb:?} at t = 0.5 ms\n");
+
+    let cfg = SimConfig {
+        lossless: false,
+        monitor_interval_ns: 200_000,
+        max_sim_ns: 10_000_000,
+        ..SimConfig::testbed_10g()
+    };
+    let mut sim = Simulator::new(&topo, routes, cfg);
+    sim.set_adaptive(Box::new(DragonflyUgal::new(4, 9, 2, 2, &topo)));
+    sim.schedule_link_failure(ga, gb, 500_000);
+
+    // Phase 1: a flow on the doomed path.
+    let doomed = sim.start_raw_flow(HostId(0), HostId(10), 4_000_000);
+    sim.run();
+    let st = sim.flow_stats(doomed);
+    println!("phase 1 (static route through the failed link):");
+    println!("  delivered {} of 4000000 bytes, {} cells dropped",
+        st.bytes_delivered, sim.stats().drops);
+    println!("  monitor now reports g0->g1 channel load = {:.0} (failed = saturated)\n",
+        sim.last_loads.get(ga, gb));
+
+    // Phase 2: fresh traffic after the monitor saw the failure.
+    sim.set_time_limit(300_000_000);
+    let recovered = sim.start_raw_flow(HostId(1), HostId(11), 4_000_000);
+    sim.run();
+    let st = sim.flow_stats(recovered);
+    println!("phase 2 (UGAL reroute around the dead link):");
+    println!("  delivered {} of 4000000 bytes, finish = {:?}",
+        st.bytes_delivered,
+        st.finish.map(|t| format!("{:.2} ms", t as f64 / 1e6)));
+    assert_eq!(st.bytes_delivered, 4_000_000);
+    println!("\nactive routing turned a hard failure into a transparent detour.");
+}

@@ -1,0 +1,65 @@
+//! Network Monitor telemetry in action: run hotspot traffic on a Dragonfly
+//! and print the per-channel utilization, FCT distribution, and hotspot
+//! factor — the §V-3 data products a researcher would plot.
+//!
+//! Run with: `cargo run --release --example telemetry_report`
+
+use sdt::routing::{default_strategy, RouteTable};
+use sdt::sim::{run_trace, SimConfig};
+use sdt::sim::Simulator;
+use sdt::topology::dragonfly::dragonfly;
+use sdt::topology::HostId;
+use sdt::workloads::patterns;
+
+fn main() {
+    let topo = dragonfly(4, 9, 2, 2);
+    let strategy = default_strategy(&topo);
+    let routes = RouteTable::build(&topo, strategy.as_ref());
+    let hosts: Vec<HostId> = (0..24).map(HostId).collect();
+
+    for (label, trace) in [
+        ("uniform random", patterns::uniform_random(24, 8, 64 * 1024, 5)),
+        ("hotspot (80% to rank 0)", patterns::hotspot(24, 0, 800, 64 * 1024, 5)),
+    ] {
+        let mut sim = Simulator::new(&topo, routes.clone(), SimConfig::testbed_10g());
+        // Drive via the MPI layer for matched send/recv semantics.
+        let res = run_trace(&topo, routes.clone(), SimConfig::testbed_10g(), &trace, &hosts);
+        // Re-run inside a Simulator we keep, for telemetry access.
+        let mut flows = Vec::new();
+        for (r, prog) in trace.ranks.iter().enumerate() {
+            for op in &prog.ops {
+                if let sdt::workloads::MpiOp::Send { to, bytes, .. } = op {
+                    flows.push(sim.start_raw_flow(hosts[r], hosts[*to as usize], *bytes));
+                }
+            }
+        }
+        sim.run();
+
+        println!("== {label} — {} ==", trace.name);
+        println!("  ACT (MPI semantics): {:.3} ms", res.act_ns.unwrap() as f64 / 1e6);
+        let fct = sim.fct_summary();
+        println!(
+            "  FCT: n={} mean={:.1} us p50={:.1} us p99={:.1} us max={:.1} us",
+            fct.count,
+            fct.mean_ns / 1e3,
+            fct.p50_ns as f64 / 1e3,
+            fct.p99_ns as f64 / 1e3,
+            fct.max_ns as f64 / 1e3
+        );
+        println!("  hotspot factor (max/mean channel bytes): {:.2}", sim.hotspot_factor());
+        println!("  five hottest channels:");
+        for row in sim.utilization_report().into_iter().take(5) {
+            println!(
+                "    {:?} -> {:?}: {} bytes ({:.1}% of capacity over the run)",
+                row.from,
+                row.to,
+                row.bytes,
+                row.utilization * 100.0
+            );
+        }
+        println!();
+    }
+    println!("expected: the hotspot pattern shows a much higher hotspot factor and a");
+    println!("fatter FCT tail than uniform traffic — the signal the paper's active");
+    println!("routing (§VI-E) consumes.");
+}

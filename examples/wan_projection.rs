@@ -1,0 +1,70 @@
+//! WAN projection sweep: the Table II bottom row.
+//!
+//! Counts how many of the 261 Topology-Zoo-like WAN graphs each TP method
+//! can project on one 64x100G and one 128x100G switch, then concretely
+//! deploys one mid-size WAN with SDT and audits the dataplane.
+//!
+//! Run with: `cargo run --release --example wan_projection`
+
+use sdt::controller::SdtController;
+use sdt::core::feasibility::projectable_count;
+use sdt::core::methods::{Method, SwitchModel};
+use sdt::core::walk::IsolationReport;
+use sdt::topology::zoo::{zoo_corpus, zoo_graph, ZOO_SIZE};
+use sdt::topology::{HostId, SwitchId, Topology, TopologyBuilder};
+
+/// Attach hosts to the first few switches of a WAN graph so there is
+/// traffic to audit (the corpus itself is pure fabric).
+fn with_hosts(wan: &Topology, hosts: u32) -> Topology {
+    let n = wan.num_switches();
+    let h = hosts.min(n);
+    let mut b = TopologyBuilder::new(format!("{}-hosted", wan.name()), n, h);
+    for l in wan.fabric_links() {
+        b.fabric(l.a.as_switch().unwrap(), l.b.as_switch().unwrap());
+    }
+    for s in 0..h {
+        b.attach(HostId(s), SwitchId(s));
+    }
+    b.build().expect("hosted WAN is valid")
+}
+
+fn main() {
+    let corpus = zoo_corpus();
+    println!("corpus: {} WAN graphs (sizes {}..{})",
+        ZOO_SIZE,
+        corpus.iter().map(|t| t.num_switches()).min().unwrap(),
+        corpus.iter().map(|t| t.num_switches()).max().unwrap());
+
+    println!("\nprojectable WANs per method (Table II bottom row; paper: SP/SP-OS/SDT 260, TurboNet 248-249):");
+    for (label, model, count) in [
+        ("4x 64x100G", SwitchModel::openflow_64x100g(), 4u32),
+        ("2x 128x100G", SwitchModel::openflow_128x100g(), 2),
+        ("4x 128x100G", SwitchModel::openflow_128x100g(), 4),
+    ] {
+        print!("  {label:<14}");
+        for m in Method::ALL {
+            let n = projectable_count(m, &corpus, &model, count);
+            print!("{}: {n:<6}", m.name());
+        }
+        println!();
+    }
+
+    // Deploy one mid-size WAN for real.
+    let wan = with_hosts(&zoo_graph(12), 8);
+    println!("\ndeploying {} ({} routers, {} links) with SDT on one 128-port switch...",
+        wan.name(), wan.num_switches(), wan.num_fabric_links());
+    let n_hosts = wan.num_hosts() as u16;
+    let cluster = sdt::core::cluster::ClusterBuilder::new(SwitchModel::openflow_128x100g(), 1)
+        .hosts_per_switch(n_hosts)
+        .build();
+    let mut ctl = SdtController::new(cluster);
+    match ctl.deploy(&wan) {
+        Ok(d) => {
+            let audit = IsolationReport::audit(ctl.cluster(), &d.projection, &d.topology);
+            println!("  deployed: {} flow entries, audit {} pairs delivered, {} violations",
+                d.projection.total_entries(), audit.delivered, audit.violations.len());
+            assert!(audit.clean());
+        }
+        Err(e) => println!("  deployment refused: {e}"),
+    }
+}

@@ -1,0 +1,118 @@
+//! Deadlock avoidance end-to-end (§VI-E, Table III's third column).
+//!
+//! Two layers must agree:
+//! 1. the static channel-dependency-graph analysis (controller gate), and
+//! 2. the dynamic fabric: in the lossless simulator, a cyclic routing
+//!    function must *actually wedge* (caught by the watchdog), and the
+//!    Table III schemes must never wedge.
+
+use sdt::routing::cdg::analyze;
+use sdt::routing::dimension::DimensionOrder;
+use sdt::routing::{Route, RouteTable, RoutingStrategy};
+use sdt::sim::{run_trace, SimConfig, SimOutcome};
+use sdt::topology::meshtorus::{torus, GridIds};
+use sdt::topology::{HostId, SwitchId, Topology};
+use sdt::workloads::apps::imb_alltoall;
+
+/// Dimension-order torus routing that always goes the positive direction
+/// and never changes VC: the canonical deadlock-prone function.
+struct NaiveTorus {
+    ids: GridIds,
+}
+
+impl NaiveTorus {
+    fn new(dims: &[u32]) -> Self {
+        NaiveTorus { ids: GridIds::new(dims) }
+    }
+}
+
+impl RoutingStrategy for NaiveTorus {
+    fn name(&self) -> &str {
+        "naive-torus-single-vc"
+    }
+    fn num_vcs(&self) -> u8 {
+        1
+    }
+    fn route(&self, _topo: &Topology, from: SwitchId, to: SwitchId) -> Route {
+        let mut coord = self.ids.coord_of(from);
+        let dst = self.ids.coord_of(to);
+        let mut hops = vec![from];
+        for dim in 0..coord.len() {
+            let extent = self.ids.dims()[dim];
+            while coord[dim] != dst[dim] {
+                coord[dim] = (coord[dim] + 1) % extent; // always positive
+                hops.push(self.ids.id_of(&coord));
+            }
+        }
+        let vcs = vec![0; hops.len() - 1];
+        Route { hops, vcs }
+    }
+}
+
+#[test]
+fn naive_torus_routing_flagged_by_cdg() {
+    let t = torus(&[4, 4]);
+    let table = RouteTable::build_for_hosts(&t, &NaiveTorus::new(&[4, 4]));
+    assert!(
+        !analyze(&table).is_free(),
+        "single-VC unidirectional torus routing must have a CDG cycle"
+    );
+}
+
+#[test]
+fn naive_torus_routing_deadlocks_in_lossless_fabric() {
+    let t = torus(&[4, 4]);
+    let table = RouteTable::build(&t, &NaiveTorus::new(&[4, 4]));
+    let hosts: Vec<HostId> = (0..16).map(HostId).collect();
+    // Heavy alltoall with tiny buffers: the dependency cycle fills and
+    // wedges; the watchdog must catch it instead of spinning forever.
+    let cfg = SimConfig {
+        vc_buffer_bytes: 4 * 1500,
+        deadlock_timeout_ns: 10_000_000,
+        max_sim_ns: 3_000_000_000,
+        ..SimConfig::testbed_10g()
+    };
+    let trace = imb_alltoall(16, 256 * 1024, 1);
+    let res = run_trace(&t, table, cfg, &trace, &hosts);
+    assert_eq!(res.outcome, SimOutcome::Deadlock, "expected a real deadlock");
+}
+
+#[test]
+fn dateline_torus_routing_survives_the_same_load() {
+    let t = torus(&[4, 4]);
+    let table = RouteTable::build(&t, &DimensionOrder::torus(vec![4, 4]));
+    assert!(analyze(&table).is_free());
+    let hosts: Vec<HostId> = (0..16).map(HostId).collect();
+    let cfg = SimConfig {
+        vc_buffer_bytes: 4 * 1500,
+        deadlock_timeout_ns: 10_000_000,
+        max_sim_ns: 30_000_000_000,
+        ..SimConfig::testbed_10g()
+    };
+    let trace = imb_alltoall(16, 256 * 1024, 1);
+    let res = run_trace(&t, table, cfg, &trace, &hosts);
+    assert_eq!(res.outcome, SimOutcome::Completed);
+}
+
+#[test]
+fn all_table3_schemes_complete_under_stress() {
+    use sdt::routing::default_strategy;
+    use sdt::topology::dragonfly::dragonfly;
+    use sdt::topology::fattree::fat_tree;
+    let cases: Vec<Topology> =
+        vec![fat_tree(4), dragonfly(4, 9, 2, 2), torus(&[4, 4]), torus(&[2, 2, 2])];
+    for topo in cases {
+        let strategy = default_strategy(&topo);
+        let table = RouteTable::build(&topo, strategy.as_ref());
+        let n = topo.num_hosts().min(16);
+        let hosts: Vec<HostId> = (0..n).map(HostId).collect();
+        let cfg = SimConfig {
+            vc_buffer_bytes: 8 * 1500,
+            deadlock_timeout_ns: 20_000_000,
+            ..SimConfig::testbed_10g()
+        };
+        let trace = imb_alltoall(n, 64 * 1024, 1);
+        let res = run_trace(&topo, table, cfg, &trace, &hosts);
+        assert_eq!(res.outcome, SimOutcome::Completed, "{}", topo.name());
+    }
+}

@@ -1,0 +1,104 @@
+//! Config file → controller → projection → simulator, end to end, plus the
+//! Table IV consistency property: packet-granular "testbed" ACTs and
+//! flit-granular "simulator" ACTs agree within a few percent while the
+//! flit run costs far more events.
+
+use sdt::controller::{SdtController, TestbedConfig};
+use sdt::core::walk::IsolationReport;
+use sdt::routing::{default_strategy, RouteTable};
+use sdt::sim::{run_trace, SimConfig};
+use sdt::topology::HostId;
+use sdt::workloads::apps::{hpcg, imb_alltoall};
+use sdt::workloads::{select_nodes, MachineModel};
+
+#[test]
+fn config_to_deployment_to_simulation() {
+    let cfg = TestbedConfig::parse(
+        r#"
+        [topology]
+        kind = "torus"
+        dims = [4, 4]
+        [cluster]
+        switches = 2
+        model = "openflow-128x100g"
+        hosts_per_switch = 16
+        inter_links_per_pair = 8
+        [routing]
+        strategy = "dimension-order"
+        "#,
+    )
+    .unwrap();
+    let mut ctl = SdtController::from_config(&cfg);
+    let d = ctl.deploy_with(&cfg.topology, &cfg.strategy).unwrap();
+    let audit = IsolationReport::audit(ctl.cluster(), &d.projection, &d.topology);
+    assert!(audit.clean());
+
+    // Now run a workload over the deployed topology with the SDT overhead.
+    let hosts: Vec<HostId> = (0..8).map(HostId).collect();
+    let trace = imb_alltoall(8, 16 * 1024, 2);
+    let sim_cfg = SimConfig { extra_switch_ns: 8, ..SimConfig::testbed_10g() };
+    let res = run_trace(&cfg.topology, d.routes.clone(), sim_cfg, &trace, &hosts);
+    assert!(res.act_ns.is_some());
+}
+
+#[test]
+fn table4_consistency_act_matches_across_granularity() {
+    // One Table IV cell end-to-end: HPCG on the 4x4 torus.
+    let topo = sdt::topology::meshtorus::torus(&[4, 4]);
+    let strategy = default_strategy(&topo);
+    let routes = RouteTable::build(&topo, strategy.as_ref());
+    let hosts = select_nodes(&topo, 8, 11);
+    let m = MachineModel::default();
+    let trace = hpcg(8, 24, 2, &m);
+
+    // "SDT": packet cells + crossbar-sharing overhead; runs in real time on
+    // hardware, so its evaluation time is the ACT itself.
+    let sdt_cfg = SimConfig { extra_switch_ns: 8, ..SimConfig::testbed_10g() };
+    let sdt = run_trace(&topo, routes.clone(), sdt_cfg, &trace, &hosts);
+
+    // "Simulator": flit cells, no projection overhead; its cost is
+    // wall-clock.
+    let sim = run_trace(&topo, routes, SimConfig::simulator_flit(), &trace, &hosts);
+
+    let (a, b) = (sdt.act_ns.unwrap() as f64, sim.act_ns.unwrap() as f64);
+    let dev = (a - b).abs() / b;
+    assert!(dev < 0.05, "ACT deviation {dev} exceeds Table IV's ±3% band by far");
+    assert!(
+        sim.events > 5 * sdt.events,
+        "flit mode should cost much more work: {} vs {}",
+        sim.events,
+        sdt.events
+    );
+}
+
+#[test]
+fn campaign_fig13_shape_deploy_time_then_act() {
+    // Fig. 13 in miniature: SDT evaluation time = deploy + ACT; the deploy
+    // component is constant while ACT grows with node count.
+    let topo = sdt::topology::dragonfly::dragonfly(4, 9, 2, 2);
+    let mut ctl = SdtController::for_campaign(
+        std::slice::from_ref(&topo),
+        sdt::core::methods::SwitchModel::openflow_128x100g(),
+        3,
+    )
+    .expect("dragonfly fits on 3x128");
+    let d = ctl.deploy(&topo).unwrap();
+    let deploy_ns = d.deploy_time_ns;
+    assert!(deploy_ns > 0);
+
+    let mut prev_act = 0;
+    for n in [2u32, 8, 16] {
+        let hosts = select_nodes(&topo, n, 5);
+        let trace = imb_alltoall(n, 32 * 1024, 1);
+        let res = run_trace(
+            &topo,
+            d.routes.clone(),
+            SimConfig { extra_switch_ns: 8, ..SimConfig::testbed_10g() },
+            &trace,
+            &hosts,
+        );
+        let act = res.act_ns.unwrap();
+        assert!(act > prev_act, "alltoall ACT must grow with ranks");
+        prev_act = act;
+    }
+}

@@ -1,0 +1,189 @@
+//! Projection correctness across topology families and cluster sizes: every
+//! host pair is delivered through the physical dataplane, and the physical
+//! hop count equals the logical route length.
+
+use sdt::controller::SdtController;
+use sdt::core::cluster::ClusterBuilder;
+use sdt::core::methods::SwitchModel;
+use sdt::core::walk::{walk_packet, IsolationReport, WalkOutcome};
+use sdt::routing::{default_strategy, RouteTable};
+use sdt::topology::chain::{chain, ring, star};
+use sdt::topology::dragonfly::dragonfly;
+use sdt::topology::fattree::fat_tree;
+use sdt::topology::meshtorus::{mesh, torus};
+use sdt::topology::{HostId, Topology};
+
+fn deploy_and_audit(topo: &Topology, switches: u32, hosts: u16, inter: u16) {
+    let cluster = ClusterBuilder::new(SwitchModel::openflow_128x100g(), switches)
+        .hosts_per_switch(hosts)
+        .inter_links_per_pair(inter)
+        .build();
+    let mut ctl = SdtController::new(cluster);
+    let d = ctl
+        .deploy(topo)
+        .unwrap_or_else(|e| panic!("{} on {switches} switches: {e}", topo.name()));
+    let report = IsolationReport::audit(ctl.cluster(), &d.projection, &d.topology);
+    assert!(
+        report.clean(),
+        "{} on {switches} switches: {:?}",
+        topo.name(),
+        report.violations
+    );
+    let h = topo.num_hosts() as usize;
+    assert_eq!(report.delivered, h * (h - 1));
+}
+
+#[test]
+fn families_on_one_switch() {
+    for topo in [chain(8), ring(6), star(5), mesh(&[3, 3]), torus(&[4, 4])] {
+        deploy_and_audit(&topo, 1, 32, 0);
+    }
+}
+
+#[test]
+fn families_on_two_switches() {
+    deploy_and_audit(&fat_tree(4), 2, 16, 16);
+    deploy_and_audit(&torus(&[4, 4]), 2, 16, 8);
+    deploy_and_audit(&mesh(&[4, 4]), 2, 16, 8);
+}
+
+#[test]
+fn dragonfly_on_three_switches() {
+    deploy_and_audit(&dragonfly(4, 9, 2, 2), 3, 32, 20);
+}
+
+#[test]
+fn torus_on_four_switches() {
+    // Fig. 7 Case B: 4x4 torus over 4 switches.
+    deploy_and_audit(&torus(&[4, 4]), 4, 8, 8);
+}
+
+#[test]
+fn physical_hops_equal_logical_route_length() {
+    let topo = dragonfly(4, 9, 2, 2);
+    let cluster = ClusterBuilder::new(SwitchModel::openflow_128x100g(), 3)
+        .hosts_per_switch(32)
+        .inter_links_per_pair(20)
+        .build();
+    let mut ctl = SdtController::new(cluster);
+    let d = ctl.deploy(&topo).unwrap();
+    let strategy = default_strategy(&topo);
+    let routes = RouteTable::build_for_hosts(&topo, strategy.as_ref());
+    let mut switches = d.switches.clone();
+    for a in [0u32, 5, 17, 40, 71] {
+        for b in [3u32, 11, 29, 63] {
+            if a == b {
+                continue;
+            }
+            let (src, dst) = (HostId(a), HostId(b));
+            let (sa, sb) = (topo.host_switch(src), topo.host_switch(dst));
+            let expect = if sa == sb {
+                1
+            } else {
+                routes.route(sa, sb).hops.len()
+            };
+            match walk_packet(ctl.cluster(), &mut switches, &d.projection, &topo, src, dst) {
+                WalkOutcome::Delivered { to, path } => {
+                    assert_eq!(to, dst);
+                    assert_eq!(
+                        path.len(),
+                        expect,
+                        "h{a}->h{b}: physical {} vs logical {expect}",
+                        path.len()
+                    );
+                }
+                other => panic!("h{a}->h{b}: {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn reconfiguration_campaign_preserves_correctness() {
+    // Deploy a sequence of different topologies on one wiring and audit
+    // each — the paper's "multiple sets of experiments under different
+    // topologies by simply using different configuration files".
+    let targets = [fat_tree(4), torus(&[4, 4]), mesh(&[4, 4]), chain(8)];
+    let mut ctl = SdtController::for_campaign(
+        &targets,
+        SwitchModel::openflow_128x100g(),
+        2,
+    )
+    .expect("campaign fits");
+    let mut prev = None;
+    for topo in &targets {
+        let d = match prev.take() {
+            None => ctl.deploy(topo).unwrap(),
+            Some(p) => ctl.reconfigure(&p, topo).unwrap().0,
+        };
+        let report = IsolationReport::audit(ctl.cluster(), &d.projection, &d.topology);
+        assert!(report.clean(), "{}: {:?}", topo.name(), report.violations);
+        prev = Some(d);
+    }
+    assert_eq!(ctl.reconfigurations, 3);
+}
+
+#[test]
+fn flow_table_budget_stays_modest() {
+    // §VII-C: entries stay in the hundreds for DC-scale projections.
+    let topo = fat_tree(4);
+    let cluster = ClusterBuilder::new(SwitchModel::openflow_128x100g(), 2)
+        .hosts_per_switch(16)
+        .inter_links_per_pair(16)
+        .build();
+    let mut ctl = SdtController::new(cluster);
+    let d = ctl.deploy(&topo).unwrap();
+    for &n in &d.projection.synthesis.entries_per_switch {
+        assert!(n <= 400, "{n} entries");
+    }
+}
+
+#[test]
+fn bcube_projects_with_multihomed_hosts() {
+    // BCube is server-centric: all links are host attachments, hosts are
+    // multi-homed, and switch-level routing only reaches hosts behind the
+    // same logical switch (relaying through hosts is out of scope — see
+    // sdt-topology's bcube docs). Projection must still place every
+    // attachment on its own physical port and keep level-0 groups working.
+    use sdt::topology::bcube::bcube;
+    let topo = bcube(4, 1); // 16 dual-homed hosts, 8 radix-4 switches
+    let cluster = ClusterBuilder::new(SwitchModel::openflow_128x100g(), 1)
+        .hosts_per_switch(32) // 16 hosts x 2 attachments
+        .build();
+    let mut ctl = SdtController::new(cluster);
+    let d = ctl.deploy(&topo).unwrap();
+    // Every attachment (host, link) got a distinct port.
+    assert_eq!(d.projection.host_port.len(), 32);
+    let unique: std::collections::HashSet<_> = d.projection.host_port.values().collect();
+    assert_eq!(unique.len(), 32);
+    let report = IsolationReport::audit(ctl.cluster(), &d.projection, &d.topology);
+    assert!(report.clean(), "{:?}", report.violations);
+    // Same level-0 switch: 4 hosts per switch x 4 switches, ordered pairs.
+    assert_eq!(report.delivered, 4 * (4 * 3));
+}
+
+#[test]
+fn synthesized_pipelines_have_no_shadowed_entries() {
+    // Shadowed TCAM entries would mean the synthesis wastes capacity or,
+    // worse, that some routing decision is unreachable.
+    use sdt::openflow::shadowed_entries;
+    use sdt::topology::dragonfly::dragonfly;
+    for (topo, switches, hosts, inter) in [
+        (fat_tree(4), 2u32, 16u16, 16u16),
+        (torus(&[4, 4]), 2, 16, 8),
+        (dragonfly(4, 9, 2, 2), 3, 32, 20),
+    ] {
+        let cluster = ClusterBuilder::new(SwitchModel::openflow_128x100g(), switches)
+            .hosts_per_switch(hosts)
+            .inter_links_per_pair(inter)
+            .build();
+        let mut ctl = SdtController::new(cluster);
+        let d = ctl.deploy(&topo).unwrap();
+        for tables in [&d.projection.synthesis.table0, &d.projection.synthesis.table1] {
+            for t in tables {
+                let sh = shadowed_entries(t);
+                assert!(sh.is_empty(), "{}: shadowed {sh:?}", topo.name());
+            }
+        }
+    }
+}

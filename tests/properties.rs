@@ -1,0 +1,125 @@
+//! Property-based tests over the core invariants.
+
+use proptest::prelude::*;
+use sdt::core::cluster::ClusterBuilder;
+use sdt::core::methods::SwitchModel;
+use sdt::core::sdt::SdtProjector;
+use sdt::core::walk::IsolationReport;
+use sdt::partition::{partition, Graph, PartitionConfig};
+use sdt::routing::cdg::analyze;
+use sdt::routing::{default_strategy, RouteTable};
+use sdt::topology::{HostId, SwitchId, Topology, TopologyBuilder};
+use sdt::workloads::collectives;
+use sdt::workloads::Trace;
+
+/// Random connected topology: spanning tree + extra edges + 1 host per
+/// switch.
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    (2u32..14, 0usize..12, any::<u64>()).prop_map(|(n, extra, seed)| {
+        let mut b = TopologyBuilder::new(format!("rand-{n}-{extra}"), n, n);
+        // Deterministic LCG from the seed for edge picks.
+        let mut state = seed | 1;
+        let mut next = |m: u32| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as u32) % m
+        };
+        let mut have = std::collections::HashSet::new();
+        for i in 1..n {
+            let j = next(i);
+            b.fabric(SwitchId(j), SwitchId(i));
+            have.insert((j.min(i), j.max(i)));
+        }
+        for _ in 0..extra {
+            let x = next(n);
+            let y = next(n);
+            if x != y && have.insert((x.min(y), x.max(y))) {
+                b.fabric(SwitchId(x.min(y)), SwitchId(x.max(y)));
+            }
+        }
+        for i in 0..n {
+            b.attach(HostId(i), SwitchId(i));
+        }
+        b.build().expect("constructed valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any random topology projects onto a big-enough cluster and passes
+    /// the full dataplane audit — delivery everywhere, no leaks, no loops.
+    #[test]
+    fn random_topologies_project_and_audit((topo, switches) in (arb_topology(), 1u32..4)) {
+        let cluster = ClusterBuilder::new(SwitchModel::openflow_128x100g(), switches)
+            .hosts_per_switch(16)
+            .inter_links_per_pair(if switches > 1 { 20 } else { 0 })
+            .build();
+        let strategy = default_strategy(&topo);
+        let routes = RouteTable::build_for_hosts(&topo, strategy.as_ref());
+        // The generic up/down strategy must always pass the CDG gate.
+        prop_assert!(analyze(&routes).is_free());
+        let proj = SdtProjector::default().project(&topo, &cluster, &routes);
+        let proj = match proj {
+            Ok(p) => p,
+            // Dense random graphs can legitimately exhaust self-links on
+            // small clusters; that is a correct refusal, not a bug.
+            Err(_) => return Ok(()),
+        };
+        let report = IsolationReport::audit(&cluster, &proj, &topo);
+        prop_assert!(report.clean(), "{:?}", report.violations);
+        let h = topo.num_hosts() as usize;
+        prop_assert_eq!(report.delivered, h * (h - 1));
+    }
+
+    /// Partitioning covers every vertex, respects the part count, and never
+    /// loses weight.
+    #[test]
+    fn partition_invariants(
+        n in 2u32..40,
+        k in 1u32..5,
+        edges in proptest::collection::vec((0u32..40, 0u32..40), 0..80),
+        seed in any::<u64>()
+    ) {
+        let edges: Vec<(u32, u32, u64)> = edges
+            .into_iter()
+            .filter(|(a, b)| a % n != b % n)
+            .map(|(a, b)| (a % n, b % n, 1))
+            .collect();
+        let g = Graph::from_edges(n, &edges, vec![1; n as usize]);
+        let cfg = PartitionConfig { seed, ..PartitionConfig::default() };
+        let p = partition(&g, k, &cfg);
+        prop_assert_eq!(p.assignment().len(), n as usize);
+        prop_assert!(p.assignment().iter().all(|&a| a < k));
+        let loads = p.part_vertex_loads(&g);
+        prop_assert_eq!(loads.iter().sum::<u64>(), n as u64);
+        // Cut + internal = total edges.
+        let internal: u64 = p.part_edge_loads(&g).iter().sum();
+        prop_assert_eq!(p.cut_edges(&g) + internal, g.total_ewgt());
+    }
+
+    /// Collective expansions always produce matched traces.
+    #[test]
+    fn collectives_always_match(n in 2u32..12, bytes in 1u64..100_000) {
+        let mut t = Trace::new("prop", n);
+        collectives::alltoall(&mut t, bytes, 0);
+        collectives::allreduce(&mut t, bytes, 1_000);
+        collectives::bcast(&mut t, n - 1, bytes, 2_000);
+        collectives::ring_bcast(&mut t, 1 % n, bytes, 3_000);
+        collectives::barrier(&mut t, 4_000);
+        prop_assert!(t.validate().is_ok());
+    }
+
+    /// Route tables from the default strategies are always valid and
+    /// deadlock-free on random graphs (up/down fallback).
+    #[test]
+    fn default_routing_valid_on_random_graphs(topo in arb_topology()) {
+        let strategy = default_strategy(&topo);
+        let table = RouteTable::build_for_hosts(&topo, strategy.as_ref());
+        for ((a, b), r) in table.iter() {
+            prop_assert!(r.validate(&topo).is_ok(), "{a:?}->{b:?}");
+            prop_assert_eq!(*r.hops.first().unwrap(), *a);
+            prop_assert_eq!(*r.hops.last().unwrap(), *b);
+        }
+        prop_assert!(analyze(&table).is_free());
+    }
+}
