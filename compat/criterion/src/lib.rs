@@ -1,0 +1,204 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`, `Throughput`,
+//! and the `criterion_group!`/`criterion_main!` macros — backed by a
+//! simple median-of-samples timing harness. Statistical machinery
+//! (outlier analysis, HTML reports) is out of scope; each benchmark
+//! prints `name  median ns/iter  (samples, iters/sample)` so regressions
+//! remain visible in CI logs and in `results/BENCH_*.json` emitters.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation (recorded, used to derive per-element rates).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to the closure of [`BenchmarkGroup::bench_function`]; runs and
+/// times the measured routine.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<f64>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, collecting `sample_size` samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fit in ~1/sample_size of the
+        // measurement budget, minimum 1.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_sample = self.measurement_time.div_f64(self.sample_size as f64);
+        let iters = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total time budget to spread over the samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Record the per-iteration workload size.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark and print its median time.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let mut b = Bencher {
+            samples: &mut samples,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut b);
+        let full = format!("{}/{}", self.name, id);
+        let median = report(&full, &mut samples);
+        if let (Some(tp), Some(med)) = (self.throughput, median) {
+            match tp {
+                Throughput::Elements(n) => {
+                    println!("{full:<48} {:.0} elem/s", n as f64 * 1e9 / med)
+                }
+                Throughput::Bytes(n) => {
+                    println!("{full:<48} {:.1} MiB/s", n as f64 * 1e9 / med / (1 << 20) as f64)
+                }
+            }
+        }
+        self.criterion.ran += 1;
+        self
+    }
+
+    /// End the group (kept for API parity; reporting is immediate).
+    pub fn finish(&mut self) {}
+}
+
+fn report(name: &str, samples: &mut [f64]) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+    let median = samples[samples.len() / 2];
+    let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+    println!("{name:<48} median {:>12} [{} .. {}] ({} samples)",
+        fmt_ns(median), fmt_ns(lo), fmt_ns(hi), samples.len());
+    Some(median)
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    default_sample_size: usize,
+    default_measurement_time: Duration,
+    ran: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+            // Upstream's default is 5 s; keep runs quick in this harness.
+            default_measurement_time: Duration::from_secs(2),
+            ran: 0,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let (n, t) = (self.default_sample_size, self.default_measurement_time);
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: n,
+            measurement_time: t,
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark (an anonymous group of one).
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id: String = id.into();
+        self.benchmark_group(id.clone()).bench_function("", f);
+        self
+    }
+
+    /// Post-run hook (no-op; kept for `criterion_main!` parity).
+    pub fn final_summary(&self) {
+        println!("ran {} benchmarks", self.ran);
+    }
+}
+
+/// Bundle benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}

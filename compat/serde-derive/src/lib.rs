@@ -1,0 +1,17 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline `serde`
+//! stand-in. The workspace only uses serde as derive annotations (no
+//! serializer is ever instantiated in-tree), so deriving nothing is
+//! sufficient for the build; the real crate can be swapped back in by
+//! repointing the workspace dependency once a registry is available.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace uses serde exclusively as `#[derive(Serialize,
+//! Deserialize)]` annotations — nothing in-tree instantiates a
+//! serializer — so this facade only needs to make those derives resolve.
+//! The derives themselves expand to nothing (see `sdt-serde-derive`).
+
+pub use sdt_serde_derive::{Deserialize, Serialize};

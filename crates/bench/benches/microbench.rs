@@ -7,11 +7,14 @@ use sdt::core::methods::SwitchModel;
 use sdt::core::sdt::SdtProjector;
 use sdt::openflow::{Action, FlowEntry, FlowMatch, FlowMod, HostAddr, OpenFlowSwitch, PacketMeta, PortNo, SwitchConfig};
 use sdt::partition::{partition_topology, PartitionConfig};
-use sdt::routing::{generic::Bfs, RouteTable};
-use sdt::sim::{SimConfig, Simulator};
+use sdt::routing::{generic::Bfs, Route, RouteTable};
+use sdt::sim::{run_trace, SimConfig, Simulator};
 use sdt::topology::chain::chain;
 use sdt::topology::fattree::fat_tree;
-use sdt::topology::HostId;
+use sdt::topology::{HostId, SwitchId};
+use sdt::workloads::{apps, select_nodes};
+use sdt_bench::SDT_EXTRA_NS;
+use std::collections::HashMap;
 use std::hint::black_box;
 
 fn bench_partition(c: &mut Criterion) {
@@ -101,5 +104,59 @@ fn bench_simulator(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(micro, bench_partition, bench_projection, bench_flow_table, bench_simulator);
+/// The fabric-engine hot path after the dense-index overhaul: route
+/// lookups against the `Vec`-backed all-pairs table (vs the HashMap
+/// baseline it replaced — the dense path must stay well ahead), and a full
+/// Table IV workload replay exercising the CSR channel index plus the
+/// two-tier event queue end to end.
+fn bench_engine_hot_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_hot_path");
+    let topo = fat_tree(4);
+    let routes = RouteTable::build(&topo, &Bfs::new(&topo));
+    let pairs: Vec<(SwitchId, SwitchId)> = routes.iter().map(|(&p, _)| p).collect();
+    let baseline: HashMap<(SwitchId, SwitchId), Route> =
+        routes.iter().map(|(&p, r)| (p, r.clone())).collect();
+
+    g.throughput(Throughput::Elements(pairs.len() as u64));
+    g.bench_function("route_lookup_dense", |b| {
+        b.iter(|| {
+            let mut hops = 0usize;
+            for &(s, d) in &pairs {
+                hops += routes.try_route(s, d).map_or(0, |r| r.hops.len());
+            }
+            black_box(hops)
+        })
+    });
+    g.bench_function("route_lookup_hashmap_baseline", |b| {
+        b.iter(|| {
+            let mut hops = 0usize;
+            for &(s, d) in &pairs {
+                hops += baseline.get(&(s, d)).map_or(0, |r| r.hops.len());
+            }
+            black_box(hops)
+        })
+    });
+
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(8));
+    let trace = apps::imb_alltoall(16, 32 * 1024, 1);
+    let hosts = select_nodes(&topo, 16, 2023);
+    let cfg = SimConfig { extra_switch_ns: SDT_EXTRA_NS, ..SimConfig::testbed_10g() };
+    g.bench_function("table4_alltoall_fattree_k4", |b| {
+        b.iter(|| {
+            let res = run_trace(&topo, routes.clone(), cfg.clone(), &trace, &hosts);
+            black_box(res.events)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    micro,
+    bench_partition,
+    bench_projection,
+    bench_flow_table,
+    bench_simulator,
+    bench_engine_hot_path
+);
 criterion_main!(micro);

@@ -19,7 +19,7 @@ use sdt::topology::fattree::fat_tree;
 use sdt::topology::meshtorus::torus;
 use sdt::topology::{HostId, SwitchId, Topology};
 use sdt::workloads::apps::{imb_alltoall, imb_pingpong};
-use sdt_bench::fmt_ns;
+use sdt_bench::{fmt_ns, par_map};
 
 fn main() {
     ablate_partitioner();
@@ -34,21 +34,27 @@ fn ablate_partitioner() {
         "{:<22}{:>10}{:>10}{:>12}{:>12}",
         "topology", "fm_passes", "epsilon", "cut", "imbalance"
     );
-    for topo in [fat_tree(4), torus(&[4, 4]), dragonfly(4, 9, 2, 2)] {
+    let grid: Vec<(Topology, usize, f64)> = [fat_tree(4), torus(&[4, 4]), dragonfly(4, 9, 2, 2)]
+        .into_iter()
+        .flat_map(|topo| {
+            [(0usize, 0.10f64), (8, 0.10), (8, 0.50)].map(|(fm, eps)| (topo.clone(), fm, eps))
+        })
+        .collect();
+    for line in par_map(&grid, |(topo, fm, eps)| {
         let (adj, vwgt) = topo.switch_graph();
         let g = Graph::from_adj(adj, vwgt);
-        for (fm, eps) in [(0usize, 0.10f64), (8, 0.10), (8, 0.50)] {
-            let cfg = PartitionConfig { fm_passes: fm, epsilon: eps, ..Default::default() };
-            let p = partition_topology(&topo, 2, &cfg);
-            println!(
-                "{:<22}{:>10}{:>10.2}{:>12}{:>11.1}%",
-                topo.name(),
-                fm,
-                eps,
-                p.cut_edges(&g),
-                p.imbalance(&g) * 100.0
-            );
-        }
+        let cfg = PartitionConfig { fm_passes: *fm, epsilon: *eps, ..Default::default() };
+        let p = partition_topology(topo, 2, &cfg);
+        format!(
+            "{:<22}{:>10}{:>10.2}{:>12}{:>11.1}%",
+            topo.name(),
+            fm,
+            eps,
+            p.cut_edges(&g),
+            p.imbalance(&g) * 100.0
+        )
+    }) {
+        println!("{line}");
     }
     println!("(expected: FM refinement lowers the cut; loosening epsilon trades balance");
     println!(" for cut — the two terms of the paper's alpha*cut + beta*balance objective)\n");
@@ -109,15 +115,17 @@ fn ablate_cut_through() {
     let topo = chain(8);
     let routes = RouteTable::build(&topo, &Bfs::new(&topo));
     let hosts = [HostId(0), HostId(7)];
-    for ct in [true, false] {
+    for line in par_map(&[true, false], |&ct| {
         let cfg = SimConfig { cut_through: ct, ..SimConfig::testbed_10g() };
         let res = run_trace(&topo, routes.clone(), cfg, &imb_pingpong(1500, 50), &hosts);
         let rtt = res.act_ns.unwrap() as f64 / 50.0;
-        println!(
+        format!(
             "  {:<18} 8-hop 1500B pingpong RTT: {}",
             if ct { "cut-through" } else { "store-and-forward" },
             fmt_ns(rtt)
-        );
+        )
+    }) {
+        println!("{line}");
     }
     println!("(the paper's fabric runs cut-through; store-and-forward pays one extra");
     println!(" serialization per hop and would inflate small-message RTTs)\n");
@@ -131,19 +139,21 @@ fn ablate_granularity() {
     let hosts: Vec<HostId> = (0..16).map(HostId).collect();
     let trace = imb_alltoall(16, 32 * 1024, 1);
     println!("{:>12}{:>14}{:>14}{:>14}", "cell bytes", "ACT", "wall", "events");
-    for cell in [1500u32, 512, 256, 64] {
+    for line in par_map(&[1500u32, 512, 256, 64], |&cell| {
         let cfg = SimConfig {
             granularity: Granularity::Custom(cell),
             ..SimConfig::testbed_10g()
         };
         let res = run_trace(&topo, routes.clone(), cfg, &trace, &hosts);
-        println!(
+        format!(
             "{:>12}{:>14}{:>14}{:>14}",
             cell,
             fmt_ns(res.act_ns.unwrap() as f64),
             fmt_ns(res.wall_ns as f64),
             res.events
-        );
+        )
+    }) {
+        println!("{line}");
     }
     println!("(ACT converges across granularities — the Table IV deviation band — while");
     println!(" event count and wall-clock scale inversely with cell size)");

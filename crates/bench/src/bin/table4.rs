@@ -8,8 +8,7 @@
 //! reproduced: ACT deviation within a few percent, and speedups ordered by
 //! communication intensity (HPL < HPCG < miniGhost < miniFE < IMB).
 
-use sdt::workloads::select_nodes;
-use sdt_bench::{fmt_ns, table4_cell, table4_topologies, table4_workloads};
+use sdt_bench::{bench_threads, fmt_ns, table4_grid, table4_topologies, table4_workloads};
 
 fn main() {
     let topologies = table4_topologies();
@@ -22,30 +21,24 @@ fn main() {
         print!("{n:>18}");
     }
     println!();
-    for (topo, deploy_ns) in &topologies {
+    let grid = table4_grid(&topologies, 32);
+    for ((topo, _), row) in topologies.iter().zip(&grid) {
         print!("{:<18}", topo.name());
-        let ranks = topo.num_hosts().min(32);
-        for (name, trace) in table4_workloads(ranks) {
-            let n = trace.num_ranks();
-            let hosts = select_nodes(topo, n, 2023);
-            let cell = table4_cell(topo, &trace, &hosts, *deploy_ns);
-            let _ = name;
+        for cell in row {
             print!("{:>18}", format!("{:.1}x ({:+.1}%)", cell.speedup(), cell.act_dev_pct()));
         }
         println!();
     }
+    println!("\n(grid computed on {} sweep threads)", bench_threads());
     println!();
     // Detail block for one topology, with raw numbers.
-    let (topo, deploy_ns) = &topologies[0];
+    let (topo, _) = &topologies[0];
     println!("detail ({}):", topo.name());
     println!(
         "{:<18}{:>14}{:>14}{:>14}{:>14}{:>12}",
         "app", "SDT ACT", "sim ACT", "sim wall", "SDT eval", "sim events"
     );
-    let ranks = topo.num_hosts().min(32);
-    for (_, trace) in table4_workloads(ranks) {
-        let hosts = select_nodes(topo, trace.num_ranks(), 2023);
-        let c = table4_cell(topo, &trace, &hosts, *deploy_ns);
+    for c in &grid[0] {
         println!(
             "{:<18}{:>14}{:>14}{:>14}{:>14}{:>12}",
             &c.app[..c.app.len().min(18)],

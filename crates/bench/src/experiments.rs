@@ -36,7 +36,8 @@ pub struct Fig11Point {
 }
 
 /// Fig. 11: pingpong across the Fig. 10 8-switch chain (node 1 → node 8),
-/// full testbed vs SDT, over message sizes.
+/// full testbed vs SDT, over message sizes. Sizes run in parallel; each
+/// point owns its simulator, so the sweep is bit-identical to sequential.
 pub fn fig11_sweep(sizes: &[u64], reps: u32) -> Vec<Fig11Point> {
     let topo = chain(8);
     let routes = RouteTable::build(&topo, &Bfs::new(&topo));
@@ -47,14 +48,11 @@ pub fn fig11_sweep(sizes: &[u64], reps: u32) -> Vec<Fig11Point> {
         let res = run_trace(&topo, routes.clone(), cfg, &trace, &hosts);
         res.act_ns.expect("pingpong completes") as f64 / reps as f64
     };
-    sizes
-        .iter()
-        .map(|&b| {
-            let full = rtt(0, b);
-            let sdt = rtt(SDT_EXTRA_NS, b);
-            Fig11Point { bytes: b, full_rtt_ns: full, sdt_rtt_ns: sdt, overhead: (sdt - full) / full }
-        })
-        .collect()
+    crate::par::par_map(sizes, |&b| {
+        let full = rtt(0, b);
+        let sdt = rtt(SDT_EXTRA_NS, b);
+        Fig11Point { bytes: b, full_rtt_ns: full, sdt_rtt_ns: sdt, overhead: (sdt - full) / full }
+    })
 }
 
 // ---------------------------------------------------------------- Fig. 12
@@ -96,8 +94,9 @@ pub fn fig12_incast(lossless: bool, sim_ms: u64) -> Vec<Fig12Row> {
         let now = sim.now_ns();
         flows.iter().map(|&f| sim.flow_stats(f).goodput_gbps(now)).collect()
     };
-    let full = run(0);
-    let sdt = run(SDT_EXTRA_NS);
+    // Full-testbed and SDT runs are independent simulations; fan them out.
+    let both = crate::par::par_map(&[0u64, SDT_EXTRA_NS], |&extra| run(extra));
+    let (full, sdt) = (&both[0], &both[1]);
     [0u32, 1, 2, 4, 5, 6, 7]
         .iter()
         .enumerate()
@@ -188,6 +187,31 @@ pub fn table4_topologies() -> Vec<(Topology, u64)> {
             panic!("{} does not fit on 6x128 ports", t.name());
         })
         .collect()
+}
+
+/// The whole Table IV grid, one [`Table4Cell`] per (topology, workload),
+/// topology-major. Cells are independent simulations, so they fan out
+/// across the sweep pool ([`crate::par::par_map`]); results are ordered and
+/// bit-identical regardless of thread count (`tests/determinism.rs`).
+pub fn table4_grid(topologies: &[(Topology, u64)], max_ranks: u32) -> Vec<Vec<Table4Cell>> {
+    let cells: Vec<(usize, Trace)> = topologies
+        .iter()
+        .enumerate()
+        .flat_map(|(ti, (topo, _))| {
+            let ranks = topo.num_hosts().min(max_ranks);
+            table4_workloads(ranks).into_iter().map(move |(_, trace)| (ti, trace))
+        })
+        .collect();
+    let flat = crate::par::par_map(&cells, |(ti, trace)| {
+        let (topo, deploy_ns) = &topologies[*ti];
+        let hosts = select_nodes(topo, trace.num_ranks(), 2023);
+        table4_cell(topo, trace, &hosts, *deploy_ns)
+    });
+    let mut rows: Vec<Vec<Table4Cell>> = topologies.iter().map(|_| Vec::new()).collect();
+    for ((ti, _), cell) in cells.iter().zip(flat) {
+        rows[*ti].push(cell);
+    }
+    rows
 }
 
 /// The Table IV workload columns for `n` ranks, scaled so flit-level

@@ -7,5 +7,7 @@
 //! them at reduced scale under Criterion.
 
 pub mod experiments;
+pub mod par;
 
 pub use experiments::*;
+pub use par::{bench_threads, par_map, par_map_threads};

@@ -25,11 +25,17 @@ pub fn fm_pass(g: &Graph, side: &mut [u8], targets: [u64; 2], epsilon: f64) -> u
     }
     let strict_cap =
         [cap(targets[0], epsilon), cap(targets[1], epsilon)];
-    let eligible = |loads: [u64; 2], worst_start: f64| -> bool {
+    // Imbalance is the absolute deviation from target, which is identical
+    // for both sides (loads and targets share a total). A per-side ratio is
+    // the wrong yardstick here: with targets [10, 30], the states [12, 28]
+    // and [4, 36] have the same worst ratio (1.2), so a ratio-based "no
+    // worse than start" fallback lets FM drain the small side whenever that
+    // lowers the cut.
+    let eligible = |loads: [u64; 2], worst_start: u64| -> bool {
         (loads[0] <= strict_cap[0] && loads[1] <= strict_cap[1])
-            || imbalance_ratio(loads, targets) <= worst_start
+            || deviation(loads, targets) <= worst_start
     };
-    let worst_start = imbalance_ratio(loads, targets);
+    let worst_start = deviation(loads, targets);
 
     // gain[u] = external - internal edge weight.
     let mut gain = vec![0i64; n];
@@ -99,11 +105,10 @@ fn cap(target: u64, epsilon: f64) -> u64 {
     ((target as f64) * (1.0 + epsilon)).ceil() as u64
 }
 
-/// Worst per-side load/target ratio (>= 1 means over target).
-fn imbalance_ratio(loads: [u64; 2], targets: [u64; 2]) -> f64 {
-    let r0 = loads[0] as f64 / (targets[0].max(1)) as f64;
-    let r1 = loads[1] as f64 / (targets[1].max(1)) as f64;
-    r0.max(r1)
+/// Absolute deviation from the per-side targets (equal on both sides since
+/// loads and targets share the same total).
+fn deviation(loads: [u64; 2], targets: [u64; 2]) -> u64 {
+    loads[0].abs_diff(targets[0])
 }
 
 /// Gain of moving `u` to the other side: external minus internal edge weight.

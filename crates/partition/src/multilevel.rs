@@ -237,8 +237,12 @@ fn grow_bisection(g: &Graph, target0: u64, rng: &mut StdRng) -> Vec<u8> {
                 }
             }
         };
-        // Stop before overshooting badly (allow first vertex regardless).
-        if load0 > 0 && load0 + g.vwgt(u) > target0 + g.vwgt(u) / 2 {
+        // Take `u` only while the overshoot it causes stays below the
+        // remaining deficit (the seed vertex is always taken so side 0 is
+        // never empty). Overshooting here poisons FM refinement: an
+        // imbalanced start widens its "no worse than the start" fallback,
+        // which can walk the small side far below target.
+        if load0 > 0 && (load0 + g.vwgt(u)).saturating_sub(target0) >= target0 - load0 {
             continue;
         }
         side[u as usize] = 0;

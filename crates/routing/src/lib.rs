@@ -102,9 +102,19 @@ impl LoadMap {
         self.loads.insert((from, to), load);
     }
 
-    /// Load estimate of the directed channel `from -> to` (0.0 if unknown).
+    /// Load estimate of the directed channel `from -> to`.
+    ///
+    /// Fabric links are bidirectional in the engine: every logical link is
+    /// two directed channels, and monitors may only have sampled one
+    /// direction (e.g. a hardware counter on one port). When the forward
+    /// key is unknown the reverse direction is the best available estimate,
+    /// so `get` falls back to it before reporting an idle 0.0.
     pub fn get(&self, from: SwitchId, to: SwitchId) -> f64 {
-        self.loads.get(&(from, to)).copied().unwrap_or(0.0)
+        self.loads
+            .get(&(from, to))
+            .or_else(|| self.loads.get(&(to, from)))
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// Sum of loads along a route.
@@ -139,14 +149,49 @@ pub trait RoutingStrategy {
 
 /// Precomputed all-pairs route table, the form consumed by the simulator and
 /// by the controller's flow-table synthesis.
+///
+/// Storage is a dense `Vec` indexed by `from * n + to` — route lookup on the
+/// simulator's flow-setup path is a single indexed load instead of a hash of
+/// the `(SwitchId, SwitchId)` pair. Sparse tables (host-pair-only builds)
+/// leave unpopulated slots as `None`; `pairs` keeps the populated keys for
+/// iteration in insertion order.
 #[derive(Clone, Debug)]
 pub struct RouteTable {
-    routes: HashMap<(SwitchId, SwitchId), Route>,
+    /// `n * n` slots, `from.0 * n + to.0`; `None` = no route in the table.
+    slots: Vec<Option<Route>>,
+    /// Populated `(from, to)` keys, in insertion order (drives `iter`).
+    pairs: Vec<(SwitchId, SwitchId)>,
+    /// Switch count the table was sized for.
+    n: u32,
     num_vcs: u8,
     strategy: String,
 }
 
 impl RouteTable {
+    fn empty(n: u32, strategy: &dyn RoutingStrategy) -> Self {
+        RouteTable {
+            slots: vec![None; (n as usize) * (n as usize)],
+            pairs: Vec::new(),
+            n,
+            num_vcs: strategy.num_vcs(),
+            strategy: strategy.name().to_string(),
+        }
+    }
+
+    #[inline]
+    fn slot(&self, from: SwitchId, to: SwitchId) -> usize {
+        debug_assert!(from.0 < self.n && to.0 < self.n);
+        from.0 as usize * self.n as usize + to.0 as usize
+    }
+
+    fn insert(&mut self, from: SwitchId, to: SwitchId, r: Route) {
+        let ix = self.slot(from, to);
+        if self.slots[ix].is_none() {
+            self.pairs.push((from, to));
+        }
+        self.slots[ix] = Some(r);
+    }
+
     /// Build routes for every ordered switch pair under `strategy`.
     pub fn build(topo: &Topology, strategy: &dyn RoutingStrategy) -> Self {
         Self::build_adaptive(topo, strategy, None)
@@ -159,7 +204,7 @@ impl RouteTable {
         loads: Option<&LoadMap>,
     ) -> Self {
         let n = topo.num_switches();
-        let mut routes = HashMap::with_capacity((n * n) as usize);
+        let mut table = Self::empty(n, strategy);
         for a in 0..n {
             for b in 0..n {
                 if a == b {
@@ -172,10 +217,10 @@ impl RouteTable {
                 };
                 debug_assert_eq!(r.hops.first(), Some(&from));
                 debug_assert_eq!(r.hops.last(), Some(&to));
-                routes.insert((from, to), r);
+                table.insert(from, to, r);
             }
         }
-        RouteTable { routes, num_vcs: strategy.num_vcs(), strategy: strategy.name().to_string() }
+        table
     }
 
     /// Build routes only for the switch pairs that carry host traffic
@@ -201,30 +246,42 @@ impl RouteTable {
                 }
             }
         }
-        let mut routes = HashMap::with_capacity(pairs.len());
+        let mut table = Self::empty(topo.num_switches(), strategy);
+        let mut pairs: Vec<_> = pairs.into_iter().collect();
+        pairs.sort();
         for (from, to) in pairs {
             let r = strategy.route(topo, from, to);
             debug_assert_eq!(r.hops.first(), Some(&from));
             debug_assert_eq!(r.hops.last(), Some(&to));
-            routes.insert((from, to), r);
+            table.insert(from, to, r);
         }
-        RouteTable { routes, num_vcs: strategy.num_vcs(), strategy: strategy.name().to_string() }
+        table
     }
 
     /// The route between two distinct switches.
+    ///
+    /// # Panics
+    /// When the table holds no route for the pair (see [`Self::try_route`]).
     pub fn route(&self, from: SwitchId, to: SwitchId) -> &Route {
-        &self.routes[&(from, to)]
+        self.try_route(from, to)
+            .unwrap_or_else(|| panic!("no route {from:?} -> {to:?} in table"))
     }
 
     /// The route between two switches, if the table has one (host-pair
     /// tables omit unreachable and untraversed pairs).
+    #[inline]
     pub fn try_route(&self, from: SwitchId, to: SwitchId) -> Option<&Route> {
-        self.routes.get(&(from, to))
+        self.slots[self.slot(from, to)].as_ref()
     }
 
     /// All routes in the table.
     pub fn iter(&self) -> impl Iterator<Item = (&(SwitchId, SwitchId), &Route)> {
-        self.routes.iter()
+        self.pairs.iter().map(|pair| {
+            let r = self.slots[self.slot(pair.0, pair.1)]
+                .as_ref()
+                .expect("pairs only lists populated slots");
+            (pair, r)
+        })
     }
 
     /// VC count of the generating strategy.
@@ -243,7 +300,7 @@ impl RouteTable {
         if at == to {
             return None;
         }
-        let r = &self.routes[&(at, to)];
+        let r = self.route(at, to);
         Some((r.hops[1], r.vcs[0]))
     }
 }
@@ -300,6 +357,21 @@ mod tests {
         let r = Route { hops: vec![SwitchId(0), SwitchId(1), SwitchId(2)], vcs: vec![0, 0] };
         assert_eq!(l.route_cost(&r), 5.0);
         assert_eq!(l.get(SwitchId(2), SwitchId(0)), 0.0);
+    }
+
+    #[test]
+    fn load_map_reverse_fallback() {
+        let mut l = LoadMap::new();
+        l.set(SwitchId(0), SwitchId(1), 0.7);
+        // Only the forward direction was sampled: the reverse query falls
+        // back to it rather than reporting idle.
+        assert_eq!(l.get(SwitchId(1), SwitchId(0)), 0.7);
+        // Once both directions are known they are kept distinct.
+        l.set(SwitchId(1), SwitchId(0), 0.2);
+        assert_eq!(l.get(SwitchId(1), SwitchId(0)), 0.2);
+        assert_eq!(l.get(SwitchId(0), SwitchId(1)), 0.7);
+        // Unrelated pairs still read 0.0.
+        assert_eq!(l.get(SwitchId(3), SwitchId(4)), 0.0);
     }
 
     #[test]

