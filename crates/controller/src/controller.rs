@@ -1,14 +1,21 @@
 //! Topology Customization + deployment lifecycle.
 
 use crate::config::TestbedConfig;
+use crate::recovery::{
+    install_with_retry, surviving_topology, unreachable_pairs, FailureReport, RecoveryConfig,
+    RetryStats,
+};
 use crate::wiring::plan_wiring;
-use sdt_core::cluster::{ClusterBuilder, PhysicalCluster};
-use sdt_core::sdt::{ProjectionError, SdtProjection, SdtProjector};
+use sdt_core::cluster::{ClusterBuilder, PhysLink, PhysicalCluster};
+use sdt_core::sdt::{
+    FailedResources, ProjectOptions, ProjectionError, SdtProjection, SdtProjector,
+};
 use sdt_core::walk::instantiate;
-use sdt_openflow::{InstallTiming, OpenFlowSwitch};
+use sdt_openflow::{ControlChannel, InstallTiming, OpenFlowSwitch};
 use sdt_routing::cdg::{analyze, DeadlockAnalysis};
 use sdt_routing::{default_strategy, RouteTable, RoutingStrategy};
-use sdt_topology::{Topology, TopologyKind};
+use sdt_topology::{HostId, SwitchId, Topology, TopologyKind};
+use std::collections::HashMap;
 
 /// Outcome of the checking function (§V-1): what the wiring supports and
 /// what would have to change.
@@ -236,6 +243,168 @@ impl SdtController {
         self.reconfigurations += 1;
         Ok((new, t))
     }
+
+    /// Failure recovery (§V + §VI-E): given the [`FailureReport`] the
+    /// [`crate::recovery::FailureDetector`] produced, repair the deployment
+    /// and reconcile the *live* switches — stale tables, dropped flow-mods
+    /// and all — toward it over `channel`. Two phases:
+    ///
+    /// 1. **Full recovery** — cable faults only: the *same* logical
+    ///    topology and routes are re-projected with the dead cables marked
+    ///    unusable and every healthy cable pinned in place, so only the
+    ///    re-realized links' flow entries change. The diff scales with the
+    ///    damage, not the topology.
+    /// 2. **Graceful degradation** — when a sub-switch crashed or the
+    ///    spares cannot absorb the damage: the surviving topology (dead
+    ///    links removed) is re-routed with the generic deadlock-free
+    ///    strategy and re-projected; traffic that cannot be restored is
+    ///    returned in [`RecoveryOutcome::unreachable_pairs`], not errored.
+    ///
+    /// With an empty report this is pure anti-entropy: re-diff the live
+    /// tables against the intended synthesis and repair any divergence.
+    pub fn recover(
+        &mut self,
+        old: Deployment,
+        report: &FailureReport,
+        channel: &mut ControlChannel,
+        cfg: &RecoveryConfig,
+    ) -> Result<RecoveryOutcome, DeployError> {
+        // The cables that realized the dead logical links are the failed
+        // physical resources; every healthy cable is preferred where it
+        // already is, so the flow-table diff scales with the damage.
+        let mut failed = FailedResources::new();
+        let mut prefer: HashMap<(SwitchId, SwitchId), PhysLink> = HashMap::new();
+        let dead: std::collections::HashSet<(SwitchId, SwitchId)> =
+            report.dead_links.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
+        for l in old.topology.fabric_links() {
+            let (a, b) = (l.a.as_switch().unwrap(), l.b.as_switch().unwrap());
+            let key = (a.min(b), a.max(b));
+            let cable = old.projection.link_real[&l.id];
+            if dead.contains(&key) {
+                failed.fail_cable(&cable);
+            } else {
+                prefer.insert(key, cable);
+            }
+        }
+
+        // Phase 1: full recovery. Same topology, same routes; dead cables
+        // swapped for spares. A wedged sub-switch rules this out.
+        if report.dead_switches.is_empty() {
+            let pinned = ProjectOptions {
+                fixed_assignment: Some(&old.projection.assignment),
+                failed: Some(&failed),
+                prefer_cables: Some(&prefer),
+            };
+            if let Ok(projection) =
+                self.projector.project_with(&old.topology, &self.cluster, &old.routes, &pinned)
+            {
+                return Ok(self.finish_recovery(
+                    old.topology,
+                    projection,
+                    old.routes,
+                    old.switches,
+                    channel,
+                    cfg,
+                    Vec::new(),
+                    false,
+                ));
+            }
+        }
+
+        // Phase 2: graceful degradation. The surviving topology is
+        // TopologyKind::Custom: default_strategy falls back to generic
+        // deadlock-free up/down routing, which keeps working per component
+        // however the faults carved the graph.
+        let all_dead = report.all_dead_links(&old.topology);
+        let surviving = surviving_topology(&old.topology, &all_dead);
+        let strategy = default_strategy(&surviving);
+        let routes = RouteTable::build_for_hosts(&surviving, strategy.as_ref());
+        if self.require_deadlock_free {
+            if let DeadlockAnalysis::Cycle(c) = analyze(&routes) {
+                return Err(DeployError::DeadlockRisk { cycle_len: c.len() });
+            }
+        }
+        let pinned = ProjectOptions {
+            fixed_assignment: Some(&old.projection.assignment),
+            failed: Some(&failed),
+            prefer_cables: Some(&prefer),
+        };
+        let projection = match self
+            .projector
+            .project_with(&surviving, &self.cluster, &routes, &pinned)
+        {
+            Ok(p) => p,
+            // Spares exhausted under the pinned partition: re-partition
+            // before giving up.
+            Err(_) => {
+                let repartition =
+                    ProjectOptions { failed: Some(&failed), ..Default::default() };
+                self.projector
+                    .project_with(&surviving, &self.cluster, &routes, &repartition)
+                    .map_err(DeployError::Projection)?
+            }
+        };
+        let unreachable = unreachable_pairs(&surviving);
+        Ok(self.finish_recovery(
+            surviving,
+            projection,
+            routes,
+            old.switches,
+            channel,
+            cfg,
+            unreachable,
+            !report.is_empty(),
+        ))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finish_recovery(
+        &mut self,
+        topology: Topology,
+        projection: SdtProjection,
+        routes: RouteTable,
+        mut switches: Vec<OpenFlowSwitch>,
+        channel: &mut ControlChannel,
+        cfg: &RecoveryConfig,
+        unreachable_pairs: Vec<(HostId, HostId)>,
+        degraded: bool,
+    ) -> RecoveryOutcome {
+        let retry =
+            install_with_retry(channel, &mut switches, &projection.synthesis, cfg, &self.timing);
+        let recovery_time_ns = cfg.detection_ns() + retry.elapsed_ns;
+        let deploy_time_ns = projection.deploy_time_ns(&self.timing);
+        self.reconfigurations += 1;
+        RecoveryOutcome {
+            unreachable_pairs,
+            degraded,
+            deployment: Deployment {
+                topology,
+                projection,
+                routes,
+                switches,
+                deploy_time_ns,
+            },
+            retry,
+            recovery_time_ns,
+        }
+    }
+}
+
+/// What [`SdtController::recover`] achieved.
+#[derive(Debug)]
+pub struct RecoveryOutcome {
+    /// The recovered deployment: surviving topology, its projection, and
+    /// the live switches after reconciliation.
+    pub deployment: Deployment,
+    /// Ordered host pairs cut off by the faults (empty when the surviving
+    /// topology is still connected).
+    pub unreachable_pairs: Vec<(HostId, HostId)>,
+    /// Retry counters from the reconciliation loop.
+    pub retry: RetryStats,
+    /// Modeled end-to-end recovery time: detection + installs + backoff.
+    pub recovery_time_ns: u64,
+    /// True when any logical link was actually lost.
+    pub degraded: bool,
 }
 
 #[cfg(test)]
@@ -323,6 +492,152 @@ mod tests {
             c.deploy_with(&chain(4), "warp-drive"),
             Err(DeployError::UnknownStrategy(_))
         ));
+    }
+
+    #[test]
+    fn recover_from_link_failure_with_spare_cable() {
+        // Torus 4x4 needs 8 inter-switch cables; wire 10 so spares exist.
+        let cluster = ClusterBuilder::new(SwitchModel::openflow_128x100g(), 2)
+            .hosts_per_switch(16)
+            .inter_links_per_pair(10)
+            .build();
+        let mut c = SdtController::new(cluster);
+        let d = c.deploy(&torus(&[4, 4])).unwrap();
+        let dead = (sdt_topology::SwitchId(0), sdt_topology::SwitchId(1));
+        let dead_cable = {
+            let lid = d
+                .topology
+                .fabric_links()
+                .find(|l| {
+                    let (a, b) = (l.a.as_switch().unwrap(), l.b.as_switch().unwrap());
+                    (a.min(b), a.max(b)) == dead
+                })
+                .unwrap()
+                .id;
+            d.projection.link_real[&lid]
+        };
+        let mut ch = ControlChannel::reliable();
+        let report = FailureReport::links(vec![dead]);
+        let out = c.recover(d, &report, &mut ch, &RecoveryConfig::default()).unwrap();
+        // A spare cable absorbs the fault: FULL recovery, nothing lost.
+        assert!(out.retry.converged);
+        assert!(!out.degraded, "spare cable means no degradation");
+        assert!(out.unreachable_pairs.is_empty());
+        assert_eq!(c.reconfigurations, 1);
+        // The dead cable must not carry anything in the new projection.
+        for cable in out.deployment.projection.link_real.values() {
+            assert_ne!((cable.a, cable.b), (dead_cable.a, dead_cable.b));
+        }
+        // The live switches realize the FULL logical torus again.
+        let report = sdt_core::walk::IsolationReport::audit_on(
+            c.cluster(),
+            &mut { out.deployment.switches },
+            &out.deployment.projection,
+            &out.deployment.topology,
+        );
+        assert!(report.clean(), "{:?}", report.violations);
+        assert_eq!(report.delivered, 16 * 15);
+    }
+
+    #[test]
+    fn recover_over_lossy_channel_retries_and_converges() {
+        let mut c = controller();
+        let d = c.deploy(&fat_tree(4)).unwrap();
+        let dead = {
+            let l = d.topology.fabric_links().next().unwrap();
+            (l.a.as_switch().unwrap(), l.b.as_switch().unwrap())
+        };
+        let mut ch = ControlChannel::new(sdt_openflow::ControlConfig {
+            drop_prob: 0.3,
+            seed: 42,
+            ..sdt_openflow::ControlConfig::reliable()
+        });
+        let report = FailureReport::links(vec![dead]);
+        let out = c.recover(d, &report, &mut ch, &RecoveryConfig::default()).unwrap();
+        assert!(out.retry.converged, "{:?}", out.retry);
+        assert!(out.retry.retries > 0, "30% loss must trigger the retry path");
+        assert!(out.retry.backoff_ns_total > 0);
+        assert!(ch.dropped() > 0);
+        let mut switches = out.deployment.switches;
+        let report = sdt_core::walk::IsolationReport::audit_on(
+            c.cluster(),
+            &mut switches,
+            &out.deployment.projection,
+            &out.deployment.topology,
+        );
+        assert!(report.clean(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn recover_from_switch_crash_degrades_and_reports_unreachable() {
+        // A wedged sub-switch cannot be re-cabled around: recovery must
+        // degrade, carry on per component, and name the lost pairs.
+        let cluster = ClusterBuilder::new(SwitchModel::openflow_128x100g(), 1)
+            .hosts_per_switch(4)
+            .build();
+        let mut c = SdtController::new(cluster);
+        let d = c.deploy(&chain(4)).unwrap();
+        let report = crate::recovery::FailureReport {
+            dead_links: vec![],
+            dead_switches: vec![sdt_topology::SwitchId(1)],
+        };
+        let mut ch = ControlChannel::reliable();
+        let out = c.recover(d, &report, &mut ch, &RecoveryConfig::default()).unwrap();
+        assert!(out.degraded);
+        // Components {0}, {1}, {2,3}: ordered host pairs across = 12 - 2.
+        assert_eq!(out.unreachable_pairs.len(), 10);
+        let mut switches = out.deployment.switches;
+        let audit = sdt_core::walk::IsolationReport::audit_on(
+            c.cluster(),
+            &mut switches,
+            &out.deployment.projection,
+            &out.deployment.topology,
+        );
+        assert!(audit.clean(), "{:?}", audit.violations);
+        assert_eq!(audit.delivered, 2); // h2 <-> h3 both ways
+        assert_eq!(audit.isolated, 10);
+    }
+
+    #[test]
+    fn recovery_diff_scales_with_damage_not_topology() {
+        // One dead link with a spare cable: full recovery keeps topology
+        // and routes, so the reconciliation touches only the entries of
+        // the re-realized link — far fewer than a from-scratch install.
+        let cluster = ClusterBuilder::new(SwitchModel::openflow_128x100g(), 2)
+            .hosts_per_switch(16)
+            .inter_links_per_pair(10)
+            .build();
+        let mut c = SdtController::new(cluster);
+        let d = c.deploy(&torus(&[4, 4])).unwrap();
+        let full_install: usize = d.projection.synthesis.entries_per_switch.iter().sum();
+        let report =
+            FailureReport::links(vec![(sdt_topology::SwitchId(0), sdt_topology::SwitchId(4))]);
+        let mut ch = ControlChannel::reliable();
+        let out = c.recover(d, &report, &mut ch, &RecoveryConfig::default()).unwrap();
+        assert!(out.retry.converged);
+        assert!(!out.degraded);
+        assert!(
+            (out.retry.flow_mods_sent as usize) < full_install / 2,
+            "incremental recovery sent {} mods vs {} full install",
+            out.retry.flow_mods_sent,
+            full_install
+        );
+    }
+
+    #[test]
+    fn recover_with_empty_report_is_anti_entropy() {
+        let mut c = controller();
+        let mut d = c.deploy(&fat_tree(4)).unwrap();
+        // Someone wounded a table behind the controller's back.
+        let e = d.switches[0].table(1).entries()[0];
+        d.switches[0].apply(1, sdt_openflow::FlowMod::Delete(e.m, e.priority)).unwrap();
+        let mut ch = ControlChannel::reliable();
+        let out = c
+            .recover(d, &FailureReport::default(), &mut ch, &RecoveryConfig::default())
+            .unwrap();
+        assert!(out.retry.converged);
+        assert!(!out.degraded);
+        assert_eq!(out.retry.flow_mods_sent, 1, "exactly the missing entry re-sent");
     }
 
     #[test]

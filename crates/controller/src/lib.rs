@@ -24,10 +24,15 @@ pub mod config;
 pub mod controller;
 pub mod monitor;
 pub mod presets;
+pub mod recovery;
 pub mod wiring;
 
 pub use config::{ConfigError, TestbedConfig};
-pub use controller::{CheckReport, Deployment, DeployError, SdtController};
+pub use controller::{CheckReport, Deployment, DeployError, RecoveryOutcome, SdtController};
 pub use monitor::collect_loads;
+pub use recovery::{
+    install_with_retry, surviving_topology, unreachable_pairs, FailureDetector, FailureReport,
+    RecoveryConfig, RetryStats,
+};
 pub use presets::{paper_sim_config, paper_testbed, paper_topologies};
 pub use wiring::{plan_wiring, WiringPlan};

@@ -1,0 +1,432 @@
+//! Failure detection and flow-mod retry machinery (§V + §VI-E recovery).
+//!
+//! Three pieces, composed by [`crate::SdtController::recover`]:
+//!
+//! * [`FailureDetector`] — the Network Monitor's failure-facing half:
+//!   link-down events reported by the dataplane, plus port-stat staleness
+//!   (a logical channel whose byte counters freeze in *both* directions
+//!   for [`RecoveryConfig::detect_stale_polls`] consecutive polls is
+//!   suspect);
+//! * [`surviving_topology`] / [`unreachable_pairs`] — graceful
+//!   degradation: the logical topology minus everything the faults took
+//!   out, and the host pairs an operator must be told are gone;
+//! * [`install_with_retry`] — reconcile live switch tables against the
+//!   intended synthesis over a lossy [`ControlChannel`], re-diffing and
+//!   re-sending with exponential backoff until the tables converge or the
+//!   retry budget runs out. A silently dropped flow-mod is caught here,
+//!   because the diff is computed from the switch's *actual* table, not
+//!   from what the controller believes it sent.
+
+use sdt_core::sdt::SdtProjection;
+use sdt_core::synthesis::SynthesisOutput;
+use sdt_openflow::{diff_tables, ControlChannel, InstallTiming, OpenFlowSwitch};
+use sdt_topology::{HostId, SwitchId, Topology, TopologyBuilder};
+use std::collections::{HashMap, HashSet};
+
+/// Detection / retry / backoff timing knobs (EXPERIMENTS.md records these
+/// next to the Fig. 13 deployment-time model).
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryConfig {
+    /// Consecutive stale monitor polls before a channel is declared dead.
+    pub detect_stale_polls: u32,
+    /// Monitor poll interval, ns.
+    pub poll_interval_ns: u64,
+    /// Reconciliation rounds after the initial install before giving up.
+    pub max_retries: u32,
+    /// Backoff before the first retry, ns.
+    pub backoff_base_ns: u64,
+    /// Multiplier per further retry (exponential backoff).
+    pub backoff_factor: u32,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            detect_stale_polls: 3,
+            poll_interval_ns: 1_000_000,
+            max_retries: 5,
+            backoff_base_ns: 2_000_000,
+            backoff_factor: 2,
+        }
+    }
+}
+
+impl RecoveryConfig {
+    /// Modeled detection latency: polls until a frozen counter is trusted.
+    pub fn detection_ns(&self) -> u64 {
+        self.detect_stale_polls as u64 * self.poll_interval_ns
+    }
+}
+
+/// What a reconciliation loop did (the controller's retry counters).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Install rounds executed (1 = converged first try).
+    pub rounds: u32,
+    /// Retry rounds among them (rounds beyond the first).
+    pub retries: u32,
+    /// Flow-mods handed to the control channel, including re-sends.
+    pub flow_mods_sent: u64,
+    /// Total exponential-backoff wait, ns.
+    pub backoff_ns_total: u64,
+    /// Modeled wall-clock of the whole loop (installs + barriers +
+    /// backoff), ns.
+    pub elapsed_ns: u64,
+    /// True when every switch table matches the intended synthesis.
+    pub converged: bool,
+}
+
+/// What the failure detector hands the controller: which logical links
+/// lost their cable, and which sub-switches are wedged beyond a flow-mod's
+/// reach. Cable faults are recoverable in full when spare cables exist;
+/// dead switches always force degradation.
+#[derive(Clone, Debug, Default)]
+pub struct FailureReport {
+    /// Logical links whose physical cable is dead.
+    pub dead_links: Vec<(SwitchId, SwitchId)>,
+    /// Sub-switches crashed and not coming back.
+    pub dead_switches: Vec<SwitchId>,
+}
+
+impl FailureReport {
+    /// A report of cable faults only.
+    pub fn links(dead_links: Vec<(SwitchId, SwitchId)>) -> Self {
+        FailureReport { dead_links, dead_switches: Vec::new() }
+    }
+
+    /// True when nothing failed.
+    pub fn is_empty(&self) -> bool {
+        self.dead_links.is_empty() && self.dead_switches.is_empty()
+    }
+
+    /// Every logical link unusable under this report: the dead links plus
+    /// all fabric links incident to a dead switch.
+    pub fn all_dead_links(&self, topo: &Topology) -> Vec<(SwitchId, SwitchId)> {
+        let mut dead: HashSet<(SwitchId, SwitchId)> =
+            self.dead_links.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
+        let crashed: HashSet<SwitchId> = self.dead_switches.iter().copied().collect();
+        for l in topo.fabric_links() {
+            let (a, b) = (l.a.as_switch().unwrap(), l.b.as_switch().unwrap());
+            if crashed.contains(&a) || crashed.contains(&b) {
+                dead.insert((a.min(b), a.max(b)));
+            }
+        }
+        let mut v: Vec<_> = dead.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Monitor-driven failure detection: explicit link-down events plus
+/// port-stat staleness.
+///
+/// Staleness is judged per *logical* channel through the projection's port
+/// map: if the tx counter behind a channel freezes in both directions for
+/// `threshold` consecutive polls, the link is suspected. (Like any
+/// passive monitor, this needs background traffic to discriminate — an
+/// idle-by-design link looks identical to a dead one.)
+#[derive(Clone, Debug, Default)]
+pub struct FailureDetector {
+    threshold: u32,
+    polls: u64,
+    last_tx: HashMap<(SwitchId, SwitchId), u64>,
+    stale: HashMap<(SwitchId, SwitchId), u32>,
+    down_events: HashSet<(SwitchId, SwitchId)>,
+}
+
+impl FailureDetector {
+    /// Detector declaring a channel dead after `threshold` frozen polls.
+    pub fn new(threshold: u32) -> Self {
+        FailureDetector { threshold: threshold.max(1), ..Default::default() }
+    }
+
+    /// Dataplane reported this link down (e.g. loss-of-signal interrupt).
+    pub fn report_link_down(&mut self, a: SwitchId, b: SwitchId) {
+        self.down_events.insert((a.min(b), a.max(b)));
+    }
+
+    /// Dataplane reported the link back up.
+    pub fn report_link_up(&mut self, a: SwitchId, b: SwitchId) {
+        self.down_events.remove(&(a.min(b), a.max(b)));
+        self.stale.remove(&(a.min(b), a.max(b)));
+        self.stale.remove(&(a.max(b), a.min(b)));
+    }
+
+    /// One monitor poll: fold the switches' per-port tx counters through
+    /// the projection and update per-channel staleness.
+    pub fn poll(&mut self, topo: &Topology, proj: &SdtProjection, switches: &[OpenFlowSwitch]) {
+        for s in 0..topo.num_switches() {
+            let s = SwitchId(s);
+            for &(t, lid) in topo.neighbors(s) {
+                let pp = proj.port_of[&(s, lid)];
+                let tx = switches[pp.switch as usize].port_stats(pp.port).tx_bytes;
+                let frozen = self.polls > 0 && self.last_tx.get(&(s, t)) == Some(&tx);
+                let count = self.stale.entry((s, t)).or_insert(0);
+                *count = if frozen { *count + 1 } else { 0 };
+                self.last_tx.insert((s, t), tx);
+            }
+        }
+        self.polls += 1;
+    }
+
+    /// Links currently suspected dead: every reported-down link, plus
+    /// every channel stale in both directions past the threshold.
+    /// Normalized `(min, max)` pairs, sorted.
+    pub fn suspected(&self) -> Vec<(SwitchId, SwitchId)> {
+        let mut out: HashSet<(SwitchId, SwitchId)> = self.down_events.clone();
+        for (&(s, t), &n) in &self.stale {
+            if n >= self.threshold
+                && self.stale.get(&(t, s)).is_some_and(|&m| m >= self.threshold)
+            {
+                out.insert((s.min(t), s.max(t)));
+            }
+        }
+        let mut v: Vec<_> = out.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// The logical topology with `dead_links` removed. Switches and host
+/// attachments are kept (indices stay aligned with the original), so a
+/// fully cut-off switch becomes its own connected component — which is
+/// exactly how [`unreachable_pairs`] and the isolation audit account for
+/// it. The result is tagged [`sdt_topology::TopologyKind::Custom`] so
+/// routing falls back to the generic deadlock-free strategy instead of a
+/// generator-specific one that assumes the full structure.
+pub fn surviving_topology(topo: &Topology, dead_links: &[(SwitchId, SwitchId)]) -> Topology {
+    let dead: HashSet<(SwitchId, SwitchId)> =
+        dead_links.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
+    let mut b = TopologyBuilder::new(
+        format!("{}-degraded", topo.name()),
+        topo.num_switches(),
+        topo.num_hosts(),
+    );
+    for l in topo.fabric_links() {
+        let (x, y) = (l.a.as_switch().unwrap(), l.b.as_switch().unwrap());
+        if !dead.contains(&(x.min(y), x.max(y))) {
+            b.fabric(x, y);
+        }
+    }
+    for h in 0..topo.num_hosts() {
+        let h = HostId(h);
+        for &(s, _) in topo.attachments(h) {
+            b.attach(h, s);
+        }
+    }
+    b.build().expect("removing links cannot invalidate a valid topology")
+}
+
+/// Ordered host pairs in different connected components of `topo` — the
+/// traffic an operator must be told cannot be restored. Empty when the
+/// surviving topology is still connected.
+pub fn unreachable_pairs(topo: &Topology) -> Vec<(HostId, HostId)> {
+    let comp = topo.component_of();
+    let mut out = Vec::new();
+    for a in 0..topo.num_hosts() {
+        for b in 0..topo.num_hosts() {
+            if a != b {
+                let (ha, hb) = (HostId(a), HostId(b));
+                if comp[topo.host_switch(ha).idx()] != comp[topo.host_switch(hb).idx()] {
+                    out.push((ha, hb));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Reconcile the live switch tables against `intended`, re-diffing and
+/// re-sending over `channel` with exponential backoff until they converge
+/// or the retry budget is exhausted. Every round diffs the switches'
+/// *actual* tables, so flow-mods the channel silently dropped (or mangled
+/// by reordering) are detected and re-issued.
+pub fn install_with_retry(
+    channel: &mut ControlChannel,
+    switches: &mut [OpenFlowSwitch],
+    intended: &SynthesisOutput,
+    cfg: &RecoveryConfig,
+    timing: &InstallTiming,
+) -> RetryStats {
+    let mut stats = RetryStats::default();
+    loop {
+        // Read back the live tables and compute what is still missing.
+        let mut per_switch = vec![0usize; switches.len()];
+        let mut mods = Vec::new();
+        for (sw, s) in switches.iter().enumerate() {
+            let d0 = diff_tables(s.table(0).entries(), &intended.table0[sw]);
+            let d1 = diff_tables(s.table(1).entries(), &intended.table1[sw]);
+            per_switch[sw] = d0.len() + d1.len();
+            mods.extend(d0.into_iter().map(|m| (sw, 0u8, m)));
+            mods.extend(d1.into_iter().map(|m| (sw, 1u8, m)));
+        }
+        if mods.is_empty() {
+            stats.converged = true;
+            return stats;
+        }
+        if stats.rounds > cfg.max_retries {
+            return stats; // gave up; stats.converged stays false
+        }
+        if stats.rounds > 0 {
+            stats.retries += 1;
+            let backoff =
+                cfg.backoff_base_ns * (cfg.backoff_factor as u64).pow(stats.rounds - 1);
+            stats.backoff_ns_total += backoff;
+            stats.elapsed_ns += backoff;
+        }
+        for (sw, table, m) in mods {
+            channel.send(sw, table, m);
+            stats.flow_mods_sent += 1;
+        }
+        channel.barrier(switches);
+        let busiest = per_switch.iter().copied().max().unwrap_or(0);
+        stats.elapsed_ns += timing.install_time_ns(busiest) + 2 * channel.delay_ns();
+        stats.rounds += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::SdtController;
+    use sdt_core::cluster::ClusterBuilder;
+    use sdt_core::methods::SwitchModel;
+    use sdt_core::walk::walk_packet;
+    use sdt_openflow::{table_divergence, ControlConfig, FlowMod};
+    use sdt_topology::chain::{chain, ring};
+
+    fn controller(hosts: u16) -> SdtController {
+        let cluster = ClusterBuilder::new(SwitchModel::openflow_128x100g(), 1)
+            .hosts_per_switch(hosts)
+            .build();
+        SdtController::new(cluster)
+    }
+
+    #[test]
+    fn detector_flags_the_idle_link_only() {
+        let mut c = controller(4);
+        let topo = chain(4);
+        let mut d = c.deploy(&topo).unwrap();
+        let mut det = FailureDetector::new(3);
+        // Traffic h0<->h1 and h1<->h2 keeps s0-s1 and s1-s2 hot in both
+        // directions; s2-s3 stays frozen — as if its cable were cut.
+        for _ in 0..5 {
+            for (a, b) in [(0, 1), (1, 0), (1, 2), (2, 1)] {
+                walk_packet(
+                    c.cluster(),
+                    &mut d.switches,
+                    &d.projection,
+                    &topo,
+                    HostId(a),
+                    HostId(b),
+                );
+            }
+            det.poll(&topo, &d.projection, &d.switches);
+        }
+        assert_eq!(det.suspected(), vec![(SwitchId(2), SwitchId(3))]);
+        // An explicit link-down report needs no staleness history.
+        det.report_link_down(SwitchId(1), SwitchId(0));
+        assert_eq!(
+            det.suspected(),
+            vec![(SwitchId(0), SwitchId(1)), (SwitchId(2), SwitchId(3))]
+        );
+        det.report_link_up(SwitchId(0), SwitchId(1));
+        assert_eq!(det.suspected(), vec![(SwitchId(2), SwitchId(3))]);
+    }
+
+    #[test]
+    fn surviving_topology_splits_components() {
+        let topo = ring(6);
+        // One cut: a ring stays connected.
+        let one = surviving_topology(&topo, &[(SwitchId(0), SwitchId(1))]);
+        assert!(one.is_connected());
+        assert!(unreachable_pairs(&one).is_empty());
+        // Two cuts: the ring falls into two arcs.
+        let two =
+            surviving_topology(&topo, &[(SwitchId(0), SwitchId(1)), (SwitchId(3), SwitchId(4))]);
+        assert!(!two.is_connected());
+        let gone = unreachable_pairs(&two);
+        // Arcs {1,2,3} and {4,5,0}: 3*3 cross pairs, ordered = 18.
+        assert_eq!(gone.len(), 18);
+        // Symmetric: (a,b) gone  =>  (b,a) gone.
+        let set: HashSet<_> = gone.iter().copied().collect();
+        assert!(gone.iter().all(|&(a, b)| set.contains(&(b, a))));
+    }
+
+    #[test]
+    fn retry_loop_converges_over_a_lossy_channel() {
+        let mut c = controller(8);
+        let topo = chain(8);
+        let mut d = c.deploy(&topo).unwrap();
+        // Wound the live tables: delete a handful of routing entries.
+        let victims: Vec<FlowMod> = d.switches[0].table(1).entries()[..6]
+            .iter()
+            .map(|e| FlowMod::Delete(e.m, e.priority))
+            .collect();
+        for m in victims {
+            d.switches[0].apply(1, m).unwrap();
+        }
+        let synth = d.projection.synthesis.clone();
+        let before =
+            table_divergence(&d.switches[0], &synth.table0[0], &synth.table1[0]);
+        assert_eq!(before, 6);
+        let mut ch = ControlChannel::new(ControlConfig {
+            drop_prob: 0.5,
+            seed: 3,
+            ..ControlConfig::reliable()
+        });
+        let cfg = RecoveryConfig::default();
+        let stats =
+            install_with_retry(&mut ch, &mut d.switches, &synth, &cfg, &InstallTiming::default());
+        assert!(stats.converged, "loop must converge: {stats:?}");
+        assert!(stats.retries > 0, "50% loss must force at least one retry");
+        assert!(stats.flow_mods_sent > 6, "re-sends counted");
+        assert!(stats.backoff_ns_total >= cfg.backoff_base_ns);
+        assert_eq!(
+            table_divergence(&d.switches[0], &synth.table0[0], &synth.table1[0]),
+            0
+        );
+    }
+
+    #[test]
+    fn retry_loop_is_free_when_tables_already_match() {
+        let mut c = controller(4);
+        let topo = chain(4);
+        let mut d = c.deploy(&topo).unwrap();
+        let synth = d.projection.synthesis.clone();
+        let mut ch = ControlChannel::reliable();
+        let stats = install_with_retry(
+            &mut ch,
+            &mut d.switches,
+            &synth,
+            &RecoveryConfig::default(),
+            &InstallTiming::default(),
+        );
+        assert!(stats.converged);
+        assert_eq!(stats.rounds, 0);
+        assert_eq!(stats.flow_mods_sent, 0);
+        assert_eq!(stats.elapsed_ns, 0);
+    }
+
+    #[test]
+    fn hopeless_channel_gives_up_with_budget_intact() {
+        let mut c = controller(4);
+        let topo = chain(4);
+        let mut d = c.deploy(&topo).unwrap();
+        let e = d.switches[0].table(1).entries()[0];
+        d.switches[0].apply(1, FlowMod::Delete(e.m, e.priority)).unwrap();
+        let synth = d.projection.synthesis.clone();
+        // drop_prob 1.0: nothing ever arrives.
+        let mut ch = ControlChannel::new(ControlConfig {
+            drop_prob: 1.0,
+            seed: 0,
+            ..ControlConfig::reliable()
+        });
+        let cfg = RecoveryConfig { max_retries: 3, ..Default::default() };
+        let stats =
+            install_with_retry(&mut ch, &mut d.switches, &synth, &cfg, &InstallTiming::default());
+        assert!(!stats.converged);
+        assert_eq!(stats.rounds, cfg.max_retries + 1, "initial + max_retries rounds");
+        assert_eq!(stats.retries, cfg.max_retries);
+    }
+}

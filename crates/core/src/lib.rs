@@ -44,6 +44,6 @@ pub use flex::{FlexCluster, FlexError};
 pub use methods::{
     CostModel, HardwareKind, Method, ReconfigEstimate, SwitchModel, OPTICAL_PORT_USD,
 };
-pub use sdt::{ProjectionError, SdtProjection, SdtProjector};
+pub use sdt::{FailedResources, ProjectOptions, ProjectionError, SdtProjection, SdtProjector};
 pub use synthesis::{synthesize_flow_tables, SynthesisOutput};
 pub use walk::{walk_packet, IsolationReport, WalkOutcome};

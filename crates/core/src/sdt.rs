@@ -25,8 +25,97 @@ use sdt_openflow::InstallTiming;
 use sdt_partition::{partition_topology, PartitionConfig};
 use sdt_routing::{default_strategy, RouteTable};
 use sdt_topology::{HostId, LinkId, SwitchId, Topology};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
+
+/// Physical resources the failure detector has declared unusable. A
+/// re-projection under faults treats these as if the cables were never
+/// wired — the §V-1 checking function then reports exactly what capacity
+/// the surviving plant is short of, instead of silently re-using a dead
+/// cable.
+#[derive(Clone, Debug, Default)]
+pub struct FailedResources {
+    /// Dead cables, keyed by normalized (min, max) endpoint pair.
+    cables: HashSet<(PhysPort, PhysPort)>,
+    /// Dead individual ports (port-level degradation/fault).
+    ports: HashSet<PhysPort>,
+}
+
+impl FailedResources {
+    /// Nothing failed.
+    pub fn new() -> Self {
+        FailedResources::default()
+    }
+
+    /// Mark a cable dead (both directions).
+    pub fn fail_cable(&mut self, cable: &PhysLink) {
+        self.cables.insert(Self::key(cable.a, cable.b));
+    }
+
+    /// Mark a single physical port dead; every cable touching it is
+    /// unusable.
+    pub fn fail_port(&mut self, p: PhysPort) {
+        self.ports.insert(p);
+    }
+
+    /// Mark every port of a physical switch dead (switch crash).
+    pub fn fail_switch(&mut self, cluster: &PhysicalCluster, switch: u32) {
+        for l in cluster.links() {
+            for end in [l.a, l.b] {
+                if end.switch == switch {
+                    self.ports.insert(end);
+                }
+            }
+        }
+        for &p in cluster.host_ports() {
+            if p.switch == switch {
+                self.ports.insert(p);
+            }
+        }
+    }
+
+    /// True when no resource is marked failed.
+    pub fn is_empty(&self) -> bool {
+        self.cables.is_empty() && self.ports.is_empty()
+    }
+
+    /// Failed cables + failed ports marked so far.
+    pub fn len(&self) -> usize {
+        self.cables.len() + self.ports.len()
+    }
+
+    /// Is this cable still usable?
+    pub fn cable_ok(&self, cable: &PhysLink) -> bool {
+        !self.cables.contains(&Self::key(cable.a, cable.b))
+            && !self.ports.contains(&cable.a)
+            && !self.ports.contains(&cable.b)
+    }
+
+    /// Is this host port still usable?
+    pub fn port_ok(&self, p: PhysPort) -> bool {
+        !self.ports.contains(&p)
+    }
+
+    fn key(a: PhysPort, b: PhysPort) -> (PhysPort, PhysPort) {
+        (a.min(b), a.max(b))
+    }
+}
+
+/// Knobs for [`SdtProjector::project_with`] beyond the happy path.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProjectOptions<'a> {
+    /// Reuse a previous partition instead of re-partitioning. Incremental
+    /// recovery passes the old assignment so only cable choices change and
+    /// the table diff stays small.
+    pub fixed_assignment: Option<&'a [u32]>,
+    /// Resources to avoid (failed cables/ports).
+    pub failed: Option<&'a FailedResources>,
+    /// Cable preferences keyed by normalized logical endpoint pair: when
+    /// the preferred cable is still free and healthy, reuse it. This is
+    /// what keeps a recovery re-projection's flow-table diff proportional
+    /// to the damage instead of to the topology.
+    pub prefer_cables: Option<&'a HashMap<(SwitchId, SwitchId), PhysLink>>,
+}
 
 /// Why a projection cannot be deployed on the given cluster.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -175,12 +264,35 @@ impl SdtProjector {
         cluster: &PhysicalCluster,
         routes: &RouteTable,
     ) -> Result<SdtProjection, ProjectionError> {
+        self.project_with(topo, cluster, routes, &ProjectOptions::default())
+    }
+
+    /// [`project`](Self::project) with explicit options: reuse a previous
+    /// partition and/or route around failed physical resources. With
+    /// default options this is exactly `project`.
+    pub fn project_with(
+        &self,
+        topo: &Topology,
+        cluster: &PhysicalCluster,
+        routes: &RouteTable,
+        opts: &ProjectOptions<'_>,
+    ) -> Result<SdtProjection, ProjectionError> {
         let k = cluster.num_switches();
-        // 1. Partition (trivial for a single switch).
-        let assignment: Vec<u32> = if k == 1 {
-            vec![0; topo.num_switches() as usize]
-        } else {
-            partition_topology(topo, k, &self.partition).assignment().to_vec()
+        let no_faults = FailedResources::default();
+        let failed = opts.failed.unwrap_or(&no_faults);
+        // 1. Partition (trivial for a single switch), unless the caller
+        // pins the old assignment for incremental recovery.
+        let assignment: Vec<u32> = match opts.fixed_assignment {
+            Some(a) => {
+                assert_eq!(
+                    a.len(),
+                    topo.num_switches() as usize,
+                    "fixed assignment must cover every logical switch"
+                );
+                a.to_vec()
+            }
+            None if k == 1 => vec![0; topo.num_switches() as usize],
+            None => partition_topology(topo, k, &self.partition).assignment().to_vec(),
         };
 
         // 2. Count resource demands up front so errors are complete.
@@ -205,54 +317,94 @@ impl SdtProjector {
             }
         }
         for sw in 0..k {
-            let have = cluster.self_links_of(sw).count();
+            let have = cluster.self_links_of(sw).filter(|l| failed.cable_ok(l)).count();
             let need = self_need[sw as usize];
             if need > have {
                 return Err(ProjectionError::NotEnoughSelfLinks { switch: sw, need, have });
             }
-            let have = cluster.host_ports_of(sw).count();
+            let have = cluster.host_ports_of(sw).filter(|&&p| failed.port_ok(p)).count();
             let need = host_need[sw as usize];
             if need > have {
                 return Err(ProjectionError::NotEnoughHostPorts { switch: sw, need, have });
             }
         }
         for (&pair, &need) in &inter_need {
-            let have = cluster.inter_links_between(pair.0, pair.1).count();
+            let have = cluster
+                .inter_links_between(pair.0, pair.1)
+                .filter(|l| failed.cable_ok(l))
+                .count();
             if need > have {
                 return Err(ProjectionError::NotEnoughInterLinks { pair, need, have });
             }
         }
 
-        // 3. Assign cables and ports.
+        // 3. Assign cables and ports (dead resources never enter the free
+        // lists).
         let mut self_free: Vec<Vec<PhysLink>> = (0..k)
-            .map(|sw| cluster.self_links_of(sw).copied().collect())
+            .map(|sw| {
+                cluster.self_links_of(sw).filter(|l| failed.cable_ok(l)).copied().collect()
+            })
             .collect();
         let mut inter_free: HashMap<(u32, u32), Vec<PhysLink>> = inter_need
             .keys()
             .map(|&pair| {
-                (pair, cluster.inter_links_between(pair.0, pair.1).copied().collect())
+                (
+                    pair,
+                    cluster
+                        .inter_links_between(pair.0, pair.1)
+                        .filter(|l| failed.cable_ok(l))
+                        .copied()
+                        .collect(),
+                )
             })
             .collect();
         let mut host_free: Vec<Vec<PhysPort>> = (0..k)
-            .map(|sw| cluster.host_ports_of(sw).copied().collect())
+            .map(|sw| {
+                cluster.host_ports_of(sw).filter(|&&p| failed.port_ok(p)).copied().collect()
+            })
             .collect();
 
         let mut link_real = HashMap::new();
         let mut port_of = HashMap::new();
         let mut inter_used = 0usize;
+        // Cables some link prefers: a link *without* a (live) preference
+        // must not steal one of these, or the displaced link would cascade
+        // into stealing the next link's cable and the "incremental" diff
+        // would balloon.
+        let reserved: HashSet<(PhysPort, PhysPort)> = opts
+            .prefer_cables
+            .map(|m| m.values().map(|c| (c.a, c.b)).collect())
+            .unwrap_or_default();
         for l in topo.fabric_links() {
             let (sa, sb) = (l.a.as_switch().unwrap(), l.b.as_switch().unwrap());
             let (pa, pb) = (assignment[sa.idx()], assignment[sb.idx()]);
-            let cable = if pa == pb {
-                self_free[pa as usize].pop().expect("counted above")
-            } else {
-                inter_used += 1;
-                inter_free
-                    .get_mut(&(pa.min(pb), pa.max(pb)))
-                    .expect("counted above")
-                    .pop()
-                    .expect("counted above")
+            let preferred = opts
+                .prefer_cables
+                .and_then(|m| m.get(&(sa.min(sb), sa.max(sb))))
+                .copied();
+            let cable = {
+                let free: &mut Vec<PhysLink> = if pa == pb {
+                    &mut self_free[pa as usize]
+                } else {
+                    inter_free.get_mut(&(pa.min(pb), pa.max(pb))).expect("counted above")
+                };
+                match preferred.and_then(|c| free.iter().position(|x| *x == c)) {
+                    Some(i) => free.remove(i),
+                    None => {
+                        // Take the last unreserved cable (plain pop when no
+                        // preferences are in play); steal only when every
+                        // remaining cable is someone's preference.
+                        let pos = free
+                            .iter()
+                            .rposition(|x| !reserved.contains(&(x.a, x.b)))
+                            .unwrap_or(free.len() - 1);
+                        free.remove(pos)
+                    }
+                }
             };
+            if pa != pb {
+                inter_used += 1;
+            }
             // Orient: endpoint `sa` gets the cable end on `pa` (for
             // self-links both ends are on `pa`; keep the cable's order).
             let (end_a, end_b) = if cable.a.switch == pa {
@@ -438,6 +590,114 @@ mod tests {
             SdtProjector { merge_entries_on_overflow: true, ..Default::default() };
         let p = proj.project_default(&t, &c).unwrap();
         assert!(p.synthesis.entries_per_switch.iter().all(|&n| n < need));
+    }
+
+    #[test]
+    fn project_with_default_options_matches_project() {
+        let t = fat_tree(4);
+        let c = cluster(2, 16, 16);
+        let proj = SdtProjector::default();
+        let strategy = default_strategy(&t);
+        let routes = RouteTable::build_for_hosts(&t, strategy.as_ref());
+        let a = proj.project(&t, &c, &routes).unwrap();
+        let b = proj.project_with(&t, &c, &routes, &ProjectOptions::default()).unwrap();
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.link_real, b.link_real);
+        assert_eq!(a.inter_switch_links_used, b.inter_switch_links_used);
+    }
+
+    #[test]
+    fn failed_cables_are_routed_around() {
+        // Torus 4x4 on 2 switches needs exactly 8 of the wired inter-links;
+        // wire 10, kill 2 — projection must still succeed without touching
+        // the dead cables.
+        let t = torus(&[4, 4]);
+        let c = cluster(2, 16, 10);
+        let proj = SdtProjector::default();
+        let strategy = default_strategy(&t);
+        let routes = RouteTable::build_for_hosts(&t, strategy.as_ref());
+        let healthy = proj.project(&t, &c, &routes).unwrap();
+        let mut failed = FailedResources::new();
+        let dead: Vec<PhysLink> = c.inter_links_between(0, 1).take(2).copied().collect();
+        for cable in &dead {
+            failed.fail_cable(cable);
+        }
+        assert_eq!(failed.len(), 2);
+        let opts = ProjectOptions {
+            fixed_assignment: Some(&healthy.assignment),
+            failed: Some(&failed),
+            ..Default::default()
+        };
+        let p = proj.project_with(&t, &c, &routes, &opts).unwrap();
+        assert_eq!(p.assignment, healthy.assignment, "partition reused");
+        for cable in p.link_real.values() {
+            assert!(failed.cable_ok(cable), "dead cable {cable:?} reused");
+        }
+    }
+
+    #[test]
+    fn preferred_cables_are_reused() {
+        // Re-projecting with the old cable map as preference must keep
+        // every healthy cable exactly where it was.
+        let t = torus(&[4, 4]);
+        let c = cluster(2, 16, 10);
+        let proj = SdtProjector::default();
+        let strategy = default_strategy(&t);
+        let routes = RouteTable::build_for_hosts(&t, strategy.as_ref());
+        let old = proj.project(&t, &c, &routes).unwrap();
+        let mut prefer: HashMap<(SwitchId, SwitchId), PhysLink> = HashMap::new();
+        for l in t.fabric_links() {
+            let (a, b) = (l.a.as_switch().unwrap(), l.b.as_switch().unwrap());
+            prefer.insert((a.min(b), a.max(b)), old.link_real[&l.id]);
+        }
+        let opts = ProjectOptions {
+            fixed_assignment: Some(&old.assignment),
+            prefer_cables: Some(&prefer),
+            ..Default::default()
+        };
+        let p = proj.project_with(&t, &c, &routes, &opts).unwrap();
+        assert_eq!(p.link_real, old.link_real);
+    }
+
+    #[test]
+    fn too_many_failures_reported_as_shortage() {
+        // 8 inter-links needed; wire 8, kill 1 — the checking function must
+        // say the surviving plant is one cable short.
+        let t = torus(&[4, 4]);
+        let c = cluster(2, 16, 8);
+        let proj = SdtProjector::default();
+        let strategy = default_strategy(&t);
+        let routes = RouteTable::build_for_hosts(&t, strategy.as_ref());
+        let mut failed = FailedResources::new();
+        failed.fail_cable(c.inter_links_between(0, 1).next().unwrap());
+        let opts = ProjectOptions { failed: Some(&failed), ..Default::default() };
+        let err = proj.project_with(&t, &c, &routes, &opts).unwrap_err();
+        assert!(
+            matches!(err, ProjectionError::NotEnoughInterLinks { need: 8, have: 7, .. }),
+            "unexpected error {err:?}"
+        );
+    }
+
+    #[test]
+    fn failed_port_kills_incident_cables_and_host_slots() {
+        let t = chain(8);
+        let c = cluster(1, 9, 0);
+        let proj = SdtProjector::default();
+        let strategy = default_strategy(&t);
+        let routes = RouteTable::build_for_hosts(&t, strategy.as_ref());
+        let mut failed = FailedResources::new();
+        // Kill one host port: 9 wired - 1 dead = 8 still fits.
+        failed.fail_port(*c.host_ports_of(0).next().unwrap());
+        let opts = ProjectOptions { failed: Some(&failed), ..Default::default() };
+        let p = proj.project_with(&t, &c, &routes, &opts).unwrap();
+        for port in p.host_port.values() {
+            assert!(failed.port_ok(*port), "dead host port reused");
+        }
+        // A port failure also condemns any cable touching it.
+        let cable = c.self_links_of(0).next().unwrap();
+        let mut failed2 = FailedResources::new();
+        failed2.fail_port(cable.a);
+        assert!(!failed2.cable_ok(cable));
     }
 
     #[test]

@@ -128,14 +128,29 @@ pub struct IsolationReport {
 }
 
 impl IsolationReport {
-    /// Run the audit over every ordered host pair.
+    /// Run the audit over every ordered host pair on freshly instantiated
+    /// switches (the projection exactly as synthesized).
     pub fn audit(
         cluster: &PhysicalCluster,
         proj: &SdtProjection,
         topo: &Topology,
     ) -> IsolationReport {
-        let comp = topo.component_of();
         let mut switches = instantiate(cluster, proj);
+        Self::audit_on(cluster, &mut switches, proj, topo)
+    }
+
+    /// Run the audit against the *live* switches as they stand — tables and
+    /// all. This is what the chaos harness uses after a recovery: it checks
+    /// the actual post-retry switch state, not a re-synthesized ideal, so a
+    /// flow-mod the control channel silently dropped shows up as a
+    /// violation here.
+    pub fn audit_on(
+        cluster: &PhysicalCluster,
+        switches: &mut [OpenFlowSwitch],
+        proj: &SdtProjection,
+        topo: &Topology,
+    ) -> IsolationReport {
+        let comp = topo.component_of();
         let mut report = IsolationReport::default();
         for a in 0..topo.num_hosts() {
             for b in 0..topo.num_hosts() {
@@ -144,7 +159,7 @@ impl IsolationReport {
                 }
                 let (src, dst) = (HostId(a), HostId(b));
                 let same = comp[topo.host_switch(src).idx()] == comp[topo.host_switch(dst).idx()];
-                match walk_packet(cluster, &mut switches, proj, topo, src, dst) {
+                match walk_packet(cluster, switches, proj, topo, src, dst) {
                     WalkOutcome::Delivered { to, .. } if same && to == dst => {
                         report.delivered += 1
                     }

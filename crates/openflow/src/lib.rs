@@ -20,9 +20,11 @@
 //! per-in-port forwarding restriction and 5-tuple matching can host SDT
 //! (§VII-B), and this crate is that abstract switch.
 
+pub mod control;
 pub mod switch;
 pub mod table;
 
+pub use control::{table_divergence, BarrierReport, ControlChannel, ControlConfig};
 pub use switch::{OpenFlowSwitch, PortStats, SwitchConfig};
 pub use table::{
     diff_tables, shadowed_entries, Action, FlowEntry, FlowMatch, FlowMod, FlowTable,

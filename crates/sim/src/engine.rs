@@ -69,6 +69,9 @@ struct Channel {
     /// Administrative state: failed links stop transmitting (failure
     /// injection for fault experiments).
     up: bool,
+    /// Serialization-rate multiplier (port degradation faults; 1.0 =
+    /// nominal rate).
+    rate_scale: f64,
 }
 
 /// What kind of transport drives a flow.
@@ -220,6 +223,10 @@ enum Ev {
     TcpRto(FlowId),
     MonitorTick,
     LinkFail(u32, u32),
+    LinkUp(u32, u32),
+    NodeFail(u32),
+    NodeRestore(u32),
+    Degrade(u32, u32, f64),
 }
 
 struct Scheduled {
@@ -368,6 +375,7 @@ impl Simulator {
                     drops: 0,
                     peak_queued: 0,
                     up: true,
+                    rate_scale: 1.0,
                 });
             }
         }
@@ -625,6 +633,10 @@ impl Simulator {
                 Ev::TcpRto(f) => self.tcp_rto(f),
                 Ev::MonitorTick => self.monitor_tick(),
                 Ev::LinkFail(a, b) => self.link_fail(a, b),
+                Ev::LinkUp(a, b) => self.link_up(a, b),
+                Ev::NodeFail(n) => self.node_fail(n),
+                Ev::NodeRestore(n) => self.node_restore(n),
+                Ev::Degrade(a, b, f) => self.degrade(a, b, f),
             }
         }
         self.stats.sim_ns = self.now;
@@ -677,8 +689,11 @@ impl Simulator {
 
     // ---- event handlers ----
 
-    fn ser_ns(&self, bytes: u32) -> u64 {
-        (bytes as f64 / self.cfg.bytes_per_ns()).ceil() as u64
+    /// Serialization time on a (possibly degraded) channel. `scale == 1.0`
+    /// is the nominal line rate, so fault-free runs are bit-identical to
+    /// the pre-degradation engine.
+    fn ser_ns_scaled(&self, bytes: u32, scale: f64) -> u64 {
+        (bytes as f64 / (self.cfg.bytes_per_ns() * scale)).ceil() as u64
     }
 
     fn try_tx(&mut self, c: u32) {
@@ -705,7 +720,8 @@ impl Simulator {
         }
         ch.window_bytes += cell.bytes as u64;
         ch.total_bytes += cell.bytes as u64;
-        let ser = self.ser_ns(cell.bytes);
+        let scale = ch.rate_scale;
+        let ser = self.ser_ns_scaled(cell.bytes, scale);
         let busy = self.now + ser;
         self.channels[c as usize].busy_until = busy;
         // Return the credit of the channel this cell arrived on: it has now
@@ -728,7 +744,7 @@ impl Simulator {
         // Cut-through latches the head onward after `header_bytes`; the
         // final hop to a host completes only when the tail arrives.
         let latch = if self.cfg.cut_through && to >= self.num_hosts {
-            ser.min(self.ser_ns(self.cfg.header_bytes))
+            ser.min(self.ser_ns_scaled(self.cfg.header_bytes, scale))
         } else {
             ser
         };
@@ -770,11 +786,18 @@ impl Simulator {
 
     fn enqueue(&mut self, d: u32, mut cell: Cell) {
         if !self.channels[d as usize].up {
-            // A failed link loses every frame handed to it.
+            // A failed link loses every frame handed to it. The cell still
+            // occupied an upstream buffer slot: return that credit, or the
+            // upstream (channel, VC) leaks a slot and PFC starves after the
+            // link recovers.
             self.channels[d as usize].drops += 1;
             self.stats.drops += 1;
             if cell.hop > 0 {
                 self.cells_in_net -= 1;
+            }
+            if self.cfg.lossless && cell.arr_ch != NO_CHANNEL {
+                let lat = self.cfg.link_latency_ns;
+                self.push(self.now + lat, Ev::Credit(cell.arr_ch, cell.arr_vc));
             }
             self.sniff(cell.flow, cell.seq, CaptureEvent::Dropped);
             return;
@@ -1240,20 +1263,149 @@ impl Simulator {
         self.push(at_ns, Ev::LinkFail(x, y));
     }
 
+    /// Recovery injection: at `at_ns`, both directions of the fabric link
+    /// come back at nominal rate.
+    pub fn schedule_link_recovery(&mut self, a: SwitchId, b: SwitchId, at_ns: Time) {
+        let x = self.num_hosts + a.0;
+        let y = self.num_hosts + b.0;
+        self.push(at_ns, Ev::LinkUp(x, y));
+    }
+
+    /// Crash injection: at `at_ns`, every channel incident to switch `s` —
+    /// fabric links and host attachments — goes down at once.
+    pub fn schedule_switch_crash(&mut self, s: SwitchId, at_ns: Time) {
+        self.push(at_ns, Ev::NodeFail(self.num_hosts + s.0));
+    }
+
+    /// Restart injection: at `at_ns`, every channel incident to switch `s`
+    /// comes back.
+    pub fn schedule_switch_restart(&mut self, s: SwitchId, at_ns: Time) {
+        self.push(at_ns, Ev::NodeRestore(self.num_hosts + s.0));
+    }
+
+    /// Degradation injection: at `at_ns`, the link serializes at `factor`
+    /// of its nominal rate in both directions (`1.0` restores it).
+    pub fn schedule_port_degrade(
+        &mut self,
+        a: SwitchId,
+        b: SwitchId,
+        factor: f64,
+        at_ns: Time,
+    ) {
+        assert!(factor > 0.0 && factor <= 1.0, "degrade factor must be in (0, 1]");
+        let x = self.num_hosts + a.0;
+        let y = self.num_hosts + b.0;
+        self.push(at_ns, Ev::Degrade(x, y, factor));
+    }
+
+    /// Queue every fault of a [`crate::faults::FaultSchedule`] into the
+    /// event queue. Faults in the simulated past fire immediately.
+    pub fn apply_fault_schedule(&mut self, schedule: &crate::faults::FaultSchedule) {
+        use crate::faults::FaultEvent;
+        for f in &schedule.events {
+            let at = f.at_ns.max(self.now);
+            match f.event {
+                FaultEvent::LinkDown { a, b } => self.schedule_link_failure(a, b, at),
+                FaultEvent::LinkUp { a, b } => self.schedule_link_recovery(a, b, at),
+                FaultEvent::SwitchCrash { s } => self.schedule_switch_crash(s, at),
+                FaultEvent::SwitchRestart { s } => self.schedule_switch_restart(s, at),
+                FaultEvent::PortDegrade { a, b, factor } => {
+                    self.schedule_port_degrade(a, b, factor, at)
+                }
+            }
+        }
+    }
+
+    /// Is the fabric link between two switches currently up (both
+    /// directions)?
+    pub fn link_is_up(&self, a: SwitchId, b: SwitchId) -> bool {
+        let x = self.num_hosts + a.0;
+        let y = self.num_hosts + b.0;
+        [(x, y), (y, x)]
+            .iter()
+            .all(|&(f, t)| self.channels[self.channel(f, t) as usize].up)
+    }
+
+    /// Take one directed channel down, losing everything queued on it. In
+    /// lossless mode the queued cells' upstream credits are returned —
+    /// frames are lost, buffer slots are not.
+    fn fail_channel(&mut self, c: u32) {
+        let lat = self.cfg.link_latency_ns;
+        let lossless = self.cfg.lossless;
+        let ch = &mut self.channels[c as usize];
+        if !ch.up {
+            return;
+        }
+        ch.up = false;
+        let mut lost = 0u64;
+        let mut credits_due: Vec<(u32, u8)> = Vec::new();
+        for q in &mut ch.queues {
+            for cell in q.drain(..) {
+                lost += 1;
+                if lossless && cell.arr_ch != NO_CHANNEL {
+                    credits_due.push((cell.arr_ch, cell.arr_vc));
+                }
+            }
+        }
+        ch.queued = 0;
+        ch.drops += lost;
+        self.stats.drops += lost;
+        self.cells_in_net -= lost;
+        for (arr_ch, arr_vc) in credits_due {
+            self.push(self.now + lat, Ev::Credit(arr_ch, arr_vc));
+        }
+    }
+
+    /// Bring one directed channel back and restart its arbiter.
+    fn restore_channel(&mut self, c: u32) {
+        let ch = &mut self.channels[c as usize];
+        if ch.up {
+            return;
+        }
+        ch.up = true;
+        self.push(self.now, Ev::TryTx(c));
+    }
+
     fn link_fail(&mut self, x: u32, y: u32) {
         for (from, to) in [(x, y), (y, x)] {
             let c = self.channel(from, to);
-            let ch = &mut self.channels[c as usize];
-            ch.up = false;
-            // Everything queued on the dead link is lost.
-            let lost: u32 = ch.queues.iter().map(|q| q.len() as u32).sum();
-            for q in &mut ch.queues {
-                q.clear();
-            }
-            ch.queued = 0;
-            ch.drops += lost as u64;
-            self.stats.drops += lost as u64;
-            self.cells_in_net -= lost as u64;
+            self.fail_channel(c);
+        }
+    }
+
+    fn link_up(&mut self, x: u32, y: u32) {
+        for (from, to) in [(x, y), (y, x)] {
+            let c = self.channel(from, to);
+            self.restore_channel(c);
+        }
+    }
+
+    /// Channels incident to a node, both directions.
+    fn incident_channels(&self, n: u32) -> Vec<u32> {
+        self.channels
+            .iter()
+            .enumerate()
+            .filter(|(_, ch)| ch.from == n || ch.to == n)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    fn node_fail(&mut self, n: u32) {
+        for c in self.incident_channels(n) {
+            self.fail_channel(c);
+        }
+    }
+
+    fn node_restore(&mut self, n: u32) {
+        for c in self.incident_channels(n) {
+            self.restore_channel(c);
+        }
+    }
+
+    fn degrade(&mut self, x: u32, y: u32, factor: f64) {
+        for (from, to) in [(x, y), (y, x)] {
+            let c = self.channel(from, to);
+            self.channels[c as usize].rate_scale = factor;
         }
     }
 }

@@ -108,3 +108,130 @@ fn dragonfly_ugal_routes_around_a_failed_global_link() {
     let st = sim.flow_stats(f);
     assert_eq!(st.bytes_delivered, 2_000_000, "detoured flow must finish");
 }
+
+// ---- fault-schedule driven tests (link flaps, crashes, degradation) ----
+
+use sdt_sim::faults::{ChaosConfig, FaultSchedule};
+
+#[test]
+fn tcp_flow_survives_a_link_flap_under_pfc() {
+    // Lossless chain, go-back-N TCP: the flap loses a window of cells, the
+    // retransmission path recovers them once the link is back, and no
+    // upstream credit is leaked by the in-flap drops.
+    let t = chain(4);
+    let routes = RouteTable::build(&t, &Bfs::new(&t));
+    let cfg = SimConfig {
+        lossless: true,
+        max_sim_ns: 200_000_000,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(&t, routes, cfg);
+    let mut sched = FaultSchedule::new();
+    sched.link_flap(SwitchId(1), SwitchId(2), 1_000_000, 2_000_000);
+    sim.apply_fault_schedule(&sched);
+    let f = sim.start_tcp_flow(HostId(0), HostId(3), 3_000_000);
+    let out = sim.run();
+    assert_eq!(out, SimOutcome::Completed, "flap must not wedge the fabric");
+    let st = sim.flow_stats(f);
+    assert_eq!(st.bytes_delivered, 3_000_000);
+    assert!(sim.stats().drops > 0, "the flap must actually lose frames");
+    assert!(sim.credits_intact(), "dead-link drops must return PFC credits");
+}
+
+#[test]
+fn flap_recovery_restores_the_link_state() {
+    let t = chain(4);
+    let routes = RouteTable::build(&t, &Bfs::new(&t));
+    let cfg = SimConfig { lossless: true, max_sim_ns: 50_000_000, ..SimConfig::default() };
+    let mut sim = Simulator::new(&t, routes, cfg);
+    let mut sched = FaultSchedule::new();
+    sched.link_flap(SwitchId(1), SwitchId(2), 1_000_000, 2_000_000);
+    sim.apply_fault_schedule(&sched);
+    let f = sim.start_tcp_flow(HostId(0), HostId(3), 150_000);
+    sim.run();
+    assert!(sim.link_is_up(SwitchId(1), SwitchId(2)));
+    assert_eq!(sim.flow_stats(f).bytes_delivered, 150_000);
+}
+
+#[test]
+fn switch_crash_then_restart_lets_tcp_finish() {
+    // Crash the middle switch of a chain: every path dies; after restart,
+    // RTO-driven retransmission completes the transfer.
+    let t = chain(4);
+    let routes = RouteTable::build(&t, &Bfs::new(&t));
+    let cfg = SimConfig { lossless: true, max_sim_ns: 300_000_000, ..SimConfig::default() };
+    let mut sim = Simulator::new(&t, routes, cfg);
+    let mut sched = FaultSchedule::new();
+    sched.switch_crash(SwitchId(2), 500_000);
+    sched.switch_restart(SwitchId(2), 4_000_000);
+    sim.apply_fault_schedule(&sched);
+    let f = sim.start_tcp_flow(HostId(0), HostId(3), 1_500_000);
+    let out = sim.run();
+    assert_eq!(out, SimOutcome::Completed);
+    assert_eq!(sim.flow_stats(f).bytes_delivered, 1_500_000);
+    assert!(sim.credits_intact());
+}
+
+#[test]
+fn port_degradation_throttles_then_xon_drains() {
+    // Degrade the middle link to 10% rate mid-flow: upstream VC buffers
+    // fill, credits exhaust (PFC XOFF), injection stalls. Restoring the
+    // rate (XON) drains everything with zero loss — the lossless
+    // guarantee must hold through the whole episode.
+    let run = |degrade: bool| {
+        let t = chain(4);
+        let routes = RouteTable::build(&t, &Bfs::new(&t));
+        let cfg = SimConfig { lossless: true, max_sim_ns: 0, ..SimConfig::default() };
+        let mut sim = Simulator::new(&t, routes, cfg);
+        if degrade {
+            let mut sched = FaultSchedule::new();
+            sched.port_degrade(SwitchId(1), SwitchId(2), 0.1, 200_000);
+            sched.port_degrade(SwitchId(1), SwitchId(2), 1.0, 3_000_000);
+            sim.apply_fault_schedule(&sched);
+        }
+        let f = sim.start_raw_flow(HostId(0), HostId(3), 6_000_000);
+        let out = sim.run();
+        assert_eq!(out, SimOutcome::Completed);
+        assert_eq!(sim.stats().drops, 0, "lossless mode must not drop under degradation");
+        assert!(sim.credits_intact());
+        (sim.flow_stats(f).finish.unwrap(), sim.peak_queue_bytes())
+    };
+    let (t_nominal, q_nominal) = run(false);
+    let (t_degraded, q_degraded) = run(true);
+    assert!(
+        t_degraded > t_nominal + 1_000_000,
+        "10% line rate for ~2.8 ms must delay completion ({t_nominal} -> {t_degraded})"
+    );
+    assert!(
+        q_degraded > q_nominal,
+        "backpressure must build deeper queues ({q_nominal} -> {q_degraded})"
+    );
+}
+
+#[test]
+fn random_fault_schedules_are_bit_reproducible() {
+    // Same seed ⇒ identical schedule ⇒ identical event sequence ⇒
+    // identical per-flow finish times and drop counts.
+    let run = |seed: u64| {
+        let t = ring(6);
+        let routes = RouteTable::build(&t, &Bfs::new(&t));
+        let cfg = SimConfig {
+            lossless: false,
+            max_sim_ns: 20_000_000,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(&t, routes, cfg);
+        let sched = FaultSchedule::random(seed, &t, &ChaosConfig::default());
+        sim.apply_fault_schedule(&sched);
+        for h in 0..6 {
+            sim.start_raw_flow(HostId(h), HostId((h + 3) % 6), 500_000);
+        }
+        sim.run();
+        let finishes: Vec<_> =
+            (0..sim.num_flows()).map(|f| sim.flow_stats(f).finish).collect();
+        (sim.stats().events, sim.stats().drops, finishes)
+    };
+    assert_eq!(run(11), run(11));
+    assert_eq!(run(97), run(97));
+    assert!(run(11) != run(97), "different seeds should perturb the run");
+}

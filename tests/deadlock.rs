@@ -9,7 +9,7 @@
 use sdt::routing::cdg::analyze;
 use sdt::routing::dimension::DimensionOrder;
 use sdt::routing::{Route, RouteTable, RoutingStrategy};
-use sdt::sim::{run_trace, SimConfig, SimOutcome};
+use sdt::sim::{run_trace, FaultSchedule, SimConfig, SimOutcome, Simulator};
 use sdt::topology::meshtorus::{torus, GridIds};
 use sdt::topology::{HostId, SwitchId, Topology};
 use sdt::workloads::apps::imb_alltoall;
@@ -92,6 +92,67 @@ fn dateline_torus_routing_survives_the_same_load() {
     let trace = imb_alltoall(16, 256 * 1024, 1);
     let res = run_trace(&t, table, cfg, &trace, &hosts);
     assert_eq!(res.outcome, SimOutcome::Completed);
+}
+
+/// Link flaps stall PFC-backpressured traffic (cells queue behind the
+/// dead link, credits run dry) — but a stall is not a deadlock. The
+/// watchdog must not fire while healthy traffic keeps delivering, and
+/// the fabric must drain cleanly once the links heal.
+#[test]
+fn watchdog_ignores_flap_stalls_on_deadlock_free_routing() {
+    let t = torus(&[4, 4]);
+    let table = RouteTable::build(&t, &DimensionOrder::torus(vec![4, 4]));
+    assert!(analyze(&table).is_free());
+    let cfg = SimConfig {
+        vc_buffer_bytes: 4 * 1500,
+        deadlock_timeout_ns: 10_000_000,
+        max_sim_ns: 30_000_000_000,
+        ..SimConfig::testbed_10g()
+    };
+    let mut sim = Simulator::new(&t, table, cfg);
+    // Two flapped links, outages longer than the watchdog period: any
+    // naive "no progress on this port" heuristic would cry deadlock.
+    let mut schedule = FaultSchedule::new();
+    schedule.link_flap(SwitchId(0), SwitchId(1), 2_000_000, 15_000_000);
+    schedule.link_flap(SwitchId(5), SwitchId(9), 4_000_000, 15_000_000);
+    sim.apply_fault_schedule(&schedule);
+    let flows: Vec<_> =
+        (0..16).map(|i| sim.start_raw_flow(HostId(i), HostId((i + 5) % 16), 256 * 1024)).collect();
+    let outcome = sim.run();
+    assert_eq!(outcome, SimOutcome::Completed, "a flap stall is not a deadlock");
+    assert!(sim.link_is_up(SwitchId(0), SwitchId(1)));
+    // Traffic untouched by the flaps finishes in full; flows that lost
+    // cells during an outage still inject everything (lossless ≠ reliable
+    // across a downed link).
+    let finished = flows.iter().filter(|&&f| sim.flow_stats(f).finish.is_some()).count();
+    assert!(finished > 0, "healthy flows must complete through the flaps");
+}
+
+/// The converse guarantee: flaps must not *mask* a real deadlock. The
+/// cyclic single-VC routing still wedges with links flapping around the
+/// cycle, and the watchdog still catches it.
+#[test]
+fn cyclic_routing_still_deadlocks_under_flaps() {
+    let t = torus(&[4, 4]);
+    let table = RouteTable::build(&t, &NaiveTorus::new(&[4, 4]));
+    assert!(!analyze(&table).is_free());
+    let cfg = SimConfig {
+        vc_buffer_bytes: 2 * 1500,
+        deadlock_timeout_ns: 10_000_000,
+        max_sim_ns: 30_000_000_000,
+        ..SimConfig::testbed_10g()
+    };
+    let mut sim = Simulator::new(&t, table, cfg);
+    let mut schedule = FaultSchedule::new();
+    schedule.link_flap(SwitchId(2), SwitchId(6), 1_000_000, 2_000_000);
+    sim.apply_fault_schedule(&schedule);
+    // Ring pressure along each torus row fills the single-VC cycle.
+    for i in 0..16 {
+        sim.start_raw_flow(HostId(i), HostId((i + 2) % 16), 1024 * 1024);
+        sim.start_raw_flow(HostId(i), HostId((i + 7) % 16), 1024 * 1024);
+    }
+    let outcome = sim.run();
+    assert_eq!(outcome, SimOutcome::Deadlock, "the cycle must still wedge under flaps");
 }
 
 #[test]
