@@ -10,26 +10,40 @@
 //! sdtctl plan   <switches> <config.toml>...
 //!                                  wiring plan covering a topology campaign
 //! sdtctl tables <config.toml>      dump the synthesized flow tables
+//! sdtctl slices <config.toml>...   admit every config as a slice of ONE
+//!                                  shared cluster (first config wires it),
+//!                                  print occupancy + cross-slice audit
 //! ```
+//!
+//! Every command accepts `--json` for machine-readable output on stdout;
+//! any failure (non-deployable config, admission rejection, audit
+//! violation) exits non-zero either way, so scripts and CI can gate on it.
 
-use sdt_controller::{plan_wiring, SdtController, TestbedConfig};
+use sdt_controller::{plan_wiring, SdtController, SliceController, TestbedConfig};
 use sdt_core::walk::IsolationReport;
+use std::fmt::Write as _;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = {
+        let before = args.len();
+        args.retain(|a| a != "--json");
+        args.len() != before
+    };
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.as_str(), r),
         None => {
-            eprintln!("usage: sdtctl <check|deploy|plan|tables> ...");
+            eprintln!("usage: sdtctl [--json] <check|deploy|plan|tables|slices> ...");
             return ExitCode::from(2);
         }
     };
     let result = match cmd {
-        "check" => cmd_check(rest),
-        "deploy" => cmd_deploy(rest),
+        "check" => cmd_check(rest, json),
+        "deploy" => cmd_deploy(rest, json),
         "plan" => cmd_plan(rest),
         "tables" => cmd_tables(rest),
+        "slices" => cmd_slices(rest, json),
         other => Err(format!("unknown command `{other}`")),
     };
     match result {
@@ -41,27 +55,75 @@ fn main() -> ExitCode {
     }
 }
 
+/// JSON string literal with the escapes the emitted data can contain.
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn jlist<T, F: FnMut(&T) -> String>(items: &[T], f: F) -> String {
+    let inner: Vec<String> = items.iter().map(f).collect();
+    format!("[{}]", inner.join(","))
+}
+
 fn load(path: &str) -> Result<TestbedConfig, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     TestbedConfig::parse(&text).map_err(|e| format!("{path}: {e}"))
 }
 
-fn cmd_check(paths: &[String]) -> Result<(), String> {
+fn cmd_check(paths: &[String], json: bool) -> Result<(), String> {
     if paths.is_empty() {
         return Err("check: need at least one config file".into());
     }
     let mut failed = false;
+    let mut rows = Vec::new();
     for path in paths {
         let cfg = load(path)?;
         let ctl = SdtController::from_config(&cfg);
         let report = ctl.check(std::slice::from_ref(&cfg.topology));
         match &report.verdicts[0] {
-            Ok(()) => println!("{path}: OK — {} deployable", cfg.topology.name()),
+            Ok(()) => {
+                if json {
+                    rows.push(format!(
+                        "{{\"path\":{},\"topology\":{},\"deployable\":true}}",
+                        jstr(path),
+                        jstr(cfg.topology.name())
+                    ));
+                } else {
+                    println!("{path}: OK — {} deployable", cfg.topology.name());
+                }
+            }
             Err(e) => {
                 failed = true;
-                println!("{path}: NOT deployable — {e}");
+                if json {
+                    rows.push(format!(
+                        "{{\"path\":{},\"topology\":{},\"deployable\":false,\"error\":{}}}",
+                        jstr(path),
+                        jstr(cfg.topology.name()),
+                        jstr(&e.to_string())
+                    ));
+                } else {
+                    println!("{path}: NOT deployable — {e}");
+                }
             }
         }
+    }
+    if json {
+        println!("[{}]", rows.join(","));
     }
     if failed {
         Err("some configurations are not deployable".into())
@@ -70,25 +132,42 @@ fn cmd_check(paths: &[String]) -> Result<(), String> {
     }
 }
 
-fn cmd_deploy(paths: &[String]) -> Result<(), String> {
+fn cmd_deploy(paths: &[String], json: bool) -> Result<(), String> {
     let [path] = paths else { return Err("deploy: exactly one config file".into()) };
     let cfg = load(path)?;
     let mut ctl = SdtController::from_config(&cfg);
     let d = ctl.deploy_with(&cfg.topology, &cfg.strategy).map_err(|e| e.to_string())?;
-    println!("deployed {} on {} x {}", cfg.topology.name(), cfg.switches, cfg.model.name);
-    println!("  routing strategy    : {}", d.routes.strategy());
-    println!("  inter-switch links  : {}", d.projection.inter_switch_links_used);
-    for (sw, n) in d.projection.synthesis.entries_per_switch.iter().enumerate() {
-        println!("  switch {sw} entries    : {n}");
-    }
-    println!("  deploy time (model) : {:.0} ms", d.deploy_time_ns as f64 / 1e6);
     let audit = IsolationReport::audit(ctl.cluster(), &d.projection, &d.topology);
-    println!(
-        "  dataplane audit     : {} delivered, {} isolated, {} violations",
-        audit.delivered,
-        audit.isolated,
-        audit.violations.len()
-    );
+    if json {
+        println!(
+            "{{\"topology\":{},\"strategy\":{},\"inter_switch_links\":{},\
+             \"entries_per_switch\":{},\"deploy_time_ms\":{:.3},\
+             \"audit\":{{\"delivered\":{},\"isolated\":{},\"violations\":{},\"clean\":{}}}}}",
+            jstr(cfg.topology.name()),
+            jstr(d.routes.strategy()),
+            d.projection.inter_switch_links_used,
+            jlist(&d.projection.synthesis.entries_per_switch, |n| n.to_string()),
+            d.deploy_time_ns as f64 / 1e6,
+            audit.delivered,
+            audit.isolated,
+            audit.violations.len(),
+            audit.clean(),
+        );
+    } else {
+        println!("deployed {} on {} x {}", cfg.topology.name(), cfg.switches, cfg.model.name);
+        println!("  routing strategy    : {}", d.routes.strategy());
+        println!("  inter-switch links  : {}", d.projection.inter_switch_links_used);
+        for (sw, n) in d.projection.synthesis.entries_per_switch.iter().enumerate() {
+            println!("  switch {sw} entries    : {n}");
+        }
+        println!("  deploy time (model) : {:.0} ms", d.deploy_time_ns as f64 / 1e6);
+        println!(
+            "  dataplane audit     : {} delivered, {} isolated, {} violations",
+            audit.delivered,
+            audit.isolated,
+            audit.violations.len()
+        );
+    }
     if !audit.clean() {
         return Err("audit found violations".into());
     }
@@ -140,6 +219,136 @@ fn cmd_tables(paths: &[String]) -> Result<(), String> {
         for e in t1 {
             println!("  {e:?}");
         }
+    }
+    Ok(())
+}
+
+/// Admit every config file as one slice of a shared cluster. The first
+/// config's `[cluster]` section wires the fabric; each config contributes
+/// its topology + strategy as a tenant. Prints admissions, occupancy, and
+/// the cross-slice isolation audit; exits non-zero if any slice is
+/// rejected or the audit is unclean.
+fn cmd_slices(paths: &[String], json: bool) -> Result<(), String> {
+    if paths.is_empty() {
+        return Err("slices: need at least one config file".into());
+    }
+    let first = load(&paths[0])?;
+    let mut ctl = SliceController::from_config(&first);
+    let mut rejected = 0usize;
+    let mut rows = Vec::new();
+    for path in paths {
+        let cfg = load(path)?;
+        let name = cfg.topology.name().to_string();
+        match ctl.create(&name, &cfg.topology, &cfg.strategy) {
+            Ok(id) => {
+                let s = ctl.manager().slice(id).expect("just admitted");
+                if json {
+                    rows.push(format!(
+                        "{{\"path\":{},\"slice\":{},\"admitted\":true,\"id\":{},\
+                         \"host_ports\":{},\"cables\":{},\"entries\":{}}}",
+                        jstr(path),
+                        jstr(&name),
+                        id.0,
+                        s.projection.host_port.len(),
+                        s.projection.link_real.len(),
+                        s.entries(),
+                    ));
+                } else {
+                    println!(
+                        "{path}: admitted {name} as {id} ({} host ports, {} cables, {} entries)",
+                        s.projection.host_port.len(),
+                        s.projection.link_real.len(),
+                        s.entries(),
+                    );
+                }
+            }
+            Err(e) => {
+                rejected += 1;
+                if json {
+                    rows.push(format!(
+                        "{{\"path\":{},\"slice\":{},\"admitted\":false,\"error\":{}}}",
+                        jstr(path),
+                        jstr(&name),
+                        jstr(&e.to_string())
+                    ));
+                } else {
+                    println!("{path}: REJECTED {name} — {e}");
+                }
+            }
+        }
+    }
+
+    let status = ctl.status();
+    let audit = ctl.audit();
+    if json {
+        let switches = jlist(&status.switches, |s| {
+            format!(
+                "{{\"switch\":{},\"capacity\":{},\"used\":{},\"free\":{}}}",
+                s.switch, s.capacity, s.used, s.free
+            )
+        });
+        let per_slice = jlist(&audit.per_slice, |s| {
+            format!(
+                "{{\"slice\":{},\"delivered\":{},\"isolated\":{},\"violations\":{},\"shadowed\":{}}}",
+                jstr(&s.name),
+                s.delivered,
+                s.isolated,
+                s.violations.len(),
+                s.shadowed
+            )
+        });
+        println!(
+            "{{\"admissions\":[{}],\"status\":{{\"switches\":{},\
+             \"host_ports_used\":{},\"host_ports_total\":{},\
+             \"cables_used\":{},\"cables_total\":{}}},\
+             \"audit\":{{\"clean\":{},\"cross_isolated\":{},\"cross_leaks\":{},\
+             \"orphan_entries\":{},\"per_slice\":{}}}}}",
+            rows.join(","),
+            switches,
+            status.host_ports_used,
+            status.host_ports_total,
+            status.cables_used,
+            status.cables_total,
+            audit.clean(),
+            audit.cross_isolated,
+            audit.cross_leaks.len(),
+            audit.orphan_entries,
+            per_slice,
+        );
+    } else {
+        println!(
+            "cluster: {}/{} host ports, {}/{} cables in use",
+            status.host_ports_used,
+            status.host_ports_total,
+            status.cables_used,
+            status.cables_total
+        );
+        for s in &status.switches {
+            println!("  switch {}: {}/{} table entries", s.switch, s.used, s.capacity);
+        }
+        println!(
+            "audit: {} — {} cross-slice probes isolated, {} leaks, {} orphan entries",
+            if audit.clean() { "CLEAN" } else { "VIOLATIONS" },
+            audit.cross_isolated,
+            audit.cross_leaks.len(),
+            audit.orphan_entries,
+        );
+        for s in &audit.per_slice {
+            println!(
+                "  {}: {} delivered, {} isolated, {} violations, {} shadowed entries",
+                s.name,
+                s.delivered,
+                s.isolated,
+                s.violations.len(),
+                s.shadowed
+            );
+        }
+    }
+    if rejected > 0 {
+        return Err(format!("{rejected} slice(s) rejected"));
+    }
+    if !audit.clean() {
+        return Err("cross-slice audit found violations".into());
     }
     Ok(())
 }

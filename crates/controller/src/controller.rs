@@ -60,6 +60,37 @@ impl std::fmt::Display for DeployError {
 
 impl std::error::Error for DeployError {}
 
+/// Resolve a routing strategy by its config-file name for a topology.
+pub fn resolve_strategy(
+    name: &str,
+    topo: &Topology,
+) -> Result<Box<dyn RoutingStrategy>, DeployError> {
+    use sdt_routing::{dimension, dragonfly as dfr, fattree as ftr, generic};
+    let s: Box<dyn RoutingStrategy> = match (name, topo.kind()) {
+        ("default", _) => default_strategy(topo),
+        ("bfs", _) => Box::new(generic::Bfs::new(topo)),
+        ("updown", _) => Box::new(generic::UpDown::new(topo)),
+        ("fattree-dfs", TopologyKind::FatTree { k }) => Box::new(ftr::FatTreeDfs::new(*k)),
+        ("dragonfly-minimal", TopologyKind::Dragonfly { a, g, h, p }) => {
+            Box::new(dfr::DragonflyMinimal::new(*a, *g, *h, *p, topo))
+        }
+        ("dragonfly-valiant", TopologyKind::Dragonfly { a, g, h, p }) => {
+            Box::new(dfr::DragonflyValiant::new(*a, *g, *h, *p, topo))
+        }
+        ("dragonfly-ugal", TopologyKind::Dragonfly { a, g, h, p }) => {
+            Box::new(dfr::DragonflyUgal::new(*a, *g, *h, *p, topo))
+        }
+        ("dimension-order", TopologyKind::Mesh { dims }) => {
+            Box::new(dimension::DimensionOrder::mesh(dims.clone()))
+        }
+        ("dimension-order", TopologyKind::Torus { dims }) => {
+            Box::new(dimension::DimensionOrder::torus(dims.clone()))
+        }
+        (other, _) => return Err(DeployError::UnknownStrategy(other.into())),
+    };
+    Ok(s)
+}
+
 /// A live deployment: projection + programmed switches.
 #[derive(Debug)]
 pub struct Deployment {
@@ -139,30 +170,7 @@ impl SdtController {
         name: &str,
         topo: &Topology,
     ) -> Result<Box<dyn RoutingStrategy>, DeployError> {
-        use sdt_routing::{dimension, dragonfly as dfr, fattree as ftr, generic};
-        let s: Box<dyn RoutingStrategy> = match (name, topo.kind()) {
-            ("default", _) => default_strategy(topo),
-            ("bfs", _) => Box::new(generic::Bfs::new(topo)),
-            ("updown", _) => Box::new(generic::UpDown::new(topo)),
-            ("fattree-dfs", TopologyKind::FatTree { k }) => Box::new(ftr::FatTreeDfs::new(*k)),
-            ("dragonfly-minimal", TopologyKind::Dragonfly { a, g, h, p }) => {
-                Box::new(dfr::DragonflyMinimal::new(*a, *g, *h, *p, topo))
-            }
-            ("dragonfly-valiant", TopologyKind::Dragonfly { a, g, h, p }) => {
-                Box::new(dfr::DragonflyValiant::new(*a, *g, *h, *p, topo))
-            }
-            ("dragonfly-ugal", TopologyKind::Dragonfly { a, g, h, p }) => {
-                Box::new(dfr::DragonflyUgal::new(*a, *g, *h, *p, topo))
-            }
-            ("dimension-order", TopologyKind::Mesh { dims }) => {
-                Box::new(dimension::DimensionOrder::mesh(dims.clone()))
-            }
-            ("dimension-order", TopologyKind::Torus { dims }) => {
-                Box::new(dimension::DimensionOrder::torus(dims.clone()))
-            }
-            (other, _) => return Err(DeployError::UnknownStrategy(other.into())),
-        };
-        Ok(s)
+        resolve_strategy(name, topo)
     }
 
     /// §V-1 checking function: can each topology be projected on this

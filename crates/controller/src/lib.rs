@@ -25,10 +25,14 @@ pub mod controller;
 pub mod monitor;
 pub mod presets;
 pub mod recovery;
+pub mod slices;
 pub mod wiring;
 
 pub use config::{ConfigError, TestbedConfig};
-pub use controller::{CheckReport, Deployment, DeployError, RecoveryOutcome, SdtController};
+pub use controller::{
+    resolve_strategy, CheckReport, Deployment, DeployError, RecoveryOutcome, SdtController,
+};
+pub use slices::{SliceController, SliceOpError};
 pub use monitor::collect_loads;
 pub use recovery::{
     install_with_retry, surviving_topology, unreachable_pairs, FailureDetector, FailureReport,

@@ -1,0 +1,202 @@
+//! Slice lifecycle as a controller module: `create` / `reconfigure` /
+//! `destroy` over the shared cluster, with the controller's routing and
+//! deadlock-avoidance modules in front of admission.
+//!
+//! The [`sdt_tenancy::SliceManager`] enforces the resource and isolation
+//! invariants; this wrapper adds what the paper's controller (§V) owes
+//! every deployment regardless of tenancy: named routing-strategy
+//! resolution (Table III) and the channel-dependency-graph gate, which
+//! vetoes a slice whose routing could deadlock the lossless fabric *before*
+//! admission is even attempted.
+
+use crate::config::TestbedConfig;
+use crate::controller::resolve_strategy;
+use sdt_core::cluster::{ClusterBuilder, PhysicalCluster};
+use sdt_routing::cdg::{analyze, DeadlockAnalysis};
+use sdt_routing::RouteTable;
+use sdt_tenancy::epoch::EpochReport;
+use sdt_tenancy::{AdmissionError, ManagerStatus, ReclaimedResources, SliceAudit, SliceId, SliceManager};
+use sdt_topology::Topology;
+use std::fmt;
+
+/// Why a slice operation was refused.
+#[derive(Debug)]
+pub enum SliceOpError {
+    /// The manager refused admission (resources, headroom, unknown slice).
+    Admission(AdmissionError),
+    /// The Deadlock Avoidance module vetoed the slice's routing.
+    DeadlockRisk {
+        /// Length of the offending dependency cycle.
+        cycle_len: usize,
+    },
+    /// Unknown routing strategy name.
+    UnknownStrategy(String),
+}
+
+impl fmt::Display for SliceOpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SliceOpError::Admission(e) => write!(f, "admission refused: {e}"),
+            SliceOpError::DeadlockRisk { cycle_len } => {
+                write!(f, "routing rejected: channel dependency cycle of length {cycle_len}")
+            }
+            SliceOpError::UnknownStrategy(s) => write!(f, "unknown routing strategy `{s}`"),
+        }
+    }
+}
+
+impl std::error::Error for SliceOpError {}
+
+/// Multi-tenant front of the SDT controller.
+pub struct SliceController {
+    mgr: SliceManager,
+    require_deadlock_free: bool,
+}
+
+impl SliceController {
+    /// Slice controller over an already-wired cluster.
+    pub fn new(cluster: PhysicalCluster) -> Self {
+        SliceController { mgr: SliceManager::new(cluster), require_deadlock_free: true }
+    }
+
+    /// Build the shared cluster from a config file's `[cluster]` section.
+    pub fn from_config(cfg: &TestbedConfig) -> Self {
+        let cluster = ClusterBuilder::new(cfg.model, cfg.switches)
+            .hosts_per_switch(cfg.hosts_per_switch)
+            .inter_links_per_pair(cfg.inter_links_per_pair)
+            .build();
+        let mut c = SliceController::new(cluster);
+        c.require_deadlock_free = cfg.require_deadlock_free;
+        c
+    }
+
+    /// Allow slices whose routing has a cyclic CDG (deadlock demos).
+    pub fn allow_deadlock_risk(&mut self) {
+        self.require_deadlock_free = false;
+    }
+
+    fn routes_for(
+        &self,
+        topo: &Topology,
+        strategy: &str,
+    ) -> Result<RouteTable, SliceOpError> {
+        let s = resolve_strategy(strategy, topo).map_err(|e| match e {
+            crate::controller::DeployError::UnknownStrategy(s) => {
+                SliceOpError::UnknownStrategy(s)
+            }
+            other => SliceOpError::UnknownStrategy(other.to_string()),
+        })?;
+        let routes = RouteTable::build_for_hosts(topo, s.as_ref());
+        if self.require_deadlock_free {
+            if let DeadlockAnalysis::Cycle(c) = analyze(&routes) {
+                return Err(SliceOpError::DeadlockRisk { cycle_len: c.len() });
+            }
+        }
+        Ok(routes)
+    }
+
+    /// Admit a slice with a named routing strategy ("default" for
+    /// Table III's per-topology pick).
+    pub fn create(
+        &mut self,
+        name: &str,
+        topo: &Topology,
+        strategy: &str,
+    ) -> Result<SliceId, SliceOpError> {
+        let routes = self.routes_for(topo, strategy)?;
+        self.mgr.create_with_routes(name, topo, routes).map_err(SliceOpError::Admission)
+    }
+
+    /// Make-before-break reconfiguration of an admitted slice to a new
+    /// topology. Returns the epoch report (flow-mod counts, modeled
+    /// cutover time).
+    pub fn reconfigure(
+        &mut self,
+        id: SliceId,
+        topo: &Topology,
+        strategy: &str,
+    ) -> Result<EpochReport, SliceOpError> {
+        let routes = self.routes_for(topo, strategy)?;
+        self.mgr
+            .reconfigure_with_routes(id, topo, routes)
+            .map_err(SliceOpError::Admission)
+    }
+
+    /// Tear a slice down and reclaim its resources.
+    pub fn destroy(&mut self, id: SliceId) -> Result<ReclaimedResources, SliceOpError> {
+        self.mgr.destroy(id).map_err(SliceOpError::Admission)
+    }
+
+    /// Cluster-wide resource accounting snapshot.
+    pub fn status(&self) -> ManagerStatus {
+        self.mgr.status()
+    }
+
+    /// Full cross-slice isolation audit against the live switches.
+    pub fn audit(&mut self) -> SliceAudit {
+        SliceAudit::run(&mut self.mgr)
+    }
+
+    /// The underlying slice manager.
+    pub fn manager(&self) -> &SliceManager {
+        &self.mgr
+    }
+
+    /// Mutable manager access.
+    pub fn manager_mut(&mut self) -> &mut SliceManager {
+        &mut self.mgr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdt_core::methods::SwitchModel;
+    use sdt_topology::chain::{chain, ring};
+    use sdt_topology::fattree::fat_tree;
+
+    fn controller() -> SliceController {
+        let cluster = ClusterBuilder::new(SwitchModel::openflow_128x100g(), 2)
+            .hosts_per_switch(16)
+            .inter_links_per_pair(12)
+            .build();
+        SliceController::new(cluster)
+    }
+
+    #[test]
+    fn lifecycle_create_reconfigure_destroy() {
+        let mut c = controller();
+        let a = c.create("a", &fat_tree(4), "default").unwrap();
+        let b = c.create("b", &chain(4), "default").unwrap();
+        assert_eq!(c.status().slices.len(), 2);
+
+        let report = c.reconfigure(b, &ring(4), "updown").unwrap();
+        assert!(report.flow_mods() > 0);
+        assert!(c.audit().clean());
+
+        let reclaimed = c.destroy(a).unwrap();
+        assert_eq!(reclaimed.host_ports, 16);
+        assert_eq!(c.status().slices.len(), 1);
+        assert!(c.audit().clean());
+    }
+
+    #[test]
+    fn deadlock_gate_runs_before_admission() {
+        let mut c = controller();
+        // BFS on an odd ring has a cyclic CDG: vetoed pre-admission.
+        let err = c.create("r", &ring(5), "bfs").unwrap_err();
+        assert!(matches!(err, SliceOpError::DeadlockRisk { .. }));
+        assert_eq!(c.status().slices.len(), 0);
+        // The same slice under up/down routing is admitted.
+        c.create("r", &ring(5), "updown").unwrap();
+    }
+
+    #[test]
+    fn unknown_strategy_named_in_error() {
+        let mut c = controller();
+        match c.create("x", &chain(3), "warp-drive") {
+            Err(SliceOpError::UnknownStrategy(s)) => assert_eq!(s, "warp-drive"),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -28,7 +28,7 @@ const PRIO_DST: u16 = 10;
 const PRIO_SRC_OVERRIDE: u16 = 20;
 
 /// Synthesized pipeline for every physical switch.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SynthesisOutput {
     /// Per physical switch: table-0 entries (port classification).
     pub table0: Vec<Vec<FlowEntry>>,

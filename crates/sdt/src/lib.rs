@@ -22,6 +22,9 @@
 //!   miniFE);
 //! * [`sim`] — the event-driven fabric simulator (PFC/credits, DCQCN, TCP,
 //!   trace replay);
+//! * [`tenancy`] — multi-tenant topology slicing: admission-controlled
+//!   concurrent logical topologies on one shared cluster, with
+//!   make-before-break reconfiguration and a cross-slice isolation audit;
 //! * [`controller`] — the config-file-driven SDT controller.
 //!
 //! ## Quickstart
@@ -49,5 +52,6 @@ pub use sdt_openflow as openflow;
 pub use sdt_partition as partition;
 pub use sdt_routing as routing;
 pub use sdt_sim as sim;
+pub use sdt_tenancy as tenancy;
 pub use sdt_topology as topology;
 pub use sdt_workloads as workloads;

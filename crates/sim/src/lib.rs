@@ -50,10 +50,12 @@ pub mod config;
 pub mod engine;
 pub mod faults;
 pub mod mpi;
+pub mod slices;
 pub mod telemetry;
 
 pub use config::{DcqcnConfig, Granularity, SimConfig, TcpConfig};
 pub use engine::{CaptureEvent, CaptureRecord, FlowStats, SimOutcome, SimStats, Simulator};
 pub use faults::{ChaosConfig, ControlFaults, FaultEvent, FaultSchedule, TimedFault};
+pub use slices::MultiSliceSim;
 pub use telemetry::{ChannelUtilization, FctSummary};
 pub use mpi::{run_trace, MpiRunResult};

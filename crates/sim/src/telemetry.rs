@@ -5,7 +5,13 @@ use crate::engine::{Simulator, Time};
 use sdt_topology::SwitchId;
 
 /// Flow-completion-time distribution over finished flows.
-#[derive(Clone, Copy, Debug, Default)]
+///
+/// Percentiles use the nearest-rank definition: `p`-th percentile = the
+/// `ceil(p · n)`-th smallest sample. Unlike rounding an interpolated index,
+/// nearest-rank never reports a value below the true percentile — with few
+/// samples the tail (p99/p999) otherwise under-reports badly, e.g. for
+/// n = 67 a rounded `(n-1)·p` index picks the third-largest sample as "p99".
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
 pub struct FctSummary {
     /// Finished flows.
     pub count: usize,
@@ -15,8 +21,31 @@ pub struct FctSummary {
     pub p50_ns: u64,
     /// 99th percentile FCT, ns.
     pub p99_ns: u64,
+    /// 99.9th percentile FCT, ns.
+    pub p999_ns: u64,
     /// Maximum FCT, ns.
     pub max_ns: u64,
+}
+
+impl FctSummary {
+    /// Summarize a set of completion times (ns). Order irrelevant.
+    pub fn from_durations(mut fcts: Vec<u64>) -> FctSummary {
+        if fcts.is_empty() {
+            return FctSummary::default();
+        }
+        fcts.sort_unstable();
+        let n = fcts.len();
+        // Nearest rank: 1-based rank ceil(p·n), clamped into [1, n].
+        let pct = |p: f64| fcts[((p * n as f64).ceil() as usize).clamp(1, n) - 1];
+        FctSummary {
+            count: n,
+            mean_ns: fcts.iter().sum::<u64>() as f64 / n as f64,
+            p50_ns: pct(0.50),
+            p99_ns: pct(0.99),
+            p999_ns: pct(0.999),
+            max_ns: fcts[n - 1],
+        }
+    }
 }
 
 /// Utilization of one directed fabric channel.
@@ -35,25 +64,13 @@ pub struct ChannelUtilization {
 impl Simulator {
     /// Flow-completion-time summary over all finished flows.
     pub fn fct_summary(&self) -> FctSummary {
-        let mut fcts: Vec<Time> = (0..self.num_flows())
+        let fcts: Vec<Time> = (0..self.num_flows())
             .filter_map(|f| {
                 let st = self.flow_stats(f);
                 st.finish.map(|t| t.saturating_sub(st.start))
             })
             .collect();
-        if fcts.is_empty() {
-            return FctSummary::default();
-        }
-        fcts.sort_unstable();
-        let n = fcts.len();
-        let pct = |p: f64| fcts[(((n - 1) as f64) * p).round() as usize];
-        FctSummary {
-            count: n,
-            mean_ns: fcts.iter().sum::<u64>() as f64 / n as f64,
-            p50_ns: pct(0.50),
-            p99_ns: pct(0.99),
-            max_ns: fcts[n - 1],
-        }
+        FctSummary::from_durations(fcts)
     }
 
     /// Per-channel utilization over the run so far, sorted hottest-first.
@@ -116,6 +133,34 @@ mod tests {
         assert!(s.p50_ns <= s.p99_ns);
         assert!(s.p99_ns <= s.max_ns);
         assert!(s.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        use crate::telemetry::FctSummary;
+        // n = 2: the median is the *first* sample under nearest-rank
+        // (rank ceil(0.5·2) = 1), not the second.
+        let s = FctSummary::from_durations(vec![20, 10]);
+        assert_eq!((s.p50_ns, s.p99_ns, s.p999_ns, s.max_ns), (10, 20, 20, 20));
+
+        // n = 67 distinct samples 1..=67: rank ceil(0.99·67) = 67, so p99
+        // is the maximum. The old rounded (n-1)·p index computed
+        // round(66·0.99) = 65, reporting the third-largest sample as p99.
+        let s = FctSummary::from_durations((1..=67).collect());
+        assert_eq!(s.p99_ns, 67);
+        assert_eq!(s.p50_ns, 34); // rank ceil(33.5) = 34
+        assert_eq!(s.p999_ns, 67);
+
+        // Large n: p999 sits between p99 and max.
+        let s = FctSummary::from_durations((1..=10_000).collect());
+        assert_eq!(s.p50_ns, 5_000);
+        assert_eq!(s.p99_ns, 9_900);
+        assert_eq!(s.p999_ns, 9_990);
+        assert_eq!(s.max_ns, 10_000);
+
+        // Single sample: every percentile is that sample.
+        let s = FctSummary::from_durations(vec![42]);
+        assert_eq!((s.count, s.p50_ns, s.p999_ns), (1, 42, 42));
     }
 
     #[test]

@@ -1,0 +1,388 @@
+//! Epoched flow-mod batches — the unit of multi-tenant reconfiguration.
+//!
+//! Every mutation the [`crate::SliceManager`] performs on the shared
+//! switches — admitting a slice, reconfiguring it, tearing it down — is
+//! first materialized as an [`Epoch`]: the complete set of additions and
+//! deletions, each targeted at a (physical switch, pipeline table). Before
+//! anything is applied, [`Epoch::verify`] proves that every mod's match
+//! space lies inside the owning slice's namespace and outside every other
+//! slice's — so a reconfiguration *cannot* touch a co-tenant's rules, by
+//! construction and by check.
+//!
+//! Application order implements make-before-break:
+//!
+//! 1. **adds, table 1 first** — new routing entries become matchable before
+//!    any port steers to them;
+//! 2. **adds, table 0** — new classify entries land *behind* the old ones
+//!    (same priority, stable insertion order), so the old pipeline keeps
+//!    winning first-match until step 3;
+//! 3. **deletes, table 0 first** — removing an old classify entry is the
+//!    per-port atomic cutover to the already-installed new pipeline;
+//! 4. **deletes, table 1** — only then is the old routing state garbage
+//!    collected.
+//!
+//! At no instant does a port classify into a sub-switch whose routing
+//! entries are absent, and at no instant is another slice's state touched.
+
+use crate::SliceId;
+use sdt_core::synthesis::SynthesisOutput;
+use sdt_openflow::{diff_tables, FlowEntry, FlowMatch, FlowMod, InstallTiming, PortNo};
+use std::collections::HashSet;
+use std::fmt;
+
+/// One entry installation, targeted at a switch and pipeline table.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochAdd {
+    /// Physical switch.
+    pub switch: u32,
+    /// Pipeline table (0 or 1).
+    pub table: u8,
+    /// Entry to install.
+    pub entry: FlowEntry,
+}
+
+/// One strict deletion (exact match + priority), targeted like an add.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochDelete {
+    /// Physical switch.
+    pub switch: u32,
+    /// Pipeline table (0 or 1).
+    pub table: u8,
+    /// Match of the entry to remove.
+    pub m: FlowMatch,
+    /// Priority of the entry to remove.
+    pub priority: u16,
+}
+
+/// A verified, atomic batch of flow-mods belonging to exactly one slice.
+#[derive(Clone, Debug, Default)]
+pub struct Epoch {
+    /// The slice this epoch mutates.
+    pub slice: SliceId,
+    /// Entries to install (applied first: table 1, then table 0).
+    pub adds: Vec<EpochAdd>,
+    /// Entries to remove (applied last: table 0, then table 1).
+    pub deletes: Vec<EpochDelete>,
+}
+
+/// The match-space a slice owns on the shared fabric: its ingress ports
+/// (table 0) and its metadata range (table 1). Two slices' spaces are
+/// disjoint by construction; [`Epoch::verify`] re-proves it per epoch.
+#[derive(Clone, Debug, Default)]
+pub struct OwnedSpace {
+    /// (physical switch, ingress port) pairs whose table-0 entries belong
+    /// to the slice.
+    pub ports: HashSet<(u32, PortNo)>,
+    /// Metadata ranges `[base, base + len)` scoping the slice's table-1
+    /// entries. More than one range only transiently, mid-reconfiguration.
+    pub metadata: Vec<(u32, u32)>,
+}
+
+impl OwnedSpace {
+    /// Does the space own this ingress port?
+    pub fn contains_port(&self, switch: u32, port: PortNo) -> bool {
+        self.ports.contains(&(switch, port))
+    }
+
+    /// Does the space own this metadata value?
+    pub fn contains_metadata(&self, md: u32) -> bool {
+        self.metadata.iter().any(|&(base, len)| md >= base && md - base < len)
+    }
+
+    /// Absorb another space (used to union "all other slices").
+    pub fn merge(&mut self, other: &OwnedSpace) {
+        self.ports.extend(other.ports.iter().copied());
+        self.metadata.extend(other.metadata.iter().copied());
+    }
+}
+
+/// Why an epoch failed verification. Any of these firing means a manager
+/// bug, not an operator error — the manager refuses to apply the epoch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EpochViolation {
+    /// A mod targets an ingress port owned by another slice.
+    ForeignPort {
+        /// Physical switch.
+        switch: u32,
+        /// The foreign port.
+        port: PortNo,
+    },
+    /// A table-0 mod targets a port the slice does not own.
+    UnownedPort {
+        /// Physical switch.
+        switch: u32,
+        /// The unowned port.
+        port: PortNo,
+    },
+    /// A mod's metadata lies in another slice's range.
+    ForeignMetadata {
+        /// Physical switch.
+        switch: u32,
+        /// The foreign metadata value.
+        metadata: u32,
+    },
+    /// A table-1 mod's metadata is outside the slice's ranges.
+    UnownedMetadata {
+        /// Physical switch.
+        switch: u32,
+        /// The unowned metadata value.
+        metadata: u32,
+    },
+    /// A mod's match is not scoped at all (no in-port on table 0, no
+    /// metadata on table 1) — it could match co-tenant traffic.
+    UnscopedMatch {
+        /// Physical switch.
+        switch: u32,
+        /// Pipeline table.
+        table: u8,
+    },
+}
+
+impl fmt::Display for EpochViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EpochViolation::ForeignPort { switch, port } => {
+                write!(f, "switch {switch}: mod touches foreign port {}", port.0)
+            }
+            EpochViolation::UnownedPort { switch, port } => {
+                write!(f, "switch {switch}: mod touches unowned port {}", port.0)
+            }
+            EpochViolation::ForeignMetadata { switch, metadata } => {
+                write!(f, "switch {switch}: mod touches foreign metadata {metadata}")
+            }
+            EpochViolation::UnownedMetadata { switch, metadata } => {
+                write!(f, "switch {switch}: mod touches unowned metadata {metadata}")
+            }
+            EpochViolation::UnscopedMatch { switch, table } => {
+                write!(f, "switch {switch} table {table}: unscoped match")
+            }
+        }
+    }
+}
+
+/// What applying an epoch cost.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EpochReport {
+    /// Entries installed.
+    pub adds: usize,
+    /// Entries removed.
+    pub deletes: usize,
+    /// Flow-mods on the busiest switch (switches install in parallel).
+    pub max_mods_one_switch: usize,
+    /// Modeled wall-clock of the epoch, ns (busiest switch + barrier).
+    pub install_time_ns: u64,
+}
+
+impl EpochReport {
+    /// Total flow-mods sent.
+    pub fn flow_mods(&self) -> usize {
+        self.adds + self.deletes
+    }
+}
+
+impl Epoch {
+    /// Diff two synthesized pipelines into an epoch: exactly the mods that
+    /// turn `old` into `new`, table by table, switch by switch. Entries
+    /// present in both stay untouched, which is what keeps same-family
+    /// reconfigurations proportional to the delta.
+    pub fn from_diff(slice: SliceId, old: &SynthesisOutput, new: &SynthesisOutput) -> Epoch {
+        let mut epoch = Epoch { slice, ..Default::default() };
+        let num_switches = old.table0.len().max(new.table0.len());
+        let empty: Vec<FlowEntry> = Vec::new();
+        for sw in 0..num_switches {
+            for (table, old_t, new_t) in [
+                (0u8, old.table0.get(sw).unwrap_or(&empty), new.table0.get(sw).unwrap_or(&empty)),
+                (1u8, old.table1.get(sw).unwrap_or(&empty), new.table1.get(sw).unwrap_or(&empty)),
+            ] {
+                for m in diff_tables(old_t, new_t) {
+                    match m {
+                        FlowMod::Add(entry) => {
+                            epoch.adds.push(EpochAdd { switch: sw as u32, table, entry })
+                        }
+                        FlowMod::Delete(fm, priority) => epoch.deletes.push(EpochDelete {
+                            switch: sw as u32,
+                            table,
+                            m: fm,
+                            priority,
+                        }),
+                        FlowMod::Clear => unreachable!("diff_tables never clears"),
+                    }
+                }
+            }
+        }
+        epoch
+    }
+
+    /// Flow-mods this epoch sends to each switch (adds + deletes).
+    pub fn mods_per_switch(&self, num_switches: usize) -> Vec<usize> {
+        let mut per = vec![0usize; num_switches];
+        for a in &self.adds {
+            per[a.switch as usize] += 1;
+        }
+        for d in &self.deletes {
+            per[d.switch as usize] += 1;
+        }
+        per
+    }
+
+    /// *Adds* this epoch sends to each switch — the transient extra table
+    /// occupancy make-before-break needs headroom for.
+    pub fn adds_per_switch(&self, num_switches: usize) -> Vec<usize> {
+        let mut per = vec![0usize; num_switches];
+        for a in &self.adds {
+            per[a.switch as usize] += 1;
+        }
+        per
+    }
+
+    /// Prove that every mod in the epoch stays inside `own` (the epoch's
+    /// slice, old ∪ new namespace) and outside `others` (the union of every
+    /// co-tenant's namespace). This is the "provably never touch another
+    /// slice's rules" guarantee: table-0 mods must name an owned, non-foreign
+    /// ingress port; table-1 mods an owned, non-foreign metadata value.
+    pub fn verify(&self, own: &OwnedSpace, others: &OwnedSpace) -> Result<(), EpochViolation> {
+        let check = |switch: u32, table: u8, m: &FlowMatch| -> Result<(), EpochViolation> {
+            match table {
+                0 => {
+                    let Some(port) = m.in_port else {
+                        return Err(EpochViolation::UnscopedMatch { switch, table });
+                    };
+                    if others.contains_port(switch, port) {
+                        return Err(EpochViolation::ForeignPort { switch, port });
+                    }
+                    if !own.contains_port(switch, port) {
+                        return Err(EpochViolation::UnownedPort { switch, port });
+                    }
+                    Ok(())
+                }
+                _ => {
+                    let Some(md) = m.metadata else {
+                        return Err(EpochViolation::UnscopedMatch { switch, table });
+                    };
+                    if others.contains_metadata(md) {
+                        return Err(EpochViolation::ForeignMetadata { switch, metadata: md });
+                    }
+                    if !own.contains_metadata(md) {
+                        return Err(EpochViolation::UnownedMetadata { switch, metadata: md });
+                    }
+                    Ok(())
+                }
+            }
+        };
+        for a in &self.adds {
+            check(a.switch, a.table, &a.entry.m)?;
+        }
+        for d in &self.deletes {
+            check(d.switch, d.table, &d.m)?;
+        }
+        Ok(())
+    }
+
+    /// Build the report for this epoch (before or after applying it).
+    pub fn report(&self, num_switches: usize, timing: &InstallTiming) -> EpochReport {
+        let max = self.mods_per_switch(num_switches).into_iter().max().unwrap_or(0);
+        EpochReport {
+            adds: self.adds.len(),
+            deletes: self.deletes.len(),
+            max_mods_one_switch: max,
+            install_time_ns: timing.install_time_ns(max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdt_openflow::{Action, HostAddr};
+
+    fn t0_entry(port: u16, md: u32) -> FlowEntry {
+        FlowEntry {
+            m: FlowMatch::on_port(PortNo(port)),
+            priority: 10,
+            action: Action::WriteMetadataGoto(md),
+        }
+    }
+
+    fn t1_entry(md: u32, dst: u32, out: u16) -> FlowEntry {
+        FlowEntry {
+            m: FlowMatch::to_dst(HostAddr(dst)).and_metadata(md),
+            priority: 10,
+            action: Action::Output(PortNo(out)),
+        }
+    }
+
+    fn synth(t0: Vec<FlowEntry>, t1: Vec<FlowEntry>) -> SynthesisOutput {
+        let entries = t0.len() + t1.len();
+        SynthesisOutput {
+            table0: vec![t0],
+            table1: vec![t1],
+            entries_per_switch: vec![entries],
+        }
+    }
+
+    #[test]
+    fn diff_splits_adds_and_deletes_by_table() {
+        let old = synth(vec![t0_entry(1, 100)], vec![t1_entry(100, 7, 1)]);
+        let new = synth(vec![t0_entry(2, 100)], vec![t1_entry(100, 7, 2)]);
+        let e = Epoch::from_diff(SliceId(0), &old, &new);
+        assert_eq!(e.adds.len(), 2);
+        assert_eq!(e.deletes.len(), 2);
+        assert_eq!(e.mods_per_switch(1), vec![4]);
+        assert_eq!(e.adds_per_switch(1), vec![2]);
+    }
+
+    #[test]
+    fn verify_rejects_foreign_and_unowned_matches() {
+        let own = OwnedSpace {
+            ports: [(0, PortNo(1))].into_iter().collect(),
+            metadata: vec![(100, 4)],
+        };
+        let others = OwnedSpace {
+            ports: [(0, PortNo(9))].into_iter().collect(),
+            metadata: vec![(200, 4)],
+        };
+        let mk = |t0: Vec<FlowEntry>, t1: Vec<FlowEntry>| {
+            Epoch::from_diff(SliceId(0), &synth(vec![], vec![]), &synth(t0, t1))
+        };
+        assert_eq!(mk(vec![t0_entry(1, 100)], vec![t1_entry(100, 0, 1)]).verify(&own, &others), Ok(()));
+        assert!(matches!(
+            mk(vec![t0_entry(9, 100)], vec![]).verify(&own, &others),
+            Err(EpochViolation::ForeignPort { .. })
+        ));
+        assert!(matches!(
+            mk(vec![t0_entry(3, 100)], vec![]).verify(&own, &others),
+            Err(EpochViolation::UnownedPort { .. })
+        ));
+        assert!(matches!(
+            mk(vec![], vec![t1_entry(201, 0, 1)]).verify(&own, &others),
+            Err(EpochViolation::ForeignMetadata { .. })
+        ));
+        assert!(matches!(
+            mk(vec![], vec![t1_entry(50, 0, 1)]).verify(&own, &others),
+            Err(EpochViolation::UnownedMetadata { .. })
+        ));
+        // A table-1 entry with no metadata scope is never acceptable.
+        let unscoped = FlowEntry {
+            m: FlowMatch::to_dst(HostAddr(0)),
+            priority: 10,
+            action: Action::Output(PortNo(1)),
+        };
+        assert!(matches!(
+            mk(vec![], vec![unscoped]).verify(&own, &others),
+            Err(EpochViolation::UnscopedMatch { table: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn report_models_busiest_switch() {
+        let old = synth(vec![], vec![]);
+        let new = synth(vec![t0_entry(1, 100)], vec![t1_entry(100, 7, 1)]);
+        let e = Epoch::from_diff(SliceId(0), &old, &new);
+        let r = e.report(1, &InstallTiming::default());
+        assert_eq!(r.adds, 2);
+        assert_eq!(r.deletes, 0);
+        assert_eq!(r.flow_mods(), 2);
+        assert_eq!(r.max_mods_one_switch, 2);
+        assert_eq!(r.install_time_ns, InstallTiming::default().install_time_ns(2));
+    }
+}

@@ -1,0 +1,44 @@
+//! Multi-tenant topology slicing for SDT (the testbed-as-a-service layer).
+//!
+//! The paper's pitch (§I, §V) is that one small, fully-wired cluster can
+//! host *user-defined* topologies and swap them in sub-second time. A
+//! single-occupant testbed wastes exactly the resource-sharing that pitch
+//! monetizes: a fat-tree k=4 needs 16 host ports and ~300 flow entries
+//! while the cluster has hundreds of ports and thousands of entries. This
+//! crate turns the projection machinery into a shared fabric:
+//!
+//! * [`SliceManager`] admits multiple logical topologies ("slices") onto
+//!   one [`PhysicalCluster`](sdt_core::cluster::PhysicalCluster)
+//!   concurrently, with hard resource accounting over host ports, cables,
+//!   and per-switch flow-table capacity;
+//! * admission is all-or-nothing: a slice that does not fit is rejected
+//!   with a structured [`AdmissionError`] naming the scarce resource and
+//!   the switch it ran out on — never a partial install;
+//! * reconfiguring or destroying a slice is scheduled as an epoched
+//!   flow-mod batch ([`Epoch`]) that is *verified* against the namespace
+//!   map before anything is applied: every mod must fall inside the
+//!   owning slice's (switch, in-port) and metadata space, so one tenant's
+//!   churn provably cannot touch another's rules;
+//! * [`SliceAudit`] extends the single-tenant isolation audit across
+//!   tenants: it walks real packets through the shared tables and proves
+//!   intra-slice delivery, cross-slice isolation, and structural
+//!   disjointness of the match spaces, and it attributes dead (shadowed)
+//!   rules to the slice that owns them.
+//!
+//! Isolation rests on the same §VI-B mechanism as the single-tenant
+//! testbed — a miss in either table is a drop — plus two disjointness
+//! invariants the manager maintains: no two slices share a physical port
+//! (so table-0 classification spaces cannot overlap), and each slice's
+//! table-1 entries live in a private metadata/address range (so routing
+//! spaces cannot overlap either).
+
+pub mod audit;
+pub mod epoch;
+pub mod manager;
+
+pub use audit::{SliceAudit, SliceAuditEntry};
+pub use epoch::{Epoch, EpochAdd, EpochDelete, EpochReport, EpochViolation, OwnedSpace};
+pub use manager::{
+    AdmissionError, ManagerStatus, ReclaimedResources, Slice, SliceId, SliceManager, SliceStatus,
+    SwitchOccupancy,
+};

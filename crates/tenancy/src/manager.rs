@@ -1,0 +1,814 @@
+//! The slice manager: admission control and lifecycle over one shared
+//! cluster.
+//!
+//! A *slice* is one logical topology projected onto the shared physical
+//! cluster alongside other slices. The manager holds the only mutable
+//! reference to the live switches; every slice mutation goes through an
+//! [`Epoch`] that is verified against the namespace map before a single
+//! flow-mod is applied.
+//!
+//! ## Resource model
+//!
+//! Three hard resources are accounted per slice:
+//!
+//! * **host ports** — each logical host attachment claims one;
+//! * **cables** — each logical fabric link claims one self-link or
+//!   inter-switch cable;
+//! * **flow-table entries** — each slice's remapped pipeline occupies
+//!   entries of the per-switch shared table budget.
+//!
+//! Port/cable disjointness is enforced by reusing the projector's
+//! [`FailedResources`] mechanism: everything a co-tenant holds is passed to
+//! the new slice's projection as if it were failed hardware, so the
+//! projection *cannot* assign it — and a rejection reports the genuinely
+//! free counts, not the raw wiring.
+//!
+//! ## Namespacing
+//!
+//! Every slice's topology numbers switches and hosts from 0, so the raw
+//! synthesized pipelines of two slices would collide on table-1 metadata
+//! (`write-metadata(sub-switch id)`) and host addresses. The manager
+//! allocates each slice a private metadata range and host-address range
+//! (monotonic bases, never reused) and rewrites the synthesized entries
+//! into them before installation. Table-0 entries need no rewrite: their
+//! ingress ports are disjoint by the resource model.
+
+use crate::epoch::{Epoch, EpochReport, OwnedSpace};
+use sdt_core::cluster::{PhysLink, PhysicalCluster};
+use sdt_core::sdt::{
+    FailedResources, ProjectOptions, ProjectionError, SdtProjection, SdtProjector,
+};
+use sdt_core::synthesis::SynthesisOutput;
+use sdt_openflow::{
+    Action, FlowMod, HostAddr, InstallTiming, OpenFlowSwitch, SwitchConfig,
+};
+use sdt_routing::{default_strategy, RouteTable};
+use sdt_topology::{HostId, SwitchId, Topology};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Identifier of an admitted slice. Ids are never reused.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SliceId(pub u32);
+
+impl fmt::Display for SliceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slice-{}", self.0)
+    }
+}
+
+/// Why a slice was refused. Every variant names the scarce resource and
+/// where it ran out; nothing is installed on a refusal.
+#[derive(Clone, Debug)]
+pub enum AdmissionError {
+    /// Ports, cables or single-tenant table capacity are short. The counts
+    /// inside reflect what co-tenants left free, not the raw wiring.
+    Resources(ProjectionError),
+    /// The shared flow table of a switch lacks headroom for this slice's
+    /// entries on top of its co-tenants' (plus, during reconfiguration, the
+    /// make-before-break overlap).
+    TableHeadroom {
+        /// Physical switch that is out of entries.
+        switch: u32,
+        /// Entries this operation needs to install there.
+        need: usize,
+        /// Entries actually free there.
+        free: usize,
+    },
+    /// No slice with this id.
+    UnknownSlice(SliceId),
+    /// Epoch verification failed — a manager invariant was violated and the
+    /// epoch was not applied. Should never happen.
+    EpochViolation(String),
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::Resources(e) => write!(f, "insufficient resources: {e}"),
+            AdmissionError::TableHeadroom { switch, need, free } => write!(
+                f,
+                "switch {switch}: flow table lacks headroom ({need} entries needed, {free} free)"
+            ),
+            AdmissionError::UnknownSlice(id) => write!(f, "unknown {id}"),
+            AdmissionError::EpochViolation(v) => write!(f, "epoch verification failed: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// Resources handed back by [`SliceManager::destroy`] — exactly what the
+/// slice had reserved, by construction of the teardown epoch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ReclaimedResources {
+    /// Host ports returned to the free pool.
+    pub host_ports: usize,
+    /// Cables (self-links + inter-switch links) returned.
+    pub cables: usize,
+    /// Flow-table entries removed across the cluster.
+    pub flow_entries: usize,
+}
+
+/// An admitted slice: its logical topology, projection, namespace, and the
+/// remapped pipeline actually installed on the shared switches.
+#[derive(Clone, Debug)]
+pub struct Slice {
+    /// Stable identifier.
+    pub id: SliceId,
+    /// Operator-facing name.
+    pub name: String,
+    /// The logical topology this slice realizes.
+    pub topology: Topology,
+    /// Routing table behind the slice's pipeline.
+    pub routes: RouteTable,
+    /// Projection onto the shared cluster (ports/cables it owns).
+    pub projection: SdtProjection,
+    /// First metadata value of the slice's table-1 namespace.
+    pub metadata_base: u32,
+    /// Reserved metadata values (may exceed the current topology's switch
+    /// count after a shrinking reconfiguration).
+    pub metadata_reserved: u32,
+    /// First host address of the slice's namespace.
+    pub addr_base: u32,
+    /// Reserved host addresses.
+    pub addr_reserved: u32,
+    /// The namespaced pipeline as installed (synthesis remapped into the
+    /// slice's metadata/address ranges).
+    pub installed: SynthesisOutput,
+    /// Epochs applied to this slice (1 = initial install).
+    pub epochs: u32,
+}
+
+impl Slice {
+    /// Flow-table entries this slice occupies across the cluster.
+    pub fn entries(&self) -> usize {
+        self.installed.entries_per_switch.iter().sum()
+    }
+
+    /// The fabric-wide address of one of the slice's hosts.
+    pub fn host_addr(&self, h: HostId) -> HostAddr {
+        HostAddr(self.addr_base + h.0)
+    }
+
+    /// The match-space this slice owns on the shared switches.
+    pub fn owned_space(&self) -> OwnedSpace {
+        let mut own = OwnedSpace {
+            metadata: vec![(self.metadata_base, self.metadata_reserved)],
+            ..Default::default()
+        };
+        for (sw, t0) in self.installed.table0.iter().enumerate() {
+            for e in t0 {
+                if let Some(p) = e.m.in_port {
+                    own.ports.insert((sw as u32, p));
+                }
+            }
+        }
+        own
+    }
+}
+
+/// Occupancy of one shared switch's flow table.
+#[derive(Clone, Copy, Debug)]
+pub struct SwitchOccupancy {
+    /// Physical switch.
+    pub switch: u32,
+    /// Shared pipeline capacity, entries.
+    pub capacity: usize,
+    /// Entries installed (all slices).
+    pub used: usize,
+    /// Entries free.
+    pub free: usize,
+}
+
+/// One slice's row in [`ManagerStatus`].
+#[derive(Clone, Debug)]
+pub struct SliceStatus {
+    /// Slice id.
+    pub id: SliceId,
+    /// Slice name.
+    pub name: String,
+    /// Logical topology name.
+    pub topology: String,
+    /// Logical switches.
+    pub switches: u32,
+    /// Logical hosts.
+    pub hosts: u32,
+    /// Host ports reserved.
+    pub host_ports: usize,
+    /// Cables reserved.
+    pub cables: usize,
+    /// Flow-table entries occupied.
+    pub entries: usize,
+    /// Metadata namespace `[base, base + reserved)`.
+    pub metadata_range: (u32, u32),
+    /// Host-address namespace `[base, base + reserved)`.
+    pub addr_range: (u32, u32),
+    /// Epochs applied (1 = initial install).
+    pub epochs: u32,
+}
+
+/// Cluster-wide resource accounting snapshot.
+#[derive(Clone, Debug)]
+pub struct ManagerStatus {
+    /// Per-switch flow-table occupancy.
+    pub switches: Vec<SwitchOccupancy>,
+    /// Host ports wired on the cluster.
+    pub host_ports_total: usize,
+    /// Host ports held by slices.
+    pub host_ports_used: usize,
+    /// Cables wired on the cluster.
+    pub cables_total: usize,
+    /// Cables held by slices.
+    pub cables_used: usize,
+    /// Per-slice rows, in id order.
+    pub slices: Vec<SliceStatus>,
+}
+
+/// Admission-controlled multi-tenant manager over one physical cluster.
+pub struct SliceManager {
+    cluster: PhysicalCluster,
+    projector: SdtProjector,
+    timing: InstallTiming,
+    switches: Vec<OpenFlowSwitch>,
+    slices: BTreeMap<u32, Slice>,
+    next_id: u32,
+    next_metadata: u32,
+    next_addr: u32,
+}
+
+impl SliceManager {
+    /// An empty manager over a wired cluster: live switches with empty
+    /// tables, no slices.
+    pub fn new(cluster: PhysicalCluster) -> Self {
+        let model = cluster.model();
+        let cfg = SwitchConfig {
+            num_ports: model.ports as u16,
+            port_gbps: model.gbps,
+            table_capacity: model.table_capacity,
+        };
+        let switches =
+            (0..cluster.num_switches()).map(|i| OpenFlowSwitch::new(i, cfg)).collect();
+        SliceManager {
+            cluster,
+            // §VII-C mitigation stays on: a slice that only fits merged
+            // still beats a rejection.
+            projector: SdtProjector { merge_entries_on_overflow: true, ..Default::default() },
+            timing: InstallTiming::default(),
+            switches,
+            slices: BTreeMap::new(),
+            next_id: 0,
+            next_metadata: 0,
+            next_addr: 0,
+        }
+    }
+
+    /// The shared cluster.
+    pub fn cluster(&self) -> &PhysicalCluster {
+        &self.cluster
+    }
+
+    /// The live shared switches.
+    pub fn switches(&self) -> &[OpenFlowSwitch] {
+        &self.switches
+    }
+
+    /// Mutable access to the live switches (the audit needs to forward
+    /// probe packets, which bumps port counters).
+    pub fn switches_mut(&mut self) -> &mut [OpenFlowSwitch] {
+        &mut self.switches
+    }
+
+    /// Admitted slices, in id order.
+    pub fn slices(&self) -> impl Iterator<Item = &Slice> {
+        self.slices.values()
+    }
+
+    /// One slice by id.
+    pub fn slice(&self, id: SliceId) -> Option<&Slice> {
+        self.slices.get(&id.0)
+    }
+
+    /// Number of admitted slices.
+    pub fn num_slices(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// The flow-mod timing model used for epoch reports.
+    pub fn timing(&self) -> &InstallTiming {
+        &self.timing
+    }
+
+    /// Everything co-tenants hold, expressed as "failed" resources so a
+    /// projection for one slice cannot take them and shortage errors report
+    /// true free counts. `skip` excludes one slice (its own resources are
+    /// available to a reconfiguration of itself).
+    fn occupancy_excluding(&self, skip: Option<SliceId>) -> FailedResources {
+        let mut occ = FailedResources::new();
+        for s in self.slices.values() {
+            if Some(s.id) == skip {
+                continue;
+            }
+            for cable in s.projection.link_real.values() {
+                occ.fail_cable(cable);
+            }
+            for &p in s.projection.host_port.values() {
+                occ.fail_port(p);
+            }
+        }
+        occ
+    }
+
+    /// Union of every co-tenant's owned match-space.
+    fn owned_by_others(&self, skip: SliceId) -> OwnedSpace {
+        let mut all = OwnedSpace::default();
+        for s in self.slices.values() {
+            if s.id != skip {
+                all.merge(&s.owned_space());
+            }
+        }
+        all
+    }
+
+    /// Make-before-break headroom: can every switch absorb this epoch's
+    /// *adds* on top of its current occupancy?
+    fn headroom_check(&self, adds_per_switch: &[usize]) -> Result<(), AdmissionError> {
+        for (sw, &need) in adds_per_switch.iter().enumerate() {
+            let free = self.switches[sw].config().table_capacity
+                - self.switches[sw].total_entries();
+            if need > free {
+                return Err(AdmissionError::TableHeadroom { switch: sw as u32, need, free });
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply a verified epoch in make-before-break order (see
+    /// [`crate::epoch`]): adds table 1 → table 0, then deletes table 0 →
+    /// table 1. Headroom was pre-checked, so installs cannot fail.
+    ///
+    /// One subtlety: a route change that keeps an entry's match and
+    /// priority but changes its action diffs to a delete + an add with the
+    /// same key — and `FlowMod::Delete` removes by (match, priority), so
+    /// adding first would only get the replacement wiped by its own
+    /// delete. Those pairs are applied as an in-place replacement
+    /// (OpenFlow's MODIFY): the add is held back and installed right after
+    /// its delete.
+    fn apply_epoch(&mut self, epoch: &Epoch) -> EpochReport {
+        type ModKey = (u32, u8, sdt_openflow::FlowMatch, u16);
+        let delete_keys: std::collections::HashSet<ModKey> =
+            epoch.deletes.iter().map(|d| (d.switch, d.table, d.m, d.priority)).collect();
+        let mut replacements: HashMap<ModKey, Vec<sdt_openflow::FlowEntry>> = HashMap::new();
+        for table in [1u8, 0u8] {
+            for a in epoch.adds.iter().filter(|a| a.table == table) {
+                let key = (a.switch, a.table, a.entry.m, a.entry.priority);
+                if delete_keys.contains(&key) {
+                    replacements.entry(key).or_default().push(a.entry);
+                } else {
+                    self.switches[a.switch as usize]
+                        .apply(a.table, FlowMod::Add(a.entry))
+                        .expect("headroom pre-checked before applying the epoch");
+                }
+            }
+        }
+        for table in [0u8, 1u8] {
+            for d in epoch.deletes.iter().filter(|d| d.table == table) {
+                self.switches[d.switch as usize]
+                    .apply(d.table, FlowMod::Delete(d.m, d.priority))
+                    .expect("deletes cannot overflow");
+                let key = (d.switch, d.table, d.m, d.priority);
+                for e in replacements.remove(&key).into_iter().flatten() {
+                    self.switches[d.switch as usize]
+                        .apply(d.table, FlowMod::Add(e))
+                        .expect("replacement cannot overflow: a delete just freed a slot");
+                }
+            }
+        }
+        epoch.report(self.switches.len(), &self.timing)
+    }
+
+    /// Admit a slice with its topology's default (Table III) routing.
+    pub fn create(&mut self, name: &str, topo: &Topology) -> Result<SliceId, AdmissionError> {
+        let strategy = default_strategy(topo);
+        let routes = RouteTable::build_for_hosts(topo, strategy.as_ref());
+        self.create_with_routes(name, topo, routes)
+    }
+
+    /// Admit a slice with explicit routes. Either the whole pipeline is
+    /// installed, or nothing is and the error names the scarce resource.
+    pub fn create_with_routes(
+        &mut self,
+        name: &str,
+        topo: &Topology,
+        routes: RouteTable,
+    ) -> Result<SliceId, AdmissionError> {
+        let occ = self.occupancy_excluding(None);
+        let opts = ProjectOptions { failed: Some(&occ), ..Default::default() };
+        let projection = self
+            .projector
+            .project_with(topo, &self.cluster, &routes, &opts)
+            .map_err(AdmissionError::Resources)?;
+
+        let id = SliceId(self.next_id);
+        let (metadata_base, metadata_reserved) = (self.next_metadata, topo.num_switches());
+        let (addr_base, addr_reserved) = (self.next_addr, topo.num_hosts());
+        let installed = remap_synthesis(&projection.synthesis, metadata_base, addr_base);
+
+        let empty = empty_synthesis(self.cluster.num_switches() as usize);
+        let epoch = Epoch::from_diff(id, &empty, &installed);
+        self.headroom_check(&epoch.adds_per_switch(self.switches.len()))?;
+
+        let slice = Slice {
+            id,
+            name: name.to_string(),
+            topology: topo.clone(),
+            routes,
+            projection,
+            metadata_base,
+            metadata_reserved,
+            addr_base,
+            addr_reserved,
+            installed,
+            epochs: 1,
+        };
+        epoch
+            .verify(&slice.owned_space(), &self.owned_by_others(id))
+            .map_err(|v| AdmissionError::EpochViolation(v.to_string()))?;
+
+        self.apply_epoch(&epoch);
+        self.next_id += 1;
+        self.next_metadata += metadata_reserved;
+        self.next_addr += addr_reserved;
+        self.slices.insert(id.0, slice);
+        Ok(id)
+    }
+
+    /// Reconfigure a slice to a new topology with default routing.
+    pub fn reconfigure(
+        &mut self,
+        id: SliceId,
+        topo: &Topology,
+    ) -> Result<EpochReport, AdmissionError> {
+        let strategy = default_strategy(topo);
+        let routes = RouteTable::build_for_hosts(topo, strategy.as_ref());
+        self.reconfigure_with_routes(id, topo, routes)
+    }
+
+    /// Make-before-break reconfiguration: project the new topology around
+    /// co-tenant resources (preferring the slice's current cables so the
+    /// diff stays small), install the new pipeline *next to* the old one,
+    /// then cut over port by port and garbage-collect. Co-tenants' rules
+    /// are untouched — the epoch is verified against their namespace before
+    /// any flow-mod is applied. On any error the switches are exactly as
+    /// before.
+    pub fn reconfigure_with_routes(
+        &mut self,
+        id: SliceId,
+        topo: &Topology,
+        routes: RouteTable,
+    ) -> Result<EpochReport, AdmissionError> {
+        let old = self.slices.get(&id.0).ok_or(AdmissionError::UnknownSlice(id))?;
+
+        // Keep healthy cables where they are when logical pairs coincide:
+        // same-family reconfigurations then diff to near-nothing.
+        let mut prefer: HashMap<(SwitchId, SwitchId), PhysLink> = HashMap::new();
+        for l in old.topology.fabric_links() {
+            let (a, b) = (l.a.as_switch().unwrap(), l.b.as_switch().unwrap());
+            prefer.insert((a.min(b), a.max(b)), old.projection.link_real[&l.id]);
+        }
+        let occ = self.occupancy_excluding(Some(id));
+        let opts = ProjectOptions {
+            failed: Some(&occ),
+            prefer_cables: Some(&prefer),
+            ..Default::default()
+        };
+        let projection = self
+            .projector
+            .project_with(topo, &self.cluster, &routes, &opts)
+            .map_err(AdmissionError::Resources)?;
+
+        // Namespace: reuse the reserved ranges when the new topology fits
+        // (diff-friendly); otherwise allocate fresh ranges.
+        let fits = topo.num_switches() <= old.metadata_reserved
+            && topo.num_hosts() <= old.addr_reserved;
+        let (metadata_base, metadata_reserved, addr_base, addr_reserved) = if fits {
+            (old.metadata_base, old.metadata_reserved, old.addr_base, old.addr_reserved)
+        } else {
+            (
+                self.next_metadata,
+                topo.num_switches(),
+                self.next_addr,
+                topo.num_hosts(),
+            )
+        };
+        let installed = remap_synthesis(&projection.synthesis, metadata_base, addr_base);
+
+        let epoch = Epoch::from_diff(id, &old.installed, &installed);
+        self.headroom_check(&epoch.adds_per_switch(self.switches.len()))?;
+
+        // The epoch may touch the old and the new namespace of this slice.
+        let mut own = old.owned_space();
+        let new_slice = Slice {
+            id,
+            name: old.name.clone(),
+            topology: topo.clone(),
+            routes,
+            projection,
+            metadata_base,
+            metadata_reserved,
+            addr_base,
+            addr_reserved,
+            installed,
+            epochs: old.epochs + 1,
+        };
+        own.merge(&new_slice.owned_space());
+        epoch
+            .verify(&own, &self.owned_by_others(id))
+            .map_err(|v| AdmissionError::EpochViolation(v.to_string()))?;
+
+        let report = self.apply_epoch(&epoch);
+        if !fits {
+            self.next_metadata += metadata_reserved;
+            self.next_addr += addr_reserved;
+        }
+        self.slices.insert(id.0, new_slice);
+        Ok(report)
+    }
+
+    /// Tear a slice down: delete exactly its entries (table 0 first, so its
+    /// ports stop classifying before the routing state goes) and return its
+    /// resources. Co-tenants are untouched.
+    pub fn destroy(&mut self, id: SliceId) -> Result<ReclaimedResources, AdmissionError> {
+        let slice = self.slices.get(&id.0).ok_or(AdmissionError::UnknownSlice(id))?;
+        let reclaimed = ReclaimedResources {
+            host_ports: slice.projection.host_port.len(),
+            cables: slice.projection.link_real.len(),
+            flow_entries: slice.entries(),
+        };
+        let empty = empty_synthesis(self.cluster.num_switches() as usize);
+        let epoch = Epoch::from_diff(id, &slice.installed, &empty);
+        epoch
+            .verify(&slice.owned_space(), &self.owned_by_others(id))
+            .map_err(|v| AdmissionError::EpochViolation(v.to_string()))?;
+        self.apply_epoch(&epoch);
+        self.slices.remove(&id.0);
+        Ok(reclaimed)
+    }
+
+    /// Resource accounting snapshot: per-switch table occupancy, port and
+    /// cable pools, and every slice's reservations.
+    pub fn status(&self) -> ManagerStatus {
+        let switches = self
+            .switches
+            .iter()
+            .enumerate()
+            .map(|(i, sw)| SwitchOccupancy {
+                switch: i as u32,
+                capacity: sw.config().table_capacity,
+                used: sw.total_entries(),
+                free: sw.config().table_capacity - sw.total_entries(),
+            })
+            .collect();
+        let slices: Vec<SliceStatus> = self
+            .slices
+            .values()
+            .map(|s| SliceStatus {
+                id: s.id,
+                name: s.name.clone(),
+                topology: s.topology.name().to_string(),
+                switches: s.topology.num_switches(),
+                hosts: s.topology.num_hosts(),
+                host_ports: s.projection.host_port.len(),
+                cables: s.projection.link_real.len(),
+                entries: s.entries(),
+                metadata_range: (s.metadata_base, s.metadata_base + s.metadata_reserved),
+                addr_range: (s.addr_base, s.addr_base + s.addr_reserved),
+                epochs: s.epochs,
+            })
+            .collect();
+        ManagerStatus {
+            host_ports_total: self.cluster.host_ports().len(),
+            host_ports_used: slices.iter().map(|s| s.host_ports).sum(),
+            cables_total: self.cluster.links().len(),
+            cables_used: slices.iter().map(|s| s.cables).sum(),
+            switches,
+            slices,
+        }
+    }
+}
+
+/// Rewrite a synthesized pipeline into a slice's namespace: table-1
+/// metadata and host addresses get the slice's bases added (actions and
+/// matches alike). Table-0 ingress-port matches stay as synthesized — the
+/// ports themselves are slice-disjoint.
+pub fn remap_synthesis(s: &SynthesisOutput, metadata_base: u32, addr_base: u32) -> SynthesisOutput {
+    let shift_addr = |a: Option<HostAddr>| a.map(|HostAddr(x)| HostAddr(x + addr_base));
+    let mut out = SynthesisOutput {
+        table0: Vec::with_capacity(s.table0.len()),
+        table1: Vec::with_capacity(s.table1.len()),
+        entries_per_switch: s.entries_per_switch.clone(),
+    };
+    for t0 in &s.table0 {
+        out.table0.push(
+            t0.iter()
+                .map(|&e| {
+                    let action = match e.action {
+                        Action::WriteMetadataGoto(md) => {
+                            Action::WriteMetadataGoto(md + metadata_base)
+                        }
+                        other => other,
+                    };
+                    sdt_openflow::FlowEntry { action, ..e }
+                })
+                .collect(),
+        );
+    }
+    for t1 in &s.table1 {
+        out.table1.push(
+            t1.iter()
+                .map(|&e| {
+                    let mut m = e.m;
+                    m.metadata = m.metadata.map(|md| md + metadata_base);
+                    m.src = shift_addr(m.src);
+                    m.dst = shift_addr(m.dst);
+                    sdt_openflow::FlowEntry { m, ..e }
+                })
+                .collect(),
+        );
+    }
+    out
+}
+
+fn empty_synthesis(num_switches: usize) -> SynthesisOutput {
+    SynthesisOutput {
+        table0: vec![Vec::new(); num_switches],
+        table1: vec![Vec::new(); num_switches],
+        entries_per_switch: vec![0; num_switches],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdt_core::cluster::ClusterBuilder;
+    use sdt_core::methods::SwitchModel;
+    use sdt_topology::chain::{chain, ring};
+    use sdt_topology::fattree::fat_tree;
+    use sdt_topology::meshtorus::mesh;
+
+    fn small_cluster() -> PhysicalCluster {
+        ClusterBuilder::new(SwitchModel::openflow_128x100g(), 2)
+            .hosts_per_switch(16)
+            .inter_links_per_pair(12)
+            .build()
+    }
+
+    #[test]
+    fn two_slices_coexist_with_disjoint_resources() {
+        let mut mgr = SliceManager::new(small_cluster());
+        let a = mgr.create("a", &chain(4)).unwrap();
+        let b = mgr.create("b", &ring(5)).unwrap();
+        assert_eq!(mgr.num_slices(), 2);
+        let (sa, sb) = (mgr.slice(a).unwrap(), mgr.slice(b).unwrap());
+        // Disjoint host ports and cables.
+        for p in sa.projection.host_port.values() {
+            assert!(!sb.projection.host_port.values().any(|q| q == p));
+        }
+        for c in sa.projection.link_real.values() {
+            assert!(!sb.projection.link_real.values().any(|d| (d.a, d.b) == (c.a, c.b)));
+        }
+        // Disjoint namespaces.
+        assert!(sa.metadata_base + sa.metadata_reserved <= sb.metadata_base);
+        assert!(sa.addr_base + sa.addr_reserved <= sb.addr_base);
+        // Live occupancy equals the slices' bookkeeping.
+        let status = mgr.status();
+        let live: usize = status.switches.iter().map(|s| s.used).sum();
+        assert_eq!(live, sa.entries() + sb.entries());
+    }
+
+    #[test]
+    fn admission_rejects_with_true_free_counts() {
+        // 16 host ports per switch; first slice takes 16 of 32.
+        let mut mgr = SliceManager::new(small_cluster());
+        mgr.create("big", &fat_tree(4)).unwrap();
+        // A second fat-tree needs more inter-switch cables than the first
+        // one left free; the error must report the *remaining* free count
+        // (4 of 12 cables left after the first tenant took 8), not the raw
+        // wiring.
+        let err = mgr.create("bigger", &fat_tree(4)).unwrap_err();
+        match err {
+            AdmissionError::Resources(ProjectionError::NotEnoughInterLinks {
+                need,
+                have,
+                ..
+            }) => {
+                assert!(have < need, "free count must reflect the co-tenant ({have} >= {need})");
+                assert!(have < 12, "raw wiring is 12 per pair; {have} must be what is left");
+            }
+            other => panic!("unexpected admission error: {other:?}"),
+        }
+        // Honest rejection: nothing was installed.
+        assert_eq!(mgr.num_slices(), 1);
+    }
+
+    #[test]
+    fn table_headroom_rejection_is_structured_and_clean() {
+        let mut model = SwitchModel::openflow_128x100g();
+        model.table_capacity = 150; // enough for one small slice only
+        let cluster = ClusterBuilder::new(model, 1).hosts_per_switch(24).build();
+        let mut mgr = SliceManager::new(cluster);
+        mgr.create("first", &chain(8)).unwrap();
+        let before: Vec<usize> =
+            mgr.switches().iter().map(|s| s.total_entries()).collect();
+        let err = mgr.create("second", &chain(8)).unwrap_err();
+        match err {
+            AdmissionError::TableHeadroom { switch, need, free } => {
+                assert_eq!(switch, 0);
+                assert!(need > free, "{need} vs {free}");
+            }
+            other => panic!("unexpected admission error: {other:?}"),
+        }
+        let after: Vec<usize> = mgr.switches().iter().map(|s| s.total_entries()).collect();
+        assert_eq!(before, after, "rejection must not leave a partial install");
+    }
+
+    #[test]
+    fn destroy_returns_exact_reservation() {
+        let mut mgr = SliceManager::new(small_cluster());
+        let a = mgr.create("a", &chain(4)).unwrap();
+        let b = mgr.create("b", &mesh(&[2, 2])).unwrap();
+        let sb = mgr.slice(b).unwrap();
+        let expect = ReclaimedResources {
+            host_ports: sb.projection.host_port.len(),
+            cables: sb.projection.link_real.len(),
+            flow_entries: sb.entries(),
+        };
+        let live_before: usize = mgr.switches().iter().map(|s| s.total_entries()).sum();
+        let got = mgr.destroy(b).unwrap();
+        assert_eq!(got, expect);
+        let live_after: usize = mgr.switches().iter().map(|s| s.total_entries()).sum();
+        assert_eq!(live_before - live_after, expect.flow_entries);
+        // Slice a is untouched and still fully installed.
+        assert_eq!(live_after, mgr.slice(a).unwrap().entries());
+        assert!(mgr.slice(b).is_none());
+        assert!(matches!(
+            mgr.destroy(b),
+            Err(AdmissionError::UnknownSlice(_))
+        ));
+    }
+
+    #[test]
+    fn reconfigure_prefers_existing_cables() {
+        let mut mgr = SliceManager::new(small_cluster());
+        let a = mgr.create("a", &ring(6)).unwrap();
+        let before = mgr.slice(a).unwrap().projection.link_real.clone();
+        // Same topology: the epoch should be empty (pure reuse).
+        let report = mgr.reconfigure(a, &ring(6)).unwrap();
+        assert_eq!(report.flow_mods(), 0, "identical topology must diff to nothing");
+        assert_eq!(mgr.slice(a).unwrap().projection.link_real, before);
+        assert_eq!(mgr.slice(a).unwrap().epochs, 2);
+    }
+
+    #[test]
+    fn reconfigure_to_larger_topology_allocates_fresh_namespace() {
+        let mut mgr = SliceManager::new(small_cluster());
+        let a = mgr.create("a", &chain(3)).unwrap();
+        let (mb, ab) =
+            (mgr.slice(a).unwrap().metadata_base, mgr.slice(a).unwrap().addr_base);
+        mgr.reconfigure(a, &chain(8)).unwrap();
+        let s = mgr.slice(a).unwrap();
+        assert!(s.metadata_base > mb || s.addr_base > ab, "larger topology → fresh ranges");
+        assert_eq!(s.metadata_reserved, 8);
+        // The old namespace's entries are gone from the live switches.
+        for sw in mgr.switches() {
+            for e in sw.table(1).entries() {
+                let md = e.m.metadata.unwrap();
+                assert!(md >= s.metadata_base && md < s.metadata_base + s.metadata_reserved);
+            }
+        }
+    }
+
+    #[test]
+    fn remap_offsets_metadata_and_addresses() {
+        let t = chain(3);
+        let cluster = ClusterBuilder::new(SwitchModel::openflow_128x100g(), 1)
+            .hosts_per_switch(4)
+            .build();
+        let p = SdtProjector::default().project_default(&t, &cluster).unwrap();
+        let r = remap_synthesis(&p.synthesis, 100, 1000);
+        for (orig, shifted) in p.synthesis.table0[0].iter().zip(&r.table0[0]) {
+            match (orig.action, shifted.action) {
+                (Action::WriteMetadataGoto(a), Action::WriteMetadataGoto(b)) => {
+                    assert_eq!(b, a + 100)
+                }
+                other => panic!("unexpected actions {other:?}"),
+            }
+            assert_eq!(orig.m, shifted.m);
+        }
+        for (orig, shifted) in p.synthesis.table1[0].iter().zip(&r.table1[0]) {
+            assert_eq!(shifted.m.metadata, orig.m.metadata.map(|m| m + 100));
+            assert_eq!(shifted.m.dst, orig.m.dst.map(|HostAddr(d)| HostAddr(d + 1000)));
+        }
+        assert_eq!(r.entries_per_switch, p.synthesis.entries_per_switch);
+    }
+}
