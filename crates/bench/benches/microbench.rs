@@ -1,5 +1,6 @@
 //! Micro-benchmarks of the core machinery: partitioner, projector, flow
 //! tables, and raw simulator event throughput.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use sdt::core::cluster::ClusterBuilder;

@@ -67,9 +67,11 @@ fn naive_single_table_entries(topo: &Topology, p: &SdtProjection) -> usize {
     let mut dsts_per_subswitch = std::collections::HashMap::new();
     for t in &p.synthesis.table1 {
         for e in t {
-            *dsts_per_subswitch
-                .entry(e.m.metadata.expect("table-1 entries are sub-switch-scoped"))
-                .or_insert(0usize) += 1;
+            let md = match e.m.metadata {
+                Some(md) => md,
+                None => unreachable!("table-1 entries are sub-switch-scoped"),
+            };
+            *dsts_per_subswitch.entry(md).or_insert(0usize) += 1;
         }
     }
     (0..topo.num_switches())
@@ -118,7 +120,7 @@ fn ablate_cut_through() {
     for line in par_map(&[true, false], |&ct| {
         let cfg = SimConfig { cut_through: ct, ..SimConfig::testbed_10g() };
         let res = run_trace(&topo, routes.clone(), cfg, &imb_pingpong(1500, 50), &hosts);
-        let rtt = res.act_ns.unwrap() as f64 / 50.0;
+        let rtt = res.act_ns.map_or(f64::NAN, |a| a as f64) / 50.0;
         format!(
             "  {:<18} 8-hop 1500B pingpong RTT: {}",
             if ct { "cut-through" } else { "store-and-forward" },
@@ -148,7 +150,7 @@ fn ablate_granularity() {
         format!(
             "{:>12}{:>14}{:>14}{:>14}",
             cell,
-            fmt_ns(res.act_ns.unwrap() as f64),
+            fmt_ns(res.act_ns.map_or(f64::NAN, |a| a as f64)),
             fmt_ns(res.wall_ns as f64),
             res.events
         )

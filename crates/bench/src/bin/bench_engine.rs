@@ -15,6 +15,14 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::time::Instant;
 
+/// `writeln!` into a `String` cannot fail; swallow the `fmt::Result` so the
+/// JSON assembly below stays linear.
+macro_rules! jline {
+    ($($arg:tt)*) => {
+        let _ = writeln!($($arg)*);
+    };
+}
+
 fn main() -> std::io::Result<()> {
     let topo = fat_tree(4);
     let routes = RouteTable::build(&topo, &Bfs::new(&topo));
@@ -28,7 +36,10 @@ fn main() -> std::io::Result<()> {
             let hosts = select_nodes(&topo, trace.num_ranks(), 2023);
             let cfg = SimConfig { extra_switch_ns: SDT_EXTRA_NS, ..SimConfig::testbed_10g() };
             let res = run_trace(&topo, routes.clone(), cfg, trace, &hosts);
-            (trace.name.clone(), res.act_ns.expect("completes"), res.wall_ns)
+            match res.act_ns {
+                Some(act) => (trace.name.clone(), act, res.wall_ns),
+                None => panic!("{} did not complete", trace.name),
+            }
         });
         (t0.elapsed().as_secs_f64(), cells)
     };
@@ -70,26 +81,25 @@ fn main() -> std::io::Result<()> {
     });
 
     let mut json = String::new();
-    writeln!(json, "{{").unwrap();
-    writeln!(json, "  \"topology\": \"{}\",", topo.name()).unwrap();
-    writeln!(json, "  \"threads\": {threads},").unwrap();
-    writeln!(json, "  \"sweep_sequential_s\": {seq_secs:.6},").unwrap();
-    writeln!(json, "  \"sweep_parallel_s\": {par_secs:.6},").unwrap();
-    writeln!(json, "  \"sweep_speedup\": {:.3},", seq_secs / par_secs).unwrap();
-    writeln!(json, "  \"route_lookup_dense_ns\": {dense_ns:.1},").unwrap();
-    writeln!(json, "  \"route_lookup_hashmap_ns\": {hashmap_ns:.1},").unwrap();
-    writeln!(json, "  \"route_lookup_speedup\": {:.3},", hashmap_ns / dense_ns).unwrap();
-    writeln!(json, "  \"workloads\": [").unwrap();
+    jline!(json, "{{");
+    jline!(json, "  \"topology\": \"{}\",", topo.name());
+    jline!(json, "  \"threads\": {threads},");
+    jline!(json, "  \"sweep_sequential_s\": {seq_secs:.6},");
+    jline!(json, "  \"sweep_parallel_s\": {par_secs:.6},");
+    jline!(json, "  \"sweep_speedup\": {:.3},", seq_secs / par_secs);
+    jline!(json, "  \"route_lookup_dense_ns\": {dense_ns:.1},");
+    jline!(json, "  \"route_lookup_hashmap_ns\": {hashmap_ns:.1},");
+    jline!(json, "  \"route_lookup_speedup\": {:.3},", hashmap_ns / dense_ns);
+    jline!(json, "  \"workloads\": [");
     for (i, (name, act_ns, wall_ns)) in seq_cells.iter().enumerate() {
         let comma = if i + 1 < seq_cells.len() { "," } else { "" };
-        writeln!(
+        jline!(
             json,
             "    {{\"app\": \"{name}\", \"act_ns\": {act_ns}, \"sim_wall_ns\": {wall_ns}}}{comma}"
-        )
-        .unwrap();
+        );
     }
-    writeln!(json, "  ]").unwrap();
-    writeln!(json, "}}").unwrap();
+    jline!(json, "  ]");
+    jline!(json, "}}");
 
     std::fs::create_dir_all("results")?;
     std::fs::write("results/BENCH_engine.json", &json)?;

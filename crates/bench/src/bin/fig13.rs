@@ -12,10 +12,18 @@ fn main() {
     println!("Fig. 13 — Evaluation times: full testbed vs simulator vs SDT");
     println!("(IMB Alltoall, Dragonfly a=4 g=9 h=2, 64 KiB per pair)\n");
     let topo = dragonfly(4, 9, 2, 2);
-    let mut ctl =
-        SdtController::for_campaign(std::slice::from_ref(&topo), SwitchModel::openflow_128x100g(), 3)
-            .expect("dragonfly fits on 3x128");
-    let deploy_ns = ctl.deploy(&topo).expect("deploys").deploy_time_ns;
+    let mut ctl = match SdtController::for_campaign(
+        std::slice::from_ref(&topo),
+        SwitchModel::openflow_128x100g(),
+        3,
+    ) {
+        Ok(c) => c,
+        Err(e) => panic!("dragonfly(4,9,2) must fit on 3x128: {e}"),
+    };
+    let deploy_ns = match ctl.deploy(&topo) {
+        Ok(d) => d.deploy_time_ns,
+        Err(e) => panic!("deploy failed: {e}"),
+    };
     println!("SDT deployment time: {}\n", fmt_ns(deploy_ns as f64));
     println!(
         "{:>6}{:>18}{:>18}{:>18}",

@@ -34,10 +34,10 @@ enum Run {
 
 fn main() -> std::io::Result<()> {
     // Sibling binaries live next to this one.
-    let dir = std::env::current_exe()?
-        .parent()
-        .expect("binary has a parent dir")
-        .to_path_buf();
+    let dir = match std::env::current_exe()?.parent() {
+        Some(p) => p.to_path_buf(),
+        None => unreachable!("an executable path always has a parent dir"),
+    };
     let out_dir = PathBuf::from("results");
     std::fs::create_dir_all(&out_dir)?;
     let started = std::time::Instant::now();

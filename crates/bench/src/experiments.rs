@@ -20,6 +20,16 @@ use sdt::workloads::{select_nodes, MachineModel, Trace};
 /// `tests/accuracy.rs`).
 pub const SDT_EXTRA_NS: u64 = 8;
 
+/// Application completion time of a finished replay. The benchmark traces
+/// are closed workloads on connected fabrics, so a `None` here means the
+/// simulation horizon was mis-set — fail loudly rather than fabricate a 0.
+fn act_ns(ns: Option<u64>, what: &str) -> u64 {
+    match ns {
+        Some(v) => v,
+        None => panic!("{what} did not complete within the simulated horizon"),
+    }
+}
+
 // ---------------------------------------------------------------- Fig. 11
 
 /// One point of the Fig. 11 latency-overhead sweep.
@@ -46,7 +56,7 @@ pub fn fig11_sweep(sizes: &[u64], reps: u32) -> Vec<Fig11Point> {
         let trace = apps::imb_pingpong(bytes, reps);
         let cfg = SimConfig { extra_switch_ns: extra, ..SimConfig::testbed_10g() };
         let res = run_trace(&topo, routes.clone(), cfg, &trace, &hosts);
-        res.act_ns.expect("pingpong completes") as f64 / reps as f64
+        act_ns(res.act_ns, "pingpong") as f64 / reps as f64
     };
     crate::par::par_map(sizes, |&b| {
         let full = rtt(0, b);
@@ -158,11 +168,11 @@ pub fn table4_cell(
     let sdt_cfg = SimConfig { extra_switch_ns: SDT_EXTRA_NS, ..SimConfig::testbed_10g() };
     let sdt = run_trace(topo, routes.clone(), sdt_cfg, trace, hosts);
     let sim = run_trace(topo, routes, SimConfig::simulator_flit(), trace, hosts);
-    let sdt_act = sdt.act_ns.expect("workload completes on SDT");
+    let sdt_act = act_ns(sdt.act_ns, "the workload on SDT");
     Table4Cell {
         app: trace.name.clone(),
         sdt_act_ns: sdt_act,
-        sim_act_ns: sim.act_ns.expect("workload completes in the simulator"),
+        sim_act_ns: act_ns(sim.act_ns, "the workload in the simulator"),
         sim_wall_ns: sim.wall_ns,
         sdt_eval_ns: sdt_act + deploy_ns,
         sim_events: sim.events,
@@ -261,7 +271,7 @@ pub fn fig13_point(topo: &Topology, n: u32, msg_bytes: u64, deploy_ns: u64) -> F
     let routes = RouteTable::build(topo, strategy.as_ref());
     let sdt_cfg = SimConfig { extra_switch_ns: SDT_EXTRA_NS, ..SimConfig::testbed_10g() };
     let sdt = run_trace(topo, routes.clone(), sdt_cfg, &trace, hosts);
-    let act = sdt.act_ns.expect("completes");
+    let act = act_ns(sdt.act_ns, "the scaling workload");
     let sim = run_trace(topo, routes, SimConfig::simulator_flit(), &trace, hosts);
     Fig13Point {
         nodes: n,
@@ -379,8 +389,8 @@ pub fn active_routing_compare(trace: &Trace, hosts: &[HostId]) -> ActiveRoutingR
     let ugal = DragonflyUgal::new(4, 9, 2, 2, &topo);
     let adaptive = run_trace_adaptive(&topo, routes, cfg, trace, hosts, Box::new(ugal));
     ActiveRoutingResult {
-        minimal_act_ns: base.act_ns.expect("completes"),
-        adaptive_act_ns: adaptive.act_ns.expect("completes"),
+        minimal_act_ns: act_ns(base.act_ns, "minimal routing"),
+        adaptive_act_ns: act_ns(adaptive.act_ns, "adaptive routing"),
     }
 }
 

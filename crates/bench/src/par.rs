@@ -64,7 +64,10 @@ where
             .collect();
         workers
             .into_iter()
-            .flat_map(|w| w.join().expect("sweep worker panicked"))
+            .flat_map(|w| match w.join() {
+                Ok(part) => part,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     });
     tagged.sort_unstable_by_key(|&(i, _)| i);

@@ -4,6 +4,7 @@
 //! exact equality — down to per-flow FCTs — between the sequential and
 //! parallel paths.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use sdt::routing::{generic::Bfs, RouteTable};
 use sdt::sim::{run_trace, MpiRunResult, SimConfig};
 use sdt::topology::fattree::fat_tree;

@@ -13,14 +13,23 @@
 //! sdtctl slices <config.toml>...   admit every config as a slice of ONE
 //!                                  shared cluster (first config wires it),
 //!                                  print occupancy + cross-slice audit
+//! sdtctl verify <config.toml>...   statically verify the installed flow
+//!                                  tables (no packets injected): loops,
+//!                                  blackholes, leaks, shadowed rules.
+//!                                  One config = single deployment; many =
+//!                                  slices of one cluster. `--corrupt
+//!                                  loop|blackhole|leak|shadow` seeds a
+//!                                  defect first to show it being caught.
 //! ```
 //!
 //! Every command accepts `--json` for machine-readable output on stdout;
 //! any failure (non-deployable config, admission rejection, audit
 //! violation) exits non-zero either way, so scripts and CI can gate on it.
 
-use sdt_controller::{plan_wiring, SdtController, SliceController, TestbedConfig};
+use sdt_controller::{plan_wiring, Deployment, SdtController, SliceController, TestbedConfig};
 use sdt_core::walk::IsolationReport;
+use sdt_openflow::{Action, FlowEntry, FlowMod};
+use sdt_verify::{Intent, TableView, Verifier, VerifyReport};
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
@@ -34,7 +43,7 @@ fn main() -> ExitCode {
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.as_str(), r),
         None => {
-            eprintln!("usage: sdtctl [--json] <check|deploy|plan|tables|slices> ...");
+            eprintln!("usage: sdtctl [--json] <check|deploy|plan|tables|slices|verify> ...");
             return ExitCode::from(2);
         }
     };
@@ -44,6 +53,7 @@ fn main() -> ExitCode {
         "plan" => cmd_plan(rest),
         "tables" => cmd_tables(rest),
         "slices" => cmd_slices(rest, json),
+        "verify" => cmd_verify(rest, json),
         other => Err(format!("unknown command `{other}`")),
     };
     match result {
@@ -188,7 +198,10 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
         model.get_or_insert(cfg.model);
         topologies.push(cfg.topology);
     }
-    let model = model.expect("at least one config");
+    let model = match model {
+        Some(m) => m,
+        None => unreachable!("the usage check above requires at least one config"),
+    };
     let plan = plan_wiring(&topologies, &model, switches)
         .map_err(|e| format!("no feasible wiring: {e}"))?;
     println!("wiring plan for {} topologies on {switches} x {}:", topologies.len(), model.name);
@@ -241,7 +254,10 @@ fn cmd_slices(paths: &[String], json: bool) -> Result<(), String> {
         let name = cfg.topology.name().to_string();
         match ctl.create(&name, &cfg.topology, &cfg.strategy) {
             Ok(id) => {
-                let s = ctl.manager().slice(id).expect("just admitted");
+                let s = match ctl.manager().slice(id) {
+                    Some(s) => s,
+                    None => unreachable!("create returned a live slice id"),
+                };
                 if json {
                     rows.push(format!(
                         "{{\"path\":{},\"slice\":{},\"admitted\":true,\"id\":{},\
@@ -351,4 +367,225 @@ fn cmd_slices(paths: &[String], json: bool) -> Result<(), String> {
         return Err("cross-slice audit found violations".into());
     }
     Ok(())
+}
+
+/// Statically verify installed flow tables — no packets injected. One
+/// config verifies a single deployment's live switches; several configs are
+/// admitted as slices of one shared cluster and the cross-slice closure is
+/// proven. `--corrupt <kind>` seeds a defect into the live tables first so
+/// the catch can be demonstrated end to end.
+fn cmd_verify(args: &[String], json: bool) -> Result<(), String> {
+    let mut corrupt_kind: Option<String> = None;
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--corrupt" {
+            let kind = it.next().ok_or("verify: --corrupt needs loop|blackhole|leak|shadow")?;
+            corrupt_kind = Some(kind.clone());
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    match paths.as_slice() {
+        [] => Err("verify: need at least one config file".into()),
+        [path] => {
+            let cfg = load(path)?;
+            let mut ctl = SdtController::from_config(&cfg);
+            let mut d =
+                ctl.deploy_with(&cfg.topology, &cfg.strategy).map_err(|e| e.to_string())?;
+            if let Some(kind) = &corrupt_kind {
+                corrupt(&mut d, kind)?;
+                if !json {
+                    println!("seeded a `{kind}` defect into the live tables");
+                }
+            }
+            let v = Verifier::check(
+                ctl.cluster(),
+                TableView::of_switches(&d.switches),
+                Intent::of_projection(&d.projection, &d.topology, d.topology.name()),
+            );
+            print_verify(d.topology.name(), v.report(), json);
+            if v.holds() {
+                Ok(())
+            } else {
+                Err("static verification failed".into())
+            }
+        }
+        many => {
+            if corrupt_kind.is_some() {
+                return Err("verify: --corrupt works with exactly one config".into());
+            }
+            let first = load(&many[0])?;
+            let mut ctl = SliceController::from_config(&first);
+            for path in many {
+                let cfg = load(path)?;
+                let name = cfg.topology.name().to_string();
+                ctl.create(&name, &cfg.topology, &cfg.strategy)
+                    .map_err(|e| format!("{path}: admission failed: {e}"))?;
+            }
+            let r = ctl.manager_mut().verify_report();
+            print_verify("slices", &r, json);
+            if r.holds() {
+                Ok(())
+            } else {
+                Err("static verification failed".into())
+            }
+        }
+    }
+}
+
+/// Seed one defect class into a deployment's live switches, behind the
+/// controller's back — exactly what the verifier exists to catch.
+fn corrupt(d: &mut Deployment, kind: &str) -> Result<(), String> {
+    use sdt_openflow::FlowMatch;
+    let oops = |e: sdt_openflow::TableError| format!("corrupt: {e}");
+    match kind {
+        "loop" => {
+            // Bounce rules at both ends of the first cable: anything
+            // entering the cable port is reflected straight back out of it.
+            let link = *d
+                .projection
+                .link_real
+                .values()
+                .next()
+                .ok_or("corrupt loop: deployment uses no cables")?;
+            for (p, md) in [(link.a, 7001), (link.b, 7002)] {
+                let sw = &mut d.switches[p.switch as usize];
+                sw.apply(
+                    0,
+                    FlowMod::Add(FlowEntry {
+                        m: FlowMatch::on_port(p.port),
+                        priority: 99,
+                        action: Action::WriteMetadataGoto(md),
+                    }),
+                )
+                .map_err(oops)?;
+                sw.apply(
+                    1,
+                    FlowMod::Add(FlowEntry {
+                        m: FlowMatch::default().and_metadata(md),
+                        priority: 99,
+                        action: Action::Output(p.port),
+                    }),
+                )
+                .map_err(oops)?;
+            }
+        }
+        "blackhole" => {
+            // Delete a route entry behind the controller's back: the pairs
+            // that depended on it now die in a table miss.
+            let e = *d.switches[0]
+                .table(1)
+                .entries()
+                .first()
+                .ok_or("corrupt blackhole: switch 0 table 1 is empty")?;
+            d.switches[0].apply(1, FlowMod::Delete(e.m, e.priority)).map_err(oops)?;
+        }
+        "leak" => {
+            // Route one host's traffic onto another host's port: the
+            // misdelivery shows up as a leak naming this exact rule.
+            let mut home: std::collections::HashMap<u32, sdt_topology::HostId> =
+                std::collections::HashMap::new();
+            let mut found = None;
+            for h in (0..d.topology.num_hosts()).map(sdt_topology::HostId) {
+                let p = d.projection.primary_host_port(&d.topology, h);
+                if let Some(&victim) = home.get(&p.switch) {
+                    found = Some((victim, p));
+                    break;
+                }
+                home.insert(p.switch, h);
+            }
+            let (victim, wrong_port) =
+                found.ok_or("corrupt leak: no two hosts share a switch")?;
+            d.switches[wrong_port.switch as usize]
+                .apply(
+                    1,
+                    FlowMod::Add(FlowEntry {
+                        m: FlowMatch::to_dst(sdt_core::synthesis::addr_of(victim)),
+                        priority: 99,
+                        action: Action::Output(wrong_port.port),
+                    }),
+                )
+                .map_err(oops)?;
+        }
+        "shadow" => {
+            // A dead rule: same match as a live route entry, lower
+            // priority. Harmless to forwarding, flagged as shadowed.
+            let e = *d.switches[0]
+                .table(1)
+                .entries()
+                .first()
+                .ok_or("corrupt shadow: switch 0 table 1 is empty")?;
+            d.switches[0]
+                .apply(
+                    1,
+                    FlowMod::Add(FlowEntry {
+                        m: e.m,
+                        priority: e.priority.saturating_sub(1),
+                        action: Action::Drop,
+                    }),
+                )
+                .map_err(oops)?;
+        }
+        other => {
+            return Err(format!("corrupt: unknown defect `{other}` (loop|blackhole|leak|shadow)"))
+        }
+    }
+    Ok(())
+}
+
+fn print_verify(scope: &str, r: &VerifyReport, json: bool) {
+    if json {
+        println!(
+            "{{\"scope\":{},\"holds\":{},\"delivered_pairs\":{},\"isolated_pairs\":{},\
+             \"pairs_checked\":{},\"pairs_walked\":{},\"switches_scanned\":{},\
+             \"loops\":{},\"blackholes\":{},\"leaks\":{},\"shadowed\":{},\
+             \"nondeterminism\":{}}}",
+            jstr(scope),
+            r.holds(),
+            r.delivered_pairs,
+            r.isolated_pairs,
+            r.pairs_checked,
+            r.pairs_walked,
+            r.switches_scanned,
+            jlist(&r.loops, |l| jstr(&l.to_string())),
+            jlist(&r.blackholes, |b| jstr(&b.to_string())),
+            jlist(&r.leaks, |l| jstr(&l.to_string())),
+            jlist(&r.shadowed, |s| jstr(&s.to_string())),
+            jlist(&r.nondeterminism, |n| jstr(&n.to_string())),
+        );
+    } else {
+        println!("static verification ({scope}): {}", r.summary());
+        println!(
+            "  closure: {} delivered, {} isolated ({} pairs checked, {} walked, {} switches scanned)",
+            r.delivered_pairs,
+            r.isolated_pairs,
+            r.pairs_checked,
+            r.pairs_walked,
+            r.switches_scanned
+        );
+        dump_findings(&r.loops);
+        dump_findings(&r.blackholes);
+        dump_findings(&r.leaks);
+        if !r.shadowed.is_empty() || !r.nondeterminism.is_empty() {
+            println!(
+                "  warnings: {} shadowed entries, {} equal-priority overlaps",
+                r.shadowed.len(),
+                r.nondeterminism.len()
+            );
+            dump_findings(&r.shadowed);
+            dump_findings(&r.nondeterminism);
+        }
+    }
+}
+
+/// Print findings indented, capped so a badly broken table stays readable.
+fn dump_findings<T: std::fmt::Display>(items: &[T]) {
+    const CAP: usize = 8;
+    for item in items.iter().take(CAP) {
+        println!("  {item}");
+    }
+    if items.len() > CAP {
+        println!("  ... and {} more", items.len() - CAP);
+    }
 }

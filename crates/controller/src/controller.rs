@@ -15,6 +15,7 @@ use sdt_openflow::{ControlChannel, InstallTiming, OpenFlowSwitch};
 use sdt_routing::cdg::{analyze, DeadlockAnalysis};
 use sdt_routing::{default_strategy, RouteTable, RoutingStrategy};
 use sdt_topology::{HostId, SwitchId, Topology, TopologyKind};
+use sdt_verify::{Intent, TableView, Verifier};
 use std::collections::HashMap;
 
 /// Outcome of the checking function (§V-1): what the wiring supports and
@@ -44,6 +45,9 @@ pub enum DeployError {
     },
     /// Unknown routing strategy name in the config.
     UnknownStrategy(String),
+    /// The static data-plane verifier found a loop, blackhole or leak in
+    /// the synthesized tables, so nothing was installed.
+    StaticVerification(String),
 }
 
 impl std::fmt::Display for DeployError {
@@ -54,6 +58,9 @@ impl std::fmt::Display for DeployError {
                 write!(f, "routing rejected: channel dependency cycle of length {cycle_len}")
             }
             DeployError::UnknownStrategy(s) => write!(f, "unknown routing strategy `{s}`"),
+            DeployError::StaticVerification(s) => {
+                write!(f, "static verification rejected the tables: {s}")
+            }
         }
     }
 }
@@ -112,6 +119,7 @@ pub struct SdtController {
     projector: SdtProjector,
     timing: InstallTiming,
     require_deadlock_free: bool,
+    static_verify: bool,
     /// Count of reconfigurations performed (reporting).
     pub reconfigurations: u32,
 }
@@ -126,6 +134,7 @@ impl SdtController {
             projector: SdtProjector { merge_entries_on_overflow: true, ..Default::default() },
             timing: InstallTiming::default(),
             require_deadlock_free: true,
+            static_verify: true,
             reconfigurations: 0,
         }
     }
@@ -162,6 +171,38 @@ impl SdtController {
     /// the simulator).
     pub fn allow_deadlock_risk(&mut self) {
         self.require_deadlock_free = false;
+    }
+
+    /// Escape hatch: skip the static data-plane verifier at deploy and
+    /// recovery time (e.g. to install deliberately broken tables for a
+    /// fault-injection study).
+    pub fn skip_static_verify(&mut self) {
+        self.static_verify = false;
+    }
+
+    /// Statically verify a projection's synthesized tables against the
+    /// topology's delivery intent — no packets injected, no counters
+    /// touched. Pure read of the would-be pipeline.
+    pub fn verify_projection(&self, topo: &Topology, projection: &SdtProjection) -> Verifier {
+        Verifier::check(
+            &self.cluster,
+            TableView::of_synthesis(&projection.synthesis),
+            Intent::of_projection(projection, topo, topo.name()),
+        )
+    }
+
+    /// The deploy/recovery gate: error out with the report summary when the
+    /// verifier does not hold. No-op when `skip_static_verify` was called.
+    fn static_gate(&self, topo: &Topology, projection: &SdtProjection) -> Result<(), DeployError> {
+        if !self.static_verify {
+            return Ok(());
+        }
+        let v = self.verify_projection(topo, projection);
+        if v.holds() {
+            Ok(())
+        } else {
+            Err(DeployError::StaticVerification(v.report().summary()))
+        }
     }
 
     /// Resolve a routing strategy by config name.
@@ -210,6 +251,10 @@ impl SdtController {
             .projector
             .project(topo, &self.cluster, &routes)
             .map_err(DeployError::Projection)?;
+        // Static verification gate: prove the synthesized pipeline
+        // loop-free, blackhole-free and isolation-correct *before* any
+        // switch is programmed.
+        self.static_gate(topo, &projection)?;
         let switches = instantiate(&self.cluster, &projection);
         let deploy_time_ns = projection.deploy_time_ns(&self.timing);
         Ok(Deployment {
@@ -285,7 +330,7 @@ impl SdtController {
         let dead: std::collections::HashSet<(SwitchId, SwitchId)> =
             report.dead_links.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
         for l in old.topology.fabric_links() {
-            let (a, b) = (l.a.as_switch().unwrap(), l.b.as_switch().unwrap());
+            let (a, b) = l.switch_ends();
             let key = (a.min(b), a.max(b));
             let cable = old.projection.link_real[&l.id];
             if dead.contains(&key) {
@@ -306,7 +351,7 @@ impl SdtController {
             if let Ok(projection) =
                 self.projector.project_with(&old.topology, &self.cluster, &old.routes, &pinned)
             {
-                return Ok(self.finish_recovery(
+                return self.finish_recovery(
                     old.topology,
                     projection,
                     old.routes,
@@ -315,7 +360,7 @@ impl SdtController {
                     cfg,
                     Vec::new(),
                     false,
-                ));
+                );
             }
         }
 
@@ -353,7 +398,7 @@ impl SdtController {
             }
         };
         let unreachable = unreachable_pairs(&surviving);
-        Ok(self.finish_recovery(
+        self.finish_recovery(
             surviving,
             projection,
             routes,
@@ -362,7 +407,7 @@ impl SdtController {
             cfg,
             unreachable,
             !report.is_empty(),
-        ))
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -376,13 +421,19 @@ impl SdtController {
         cfg: &RecoveryConfig,
         unreachable_pairs: Vec<(HostId, HostId)>,
         degraded: bool,
-    ) -> RecoveryOutcome {
+    ) -> Result<RecoveryOutcome, DeployError> {
+        // Pre-install epoch check: the *intended* synthesis is verified
+        // statically before a single flow-mod goes out, so a repair that
+        // would loop or leak leaves the live (if wounded) tables untouched.
+        // The intent is built from the surviving topology, so pairs the
+        // faults severed count as expected drops, not blackholes.
+        self.static_gate(&topology, &projection)?;
         let retry =
             install_with_retry(channel, &mut switches, &projection.synthesis, cfg, &self.timing);
         let recovery_time_ns = cfg.detection_ns() + retry.elapsed_ns;
         let deploy_time_ns = projection.deploy_time_ns(&self.timing);
         self.reconfigurations += 1;
-        RecoveryOutcome {
+        Ok(RecoveryOutcome {
             unreachable_pairs,
             degraded,
             deployment: Deployment {
@@ -394,7 +445,8 @@ impl SdtController {
             },
             retry,
             recovery_time_ns,
-        }
+            statically_verified: self.static_verify,
+        })
     }
 }
 
@@ -413,6 +465,9 @@ pub struct RecoveryOutcome {
     pub recovery_time_ns: u64,
     /// True when any logical link was actually lost.
     pub degraded: bool,
+    /// True when the repaired synthesis passed the static verifier before
+    /// installation (false only via [`SdtController::skip_static_verify`]).
+    pub statically_verified: bool,
 }
 
 #[cfg(test)]
@@ -517,7 +572,7 @@ mod tests {
                 .topology
                 .fabric_links()
                 .find(|l| {
-                    let (a, b) = (l.a.as_switch().unwrap(), l.b.as_switch().unwrap());
+                    let (a, b) = l.switch_ends();
                     (a.min(b), a.max(b)) == dead
                 })
                 .unwrap()
@@ -529,6 +584,7 @@ mod tests {
         let out = c.recover(d, &report, &mut ch, &RecoveryConfig::default()).unwrap();
         // A spare cable absorbs the fault: FULL recovery, nothing lost.
         assert!(out.retry.converged);
+        assert!(out.statically_verified, "repair synthesis must pass the static gate");
         assert!(!out.degraded, "spare cable means no degradation");
         assert!(out.unreachable_pairs.is_empty());
         assert_eq!(c.reconfigurations, 1);

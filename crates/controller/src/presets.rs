@@ -46,8 +46,10 @@ pub fn paper_topologies() -> Vec<Topology> {
 pub fn paper_testbed() -> SdtController {
     let topos = paper_topologies();
     let model = h3c_s6861_54qf();
-    let plan = plan_wiring(&topos, &model, 3)
-        .expect("the paper's topologies fit its own cluster");
+    let plan = match plan_wiring(&topos, &model, 3) {
+        Ok(p) => p,
+        Err(e) => unreachable!("the paper's topologies fit its own cluster: {e}"),
+    };
     SdtController::new(plan.build(model, 3))
 }
 

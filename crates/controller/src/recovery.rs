@@ -106,7 +106,7 @@ impl FailureReport {
             self.dead_links.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
         let crashed: HashSet<SwitchId> = self.dead_switches.iter().copied().collect();
         for l in topo.fabric_links() {
-            let (a, b) = (l.a.as_switch().unwrap(), l.b.as_switch().unwrap());
+            let (a, b) = l.switch_ends();
             if crashed.contains(&a) || crashed.contains(&b) {
                 dead.insert((a.min(b), a.max(b)));
             }
@@ -203,7 +203,7 @@ pub fn surviving_topology(topo: &Topology, dead_links: &[(SwitchId, SwitchId)]) 
         topo.num_hosts(),
     );
     for l in topo.fabric_links() {
-        let (x, y) = (l.a.as_switch().unwrap(), l.b.as_switch().unwrap());
+        let (x, y) = l.switch_ends();
         if !dead.contains(&(x.min(y), x.max(y))) {
             b.fabric(x, y);
         }
@@ -214,7 +214,10 @@ pub fn surviving_topology(topo: &Topology, dead_links: &[(SwitchId, SwitchId)]) 
             b.attach(h, s);
         }
     }
-    b.build().expect("removing links cannot invalidate a valid topology")
+    match b.build() {
+        Ok(t) => t,
+        Err(e) => unreachable!("removing links cannot invalidate a valid topology: {e}"),
+    }
 }
 
 /// Ordered host pairs in different connected components of `topo` — the

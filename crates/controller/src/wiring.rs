@@ -65,10 +65,8 @@ pub fn plan_wiring(
         let mut selfs = vec![0u16; switches as usize];
         let mut inters = std::collections::HashMap::<(u32, u32), u16>::new();
         for l in topo.fabric_links() {
-            let (a, b) = (
-                assignment[l.a.as_switch().unwrap().idx()],
-                assignment[l.b.as_switch().unwrap().idx()],
-            );
+            let (ea, eb) = l.switch_ends();
+            let (a, b) = (assignment[ea.idx()], assignment[eb.idx()]);
             if a == b {
                 selfs[a as usize] += 1;
             } else {

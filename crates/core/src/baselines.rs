@@ -167,7 +167,7 @@ impl SpProjector {
         let (port_of, host_ports) = allocate_ports(topo, &assignment, self.num_switches);
         let mut cables = Vec::new();
         for l in topo.fabric_links() {
-            let (sa, sb) = (l.a.as_switch().unwrap(), l.b.as_switch().unwrap());
+            let (sa, sb) = l.switch_ends();
             let (pa, pb) = (port_of[&(sa, l.id)], port_of[&(sb, l.id)]);
             cables.push(if pa <= pb { (pa, pb) } else { (pb, pa) });
         }
@@ -229,7 +229,7 @@ impl TurbonetProjector {
         // physical switch port pair by construction of the pipeline.
         let mut cables = Vec::new();
         for l in topo.fabric_links() {
-            let (sa, sb) = (l.a.as_switch().unwrap(), l.b.as_switch().unwrap());
+            let (sa, sb) = l.switch_ends();
             let (pa, pb) = (port_of[&(sa, l.id)], port_of[&(sb, l.id)]);
             cables.push(if pa <= pb { (pa, pb) } else { (pb, pa) });
         }

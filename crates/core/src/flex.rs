@@ -168,10 +168,8 @@ impl FlexCluster {
         let mut self_need = vec![0u32; k as usize];
         let mut inter_need: HashMap<(u32, u32), u32> = HashMap::new();
         for l in topo.fabric_links() {
-            let (a, b) = (
-                assignment[l.a.as_switch().unwrap().idx()],
-                assignment[l.b.as_switch().unwrap().idx()],
-            );
+            let (ea, eb) = l.switch_ends();
+            let (a, b) = (assignment[ea.idx()], assignment[eb.idx()]);
             if a == b {
                 self_need[a as usize] += 1;
             } else {

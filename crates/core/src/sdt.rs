@@ -299,10 +299,7 @@ impl SdtProjector {
         let mut self_need = vec![0usize; k as usize];
         let mut inter_need: HashMap<(u32, u32), usize> = HashMap::new();
         for l in topo.fabric_links() {
-            let (sa, sb) = (
-                l.a.as_switch().expect("fabric link"),
-                l.b.as_switch().expect("fabric link"),
-            );
+            let (sa, sb) = l.switch_ends();
             let (pa, pb) = (assignment[sa.idx()], assignment[sb.idx()]);
             if pa == pb {
                 self_need[pa as usize] += 1;
@@ -376,7 +373,7 @@ impl SdtProjector {
             .map(|m| m.values().map(|c| (c.a, c.b)).collect())
             .unwrap_or_default();
         for l in topo.fabric_links() {
-            let (sa, sb) = (l.a.as_switch().unwrap(), l.b.as_switch().unwrap());
+            let (sa, sb) = l.switch_ends();
             let (pa, pb) = (assignment[sa.idx()], assignment[sb.idx()]);
             let preferred = opts
                 .prefer_cables
@@ -386,7 +383,10 @@ impl SdtProjector {
                 let free: &mut Vec<PhysLink> = if pa == pb {
                     &mut self_free[pa as usize]
                 } else {
-                    inter_free.get_mut(&(pa.min(pb), pa.max(pb))).expect("counted above")
+                    match inter_free.get_mut(&(pa.min(pb), pa.max(pb))) {
+                        Some(f) => f,
+                        None => unreachable!("demand counting pre-populated every pair"),
+                    }
                 };
                 match preferred.and_then(|c| free.iter().position(|x| *x == c)) {
                     Some(i) => free.remove(i),
@@ -423,7 +423,10 @@ impl SdtProjector {
         for h in 0..topo.num_hosts() {
             for &(s, lid) in topo.attachments(HostId(h)) {
                 let sw = assignment[s.idx()];
-                let p = host_free[sw as usize].pop().expect("counted above");
+                let p = match host_free[sw as usize].pop() {
+                    Some(p) => p,
+                    None => unreachable!("demand counting reserved a port per attachment"),
+                };
                 host_port.insert((HostId(h), lid), p);
                 port_of.insert((s, lid), p);
             }

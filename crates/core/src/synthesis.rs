@@ -99,7 +99,7 @@ fn synthesize_with(
             .iter()
             .find(|&&(n, _)| n == b)
             .map(|&(_, lid)| lid)
-            .expect("route hops are fabric neighbors")
+            .unwrap_or_else(|| unreachable!("route hops are fabric neighbors"))
     };
 
     for src in 0..topo.num_hosts() {
@@ -131,7 +131,7 @@ fn synthesize_with(
                         .iter()
                         .copied()
                         .find(|&(att, _)| att == s)
-                        .expect("route ends at an attachment switch of dst");
+                        .unwrap_or_else(|| unreachable!("route ends at an attachment switch of dst"));
                     host_port[&(dst, lid)]
                 };
                 match egress.entry((s, dst)) {

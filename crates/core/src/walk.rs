@@ -49,12 +49,15 @@ pub fn instantiate(cluster: &PhysicalCluster, proj: &SdtProjection) -> Vec<OpenF
     let mut switches: Vec<OpenFlowSwitch> =
         (0..cluster.num_switches()).map(|i| OpenFlowSwitch::new(i, cfg)).collect();
     for (sw, switch) in switches.iter_mut().enumerate() {
-        switch
-            .apply_batch(0, proj.synthesis.table0[sw].iter().map(|&e| FlowMod::Add(e)))
-            .expect("projection passed the capacity check");
-        switch
-            .apply_batch(1, proj.synthesis.table1[sw].iter().map(|&e| FlowMod::Add(e)))
-            .expect("projection passed the capacity check");
+        let mods = [
+            (0, &proj.synthesis.table0[sw]),
+            (1, &proj.synthesis.table1[sw]),
+        ];
+        for (table, entries) in mods {
+            if let Err(e) = switch.apply_batch(table, entries.iter().map(|&e| FlowMod::Add(e))) {
+                unreachable!("projection passed the capacity check: {e}");
+            }
+        }
     }
     switches
 }
@@ -97,7 +100,7 @@ pub fn walk_packet(
                 .iter()
                 .find(|&(_, &pp)| pp == out_pp)
                 .map(|(&(h, _), _)| h)
-                .expect("egress host port is assigned to a host");
+                .unwrap_or_else(|| unreachable!("egress host port is assigned to a host"));
             return WalkOutcome::Delivered { to: owner, path };
         }
         match cluster.link_at(out_pp) {

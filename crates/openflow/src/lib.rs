@@ -27,8 +27,9 @@ pub mod table;
 pub use control::{table_divergence, BarrierReport, ControlChannel, ControlConfig};
 pub use switch::{OpenFlowSwitch, PortStats, SwitchConfig};
 pub use table::{
-    diff_tables, shadowed_entries, Action, FlowEntry, FlowMatch, FlowMod, FlowTable,
-    PacketMeta, TableError, TableStats,
+    diff_tables, shadowed_entries, shadowed_entries_in, subtract_witness, Action, FlowEntry,
+    FlowMatch, FlowMod, FlowTable, MatchUniverse, PacketMeta, ShadowedEntry, TableError,
+    TableStats,
 };
 
 use serde::{Deserialize, Serialize};

@@ -135,8 +135,11 @@ impl OpenFlowSwitch {
 
     /// Remove every entry from both tables.
     pub fn clear_tables(&mut self) {
-        self.t0.apply(FlowMod::Clear).expect("clear cannot fail");
-        self.t1.apply(FlowMod::Clear).expect("clear cannot fail");
+        for t in [&mut self.t0, &mut self.t1] {
+            if let Err(e) = t.apply(FlowMod::Clear) {
+                unreachable!("clear cannot fail: {e}");
+            }
+        }
     }
 
     /// Dataplane forwarding: count the packet in, run the pipeline, count it

@@ -56,6 +56,43 @@ impl FlowMatch {
         self
     }
 
+    /// Does this match cover every packet the `other` match covers?
+    ///
+    /// Field-wise: each of `self`'s constraints is either absent (wildcard)
+    /// or equal to `other`'s constraint on the same field.
+    pub fn covers(&self, other: &FlowMatch) -> bool {
+        covers(self, other)
+    }
+
+    /// The exact intersection of two match spaces: the match that fits
+    /// precisely the packets fitting both, or `None` when they are disjoint.
+    ///
+    /// Because every field is equality-or-wildcard, the intersection of two
+    /// matches is always itself expressible as a single match (the field-wise
+    /// meet), so this operation is exact — no set of residual matches needed.
+    pub fn intersect(&self, other: &FlowMatch) -> Option<FlowMatch> {
+        fn meet<T: PartialEq + Copy>(a: Option<T>, b: Option<T>) -> Result<Option<T>, ()> {
+            match (a, b) {
+                (None, x) | (x, None) => Ok(x),
+                (Some(x), Some(y)) if x == y => Ok(Some(x)),
+                _ => Err(()),
+            }
+        }
+        Some(FlowMatch {
+            in_port: meet(self.in_port, other.in_port).ok()?,
+            metadata: meet(self.metadata, other.metadata).ok()?,
+            src: meet(self.src, other.src).ok()?,
+            dst: meet(self.dst, other.dst).ok()?,
+            l4_src: meet(self.l4_src, other.l4_src).ok()?,
+            l4_dst: meet(self.l4_dst, other.l4_dst).ok()?,
+        })
+    }
+
+    /// Do the two match spaces share at least one packet?
+    pub fn overlaps(&self, other: &FlowMatch) -> bool {
+        self.intersect(other).is_some()
+    }
+
     /// Does a packet (with current pipeline metadata) fit this match?
     pub fn matches(&self, m: &PacketMeta, metadata: Option<u32>) -> bool {
         fn ok<T: PartialEq>(field: Option<T>, v: T) -> bool {
@@ -225,11 +262,21 @@ impl FlowTable {
     }
 
     /// Highest-priority matching action, or `None` on a table miss.
+    ///
+    /// Within a priority level the table is **first-match-wins in insertion
+    /// order**: [`FlowTable::apply`] inserts each entry after every existing
+    /// entry of greater *or equal* priority, and lookup scans front to back,
+    /// so the earliest-installed of two equal-priority overlapping entries
+    /// fires. This mirrors OpenFlow, where overlapping same-priority rules
+    /// leave behaviour switch-defined — deterministic here, but dependent on
+    /// install order, which is why the static verifier flags such pairs as
+    /// nondeterminism warnings.
     pub fn lookup(&self, meta: &PacketMeta) -> Option<Action> {
         self.lookup_with(meta, None)
     }
 
-    /// Lookup with pipeline metadata from an earlier table.
+    /// Lookup with pipeline metadata from an earlier table. Same
+    /// first-match-wins-within-priority contract as [`FlowTable::lookup`].
     pub fn lookup_with(&self, meta: &PacketMeta, metadata: Option<u32>) -> Option<Action> {
         self.lookups.set(self.lookups.get() + 1);
         for e in &self.entries {
@@ -278,6 +325,16 @@ fn covers(a: &FlowMatch, b: &FlowMatch) -> bool {
 /// equal-priority) entry covers their entire match space. Shadowed entries
 /// waste TCAM and usually indicate a synthesis bug; the SDT pipeline is
 /// expected to produce none.
+///
+/// This is the *pairwise* check: it finds entries covered by a single
+/// earlier rule. With every match field drawn from an unbounded value domain
+/// that is also complete — if a union of rules covers an entry, then (pick a
+/// per-field value distinct from every constraint in the union) one rule of
+/// the union must cover it alone. Shadowing by a union of rules that no
+/// single rule subsumes only becomes possible once a field's domain is
+/// finite (a switch has finitely many ports; the pipeline writes finitely
+/// many metadata values); use [`shadowed_entries_in`] with a
+/// [`MatchUniverse`] for that complete check.
 pub fn shadowed_entries(entries: &[FlowEntry]) -> Vec<FlowEntry> {
     // entries are priority-sorted descending (FlowTable order).
     let mut shadowed = Vec::new();
@@ -287,6 +344,199 @@ pub fn shadowed_entries(entries: &[FlowEntry]) -> Vec<FlowEntry> {
                 shadowed.push(*e);
                 break;
             }
+        }
+    }
+    shadowed
+}
+
+/// Finite value domains for the fields whose real-world range is bounded.
+///
+/// Match-space subtraction is relative to a universe: a rule matching
+/// `in_port=*` is fully covered by one rule per physical port — but only if
+/// the checker knows the port list is exhaustive. `None` means the field is
+/// treated as unbounded (a fresh, never-constrained value always exists).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MatchUniverse {
+    /// Every ingress port that can physically occur, or `None` if unbounded.
+    pub in_ports: Option<Vec<PortNo>>,
+    /// Every pipeline-metadata value the earlier tables can write, or `None`
+    /// if unbounded.
+    pub metadata: Option<Vec<u32>>,
+}
+
+impl MatchUniverse {
+    /// A universe with no bounded fields (reduces every union-cover question
+    /// to the pairwise one).
+    pub fn unbounded() -> Self {
+        MatchUniverse::default()
+    }
+
+    /// Universe for a switch with ports `0..num_ports` that can write the
+    /// given metadata values.
+    pub fn for_switch(num_ports: u16, metadata: impl IntoIterator<Item = u32>) -> Self {
+        MatchUniverse {
+            in_ports: Some((0..num_ports).map(PortNo).collect()),
+            metadata: Some(metadata.into_iter().collect()),
+        }
+    }
+}
+
+/// A packet witnessing `target ∖ ⋃ covers` within `universe`, or `None` when
+/// the union of `covers` subsumes all of `target` — i.e. match-space
+/// subtraction, reported as an example residual point rather than a residual
+/// region set.
+///
+/// The search splits `target` on one wildcarded-but-constrained field at a
+/// time: for a bounded field it enumerates the universe values, for an
+/// unbounded field the distinct constraint values plus one fresh value no
+/// rule mentions. Each refinement binds a field, so the recursion depth is
+/// at most the field count and the result is exact (no approximation in
+/// either direction).
+pub fn subtract_witness(
+    target: &FlowMatch,
+    covers: &[FlowMatch],
+    universe: &MatchUniverse,
+) -> Option<FlowMatch> {
+    let live: Vec<FlowMatch> =
+        covers.iter().filter(|c| c.overlaps(target)).copied().collect();
+    witness_search(*target, &live, universe)
+}
+
+/// Field accessors used by the witness search, so splitting logic is written
+/// once. `u32` is wide enough for every field's value type.
+#[derive(Clone, Copy)]
+enum Field {
+    InPort,
+    Metadata,
+    Src,
+    Dst,
+    L4Src,
+    L4Dst,
+}
+
+const FIELDS: [Field; 6] =
+    [Field::InPort, Field::Metadata, Field::Src, Field::Dst, Field::L4Src, Field::L4Dst];
+
+impl Field {
+    fn get(self, m: &FlowMatch) -> Option<u32> {
+        match self {
+            Field::InPort => m.in_port.map(|p| u32::from(p.0)),
+            Field::Metadata => m.metadata,
+            Field::Src => m.src.map(|a| a.0),
+            Field::Dst => m.dst.map(|a| a.0),
+            Field::L4Src => m.l4_src.map(u32::from),
+            Field::L4Dst => m.l4_dst.map(u32::from),
+        }
+    }
+
+    fn set(self, m: &mut FlowMatch, v: u32) {
+        match self {
+            Field::InPort => m.in_port = Some(PortNo(v as u16)),
+            Field::Metadata => m.metadata = Some(v),
+            Field::Src => m.src = Some(HostAddr(v)),
+            Field::Dst => m.dst = Some(HostAddr(v)),
+            Field::L4Src => m.l4_src = Some(v as u16),
+            Field::L4Dst => m.l4_dst = Some(v as u16),
+        }
+    }
+
+    /// The finite domain for this field, if the universe bounds it.
+    fn domain(self, u: &MatchUniverse) -> Option<Vec<u32>> {
+        match self {
+            Field::InPort => {
+                u.in_ports.as_ref().map(|ps| ps.iter().map(|p| u32::from(p.0)).collect())
+            }
+            Field::Metadata => u.metadata.clone(),
+            _ => None,
+        }
+    }
+}
+
+fn witness_search(
+    target: FlowMatch,
+    covers: &[FlowMatch],
+    universe: &MatchUniverse,
+) -> Option<FlowMatch> {
+    if covers.iter().any(|c| c.covers(&target)) {
+        return None; // this refinement is fully subsumed by a single rule
+    }
+    // Find a field where the target is wildcarded but some cover constrains:
+    // that is the only way a union can cover what no single rule does.
+    for f in FIELDS {
+        if f.get(&target).is_some() {
+            continue;
+        }
+        let constrained: Vec<u32> =
+            covers.iter().filter_map(|c| f.get(c)).collect();
+        if constrained.is_empty() {
+            continue;
+        }
+        let branches: Vec<u32> = match f.domain(universe) {
+            Some(domain) => domain,
+            None => {
+                // Unbounded: the named values, plus one fresh value that no
+                // cover constrains this field to (always exists).
+                let mut vs = constrained.clone();
+                let fresh = (0..).find(|v| !constrained.contains(v));
+                vs.extend(fresh);
+                vs
+            }
+        };
+        for v in branches {
+            let mut refined = target;
+            f.set(&mut refined, v);
+            let still: Vec<FlowMatch> =
+                covers.iter().filter(|c| c.overlaps(&refined)).copied().collect();
+            if let Some(w) = witness_search(refined, &still, universe) {
+                return Some(w);
+            }
+        }
+        return None; // every refinement of this field was covered
+    }
+    // No cover constrains any field beyond the target, and none covers it
+    // outright (checked above) — so no cover overlaps it at all.
+    Some(target)
+}
+
+/// An entry that can never match, together with the earlier rules that
+/// jointly cover its match space (one rule for classic pairwise shadowing,
+/// several for union shadowing).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShadowedEntry {
+    /// The dead entry.
+    pub entry: FlowEntry,
+    /// The higher- or equal-priority rules whose union covers it.
+    pub covered_by: Vec<FlowEntry>,
+}
+
+/// Complete shadow detection relative to a [`MatchUniverse`]: an entry is
+/// shadowed when the *union* of earlier higher- or equal-priority rules
+/// covers its whole match space, even if no single rule does.
+///
+/// The pairwise [`shadowed_entries`] check runs first as a fast pre-filter;
+/// the subtraction search only runs for entries that overlap at least two
+/// earlier rules without being singly covered.
+pub fn shadowed_entries_in(entries: &[FlowEntry], universe: &MatchUniverse) -> Vec<ShadowedEntry> {
+    let mut shadowed = Vec::new();
+    for (i, e) in entries.iter().enumerate() {
+        let earlier: Vec<&FlowEntry> = entries[..i]
+            .iter()
+            .filter(|x| x.priority >= e.priority && x.m.overlaps(&e.m))
+            .collect();
+        // Fast pairwise pre-filter: a single covering rule settles it.
+        if let Some(one) = earlier.iter().find(|x| covers(&x.m, &e.m)) {
+            shadowed.push(ShadowedEntry { entry: *e, covered_by: vec![**one] });
+            continue;
+        }
+        if earlier.len() < 2 {
+            continue; // a union needs at least two overlapping rules
+        }
+        let cover_matches: Vec<FlowMatch> = earlier.iter().map(|x| x.m).collect();
+        if subtract_witness(&e.m, &cover_matches, universe).is_none() {
+            shadowed.push(ShadowedEntry {
+                entry: *e,
+                covered_by: earlier.into_iter().copied().collect(),
+            });
         }
     }
     shadowed
@@ -453,6 +703,97 @@ mod tests {
     fn diff_identity_is_empty() {
         let e = FlowEntry { m: FlowMatch::any(), priority: 0, action: Action::Drop };
         assert!(diff_tables(&[e], &[e]).is_empty());
+    }
+
+    #[test]
+    fn cover_intersect_overlap_algebra() {
+        let port0 = FlowMatch::on_port(PortNo(0));
+        let dst5 = FlowMatch::to_dst(HostAddr(5));
+        let both = FlowMatch::to_dst(HostAddr(5)).and_port(PortNo(0));
+        assert!(FlowMatch::any().covers(&both));
+        assert!(port0.covers(&both) && dst5.covers(&both));
+        assert!(!both.covers(&port0));
+        // Intersection is the field-wise meet.
+        assert_eq!(port0.intersect(&dst5), Some(both));
+        assert_eq!(both.intersect(&both), Some(both));
+        // Conflicting constraints are disjoint.
+        let port1 = FlowMatch::on_port(PortNo(1));
+        assert_eq!(port0.intersect(&port1), None);
+        assert!(!port0.overlaps(&port1));
+        assert!(port0.overlaps(&dst5));
+    }
+
+    #[test]
+    fn subtract_witness_finds_uncovered_point() {
+        let u = MatchUniverse::unbounded();
+        // dst=5 minus {dst=5 ∧ port=0} leaves e.g. (dst=5, port=fresh).
+        let w = subtract_witness(
+            &FlowMatch::to_dst(HostAddr(5)),
+            &[FlowMatch::to_dst(HostAddr(5)).and_port(PortNo(0))],
+            &u,
+        )
+        .expect("not fully covered");
+        assert_eq!(w.dst, Some(HostAddr(5)));
+        assert_ne!(w.in_port, Some(PortNo(0)));
+        // Full coverage by a single wildcard rule.
+        assert_eq!(subtract_witness(&FlowMatch::to_dst(HostAddr(5)), &[FlowMatch::any()], &u), None);
+    }
+
+    #[test]
+    fn union_shadow_needs_bounded_universe() {
+        // Two per-port rules jointly cover the catch-all only when the port
+        // universe is known to be exactly {0, 1}.
+        let per_port = |p: u16| FlowEntry {
+            m: FlowMatch::on_port(PortNo(p)),
+            priority: 10,
+            action: Action::Output(PortNo(p)),
+        };
+        let catch_all = FlowEntry { m: FlowMatch::any(), priority: 5, action: Action::Drop };
+        let entries = [per_port(0), per_port(1), catch_all];
+        // Pairwise: no single rule covers the catch-all.
+        assert!(shadowed_entries(&entries).is_empty());
+        // Unbounded universe: a fresh port witnesses the residual space.
+        assert!(shadowed_entries_in(&entries, &MatchUniverse::unbounded()).is_empty());
+        // Bounded universe: the union is complete — shadowed, both rules named.
+        let u = MatchUniverse::for_switch(2, []);
+        let found = shadowed_entries_in(&entries, &u);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].entry, catch_all);
+        assert_eq!(found[0].covered_by, vec![per_port(0), per_port(1)]);
+    }
+
+    #[test]
+    fn union_shadow_pairwise_prefilter_still_reports_single_cover() {
+        let any_hi = FlowEntry { m: FlowMatch::any(), priority: 9, action: Action::Drop };
+        let dead = FlowEntry {
+            m: FlowMatch::on_port(PortNo(3)),
+            priority: 1,
+            action: Action::Output(PortNo(0)),
+        };
+        let found = shadowed_entries_in(&[any_hi, dead], &MatchUniverse::unbounded());
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].covered_by, vec![any_hi]);
+    }
+
+    #[test]
+    fn lower_priority_rules_never_shadow() {
+        // A union of *lower*-priority rules does not shadow the rule above
+        // it, even when the union covers the whole universe.
+        let per_port = |p: u16| FlowEntry {
+            m: FlowMatch::on_port(PortNo(p)),
+            priority: 2,
+            action: Action::Output(PortNo(p)),
+        };
+        let target = FlowEntry {
+            m: FlowMatch::to_dst(HostAddr(7)),
+            priority: 5,
+            action: Action::Drop,
+        };
+        let entries = [target, per_port(0), per_port(1)];
+        let found = shadowed_entries_in(&entries, &MatchUniverse::for_switch(2, []));
+        // The dst=7 rule is live; the per-port rules are only *partially*
+        // covered by it (dst=7 slice), so nothing is shadowed.
+        assert!(found.is_empty(), "unexpected shadows: {found:?}");
     }
 
     #[test]

@@ -147,7 +147,10 @@ fn bisect_inner(
                 best = Some((cut, side));
             }
         }
-        return best.expect("at least one init try").1;
+        return match best {
+            Some((_, side)) => side,
+            None => unreachable!("the init loop runs at least once"),
+        };
     }
 
     // Coarsen by heavy-edge matching; bail to direct bisection if matching
@@ -284,7 +287,10 @@ pub fn partition(g: &Graph, k: u32, cfg: &PartitionConfig) -> Partitioning {
             best = Some((key.0, key.1, p));
         }
     }
-    best.expect("at least one try").2
+    match best {
+        Some((_, _, p)) => p,
+        None => unreachable!("the retry loop runs at least once"),
+    }
 }
 
 fn partition_once(g: &Graph, k: u32, cfg: &PartitionConfig) -> Partitioning {

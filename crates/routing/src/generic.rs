@@ -92,10 +92,13 @@ impl UpDown {
         let comp = topo.component_of();
         let num_comps = comp.iter().copied().max().map_or(0, |m| m + 1);
         for c in 0..num_comps {
-            let root = (0..n as u32)
+            let root = match (0..n as u32)
                 .filter(|&s| comp[s as usize] == c)
                 .max_by_key(|&s| (topo.degree(SwitchId(s)), std::cmp::Reverse(s)))
-                .expect("every component label has members");
+            {
+                Some(r) => r,
+                None => unreachable!("every component label has members"),
+            };
             let mut queue = VecDeque::new();
             parent[root as usize] = root;
             level[root as usize] = 0;
@@ -152,12 +155,15 @@ impl RoutingStrategy for UpDown {
             on_up[s.idx()] = true;
             idx_on_up[s.idx()] = i;
         }
-        let (lca_down_idx, lca) = down
+        let (lca_down_idx, lca) = match down
             .iter()
             .enumerate()
             .find(|&(_, &s)| on_up[s.idx()])
             .map(|(i, &s)| (i, s))
-            .expect("endpoints must share a connected component");
+        {
+            Some(found) => found,
+            None => unreachable!("endpoints must share a connected component"),
+        };
         let mut hops: Vec<SwitchId> = up[..=idx_on_up[lca.idx()]].to_vec();
         hops.extend(down[..lca_down_idx].iter().rev());
         let vcs = vec![0; hops.len() - 1];

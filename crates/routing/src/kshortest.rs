@@ -73,7 +73,10 @@ pub fn k_shortest_paths(topo: &Topology, from: SwitchId, to: SwitchId, k: usize)
     let mut seen_candidates: HashSet<Path> = HashSet::new();
 
     while found.len() < k {
-        let last = found.last().expect("at least the first path").clone();
+        let last = match found.last() {
+            Some(p) => p.clone(),
+            None => unreachable!("found is seeded with the first path"),
+        };
         // Each prefix of the last path spawns a spur.
         for i in 0..last.len() - 1 {
             let spur_node = last[i];

@@ -277,9 +277,10 @@ impl RouteTable {
     /// All routes in the table.
     pub fn iter(&self) -> impl Iterator<Item = (&(SwitchId, SwitchId), &Route)> {
         self.pairs.iter().map(|pair| {
-            let r = self.slots[self.slot(pair.0, pair.1)]
-                .as_ref()
-                .expect("pairs only lists populated slots");
+            let r = match self.slots[self.slot(pair.0, pair.1)].as_ref() {
+                Some(r) => r,
+                None => unreachable!("pairs only lists populated slots"),
+            };
             (pair, r)
         })
     }

@@ -25,6 +25,9 @@
 //! * [`tenancy`] — multi-tenant topology slicing: admission-controlled
 //!   concurrent logical topologies on one shared cluster, with
 //!   make-before-break reconfiguration and a cross-slice isolation audit;
+//! * [`verify`] — static data-plane verification: symbolic loop /
+//!   blackhole / isolation proofs over installed flow tables, with
+//!   incremental pre-install epoch checking — no packet injection;
 //! * [`controller`] — the config-file-driven SDT controller.
 //!
 //! ## Quickstart
@@ -54,4 +57,5 @@ pub use sdt_routing as routing;
 pub use sdt_sim as sim;
 pub use sdt_tenancy as tenancy;
 pub use sdt_topology as topology;
+pub use sdt_verify as verify;
 pub use sdt_workloads as workloads;

@@ -558,17 +558,18 @@ impl Simulator {
             send_completed: false,
         });
         self.push(self.now, Ev::Inject(id));
-        if dcqcn.is_some() {
-            let t = self.cfg.dcqcn.as_ref().unwrap().timer_ns;
-            self.push(self.now + t, Ev::DcqcnTimer(id));
+        if let Some(d) = self.cfg.dcqcn.as_ref() {
+            if dcqcn.is_some() {
+                self.push(self.now + d.timer_ns, Ev::DcqcnTimer(id));
+            }
         }
         id
     }
 
     /// Attach an MPI replay (see [`crate::mpi`]).
     pub(crate) fn attach_mpi(&mut self, mpi: MpiState) {
+        let n = mpi.num_ranks();
         self.mpi = Some(mpi);
-        let n = self.mpi.as_ref().unwrap().num_ranks();
         for r in 0..n {
             self.push(0, Ev::RankWake(r));
         }
@@ -601,7 +602,10 @@ impl Simulator {
             // Respect the time limit without consuming the event beyond it,
             // so a run can resume after `set_time_limit`.
             let next_t = if take_heap {
-                self.events.peek().expect("chosen above").t
+                match self.events.peek() {
+                    Some(s) => s.t,
+                    None => unreachable!("take_heap implies a peeked event"),
+                }
             } else {
                 // Deque events run at the current timestamp; it can only
                 // exceed the limit if `set_time_limit` lowered it mid-run.
@@ -613,11 +617,15 @@ impl Simulator {
                 break;
             }
             let (t, ev) = if take_heap {
-                let Scheduled { t, ev, .. } = self.events.pop().expect("chosen above");
-                (t, ev)
+                match self.events.pop() {
+                    Some(Scheduled { t, ev, .. }) => (t, ev),
+                    None => unreachable!("take_heap implies a poppable event"),
+                }
             } else {
-                let (_, ev) = self.now_events.pop_front().expect("chosen above");
-                (self.now, ev)
+                match self.now_events.pop_front() {
+                    Some((_, ev)) => (self.now, ev),
+                    None => unreachable!("the deque branch implies a queued event"),
+                }
             };
             self.now = t;
             self.stats.events += 1;
@@ -713,7 +721,10 @@ impl Simulator {
         }
         let Some(vc) = picked else { return };
         ch.next_vc = (vc + 1) % nvc;
-        let cell = ch.queues[vc].pop_front().expect("picked non-empty");
+        let cell = match ch.queues[vc].pop_front() {
+            Some(c) => c,
+            None => unreachable!("the arbiter picked a non-empty VC"),
+        };
         ch.queued -= 1;
         if lossless {
             ch.credits[vc] -= 1;

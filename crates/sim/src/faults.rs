@@ -266,10 +266,7 @@ impl FaultSchedule {
         let dead_switches: HashSet<SwitchId> =
             self.unrecovered_crashes().into_iter().collect();
         for l in topo.fabric_links() {
-            let (a, b) = (
-                l.a.as_switch().expect("fabric link"),
-                l.b.as_switch().expect("fabric link"),
-            );
+            let (a, b) = l.switch_ends();
             if dead_switches.contains(&a) || dead_switches.contains(&b) {
                 cut.insert(key(a, b));
             }
@@ -286,9 +283,7 @@ impl FaultSchedule {
         let mut sched = FaultSchedule::new();
         let fabric: Vec<(SwitchId, SwitchId)> = topo
             .fabric_links()
-            .map(|l| {
-                (l.a.as_switch().expect("fabric link"), l.b.as_switch().expect("fabric link"))
-            })
+            .map(|l| l.switch_ends())
             .collect();
         if fabric.is_empty() {
             return sched;

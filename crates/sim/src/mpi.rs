@@ -109,7 +109,7 @@ pub fn run_trace(
     let mut sim = Simulator::new(topo, routes, cfg);
     sim.attach_mpi(MpiState::new(trace, hosts));
     let outcome = sim.run();
-    let mpi = sim.mpi_state().expect("attached above");
+    let mpi = mpi_ref(&sim);
     MpiRunResult {
         outcome,
         act_ns: mpi.act_ns(),
@@ -133,7 +133,7 @@ pub fn run_trace_adaptive(
     sim.set_adaptive(strategy);
     sim.attach_mpi(MpiState::new(trace, hosts));
     let outcome = sim.run();
-    let mpi = sim.mpi_state().expect("attached above");
+    let mpi = mpi_ref(&sim);
     MpiRunResult {
         outcome,
         act_ns: mpi.act_ns(),
@@ -144,11 +144,27 @@ pub fn run_trace_adaptive(
     }
 }
 
+/// The attached MPI state. Callbacks in this module only fire from flows
+/// and wakes that attaching MPI created, so absence is an engine bug.
+fn mpi_ref(sim: &Simulator) -> &MpiState {
+    match sim.mpi.as_ref() {
+        Some(m) => m,
+        None => unreachable!("MPI callbacks only fire with MPI attached"),
+    }
+}
+
+fn mpi_mut(sim: &mut Simulator) -> &mut MpiState {
+    match sim.mpi.as_mut() {
+        Some(m) => m,
+        None => unreachable!("MPI callbacks only fire with MPI attached"),
+    }
+}
+
 /// Try to retire ops for `rank` until it blocks or finishes.
 fn advance(sim: &mut Simulator, rank: u32) {
     loop {
         let (op, finished) = {
-            let m = sim.mpi.as_ref().expect("mpi attached");
+            let m = mpi_ref(sim);
             if m.done[rank as usize] {
                 return;
             }
@@ -166,7 +182,7 @@ fn advance(sim: &mut Simulator, rank: u32) {
         };
         if finished {
             let now = sim.now;
-            let m = sim.mpi.as_mut().expect("mpi attached");
+            let m = mpi_mut(sim);
             m.done[rank as usize] = true;
             m.done_count += 1;
             if m.all_done() {
@@ -174,34 +190,38 @@ fn advance(sim: &mut Simulator, rank: u32) {
             }
             return;
         }
-        match op.expect("not finished") {
+        let op = match op {
+            Some(op) => op,
+            None => unreachable!("the finished branch returned above"),
+        };
+        match op {
             MpiOp::Compute { ns } => {
                 let at = sim.now + ns;
-                sim.mpi.as_mut().unwrap().pc[rank as usize] += 1;
+                mpi_mut(sim).pc[rank as usize] += 1;
                 sim.schedule_rank_wake(rank, at);
                 return;
             }
             MpiOp::Send { to, bytes, tag } => {
-                sim.mpi.as_mut().unwrap().pc[rank as usize] += 1;
+                mpi_mut(sim).pc[rank as usize] += 1;
                 post_send(sim, rank, to, bytes, tag);
-                if sim.mpi.as_ref().unwrap().pending_send[rank as usize].is_some() {
+                if mpi_ref(sim).pending_send[rank as usize].is_some() {
                     return;
                 }
             }
             MpiOp::Recv { from, tag } => {
-                sim.mpi.as_mut().unwrap().pc[rank as usize] += 1;
+                mpi_mut(sim).pc[rank as usize] += 1;
                 if !try_consume(sim, rank, from, tag) {
-                    sim.mpi.as_mut().unwrap().pending_recv[rank as usize] = Some((from, tag));
+                    mpi_mut(sim).pending_recv[rank as usize] = Some((from, tag));
                     return;
                 }
             }
             MpiOp::SendRecv { to, bytes, stag, from, rtag } => {
-                sim.mpi.as_mut().unwrap().pc[rank as usize] += 1;
+                mpi_mut(sim).pc[rank as usize] += 1;
                 post_send(sim, rank, to, bytes, stag);
                 if !try_consume(sim, rank, from, rtag) {
-                    sim.mpi.as_mut().unwrap().pending_recv[rank as usize] = Some((from, rtag));
+                    mpi_mut(sim).pending_recv[rank as usize] = Some((from, rtag));
                 }
-                let m = sim.mpi.as_ref().unwrap();
+                let m = mpi_ref(sim);
                 if m.pending_send[rank as usize].is_some()
                     || m.pending_recv[rank as usize].is_some()
                 {
@@ -216,19 +236,19 @@ fn advance(sim: &mut Simulator, rank: u32) {
 /// completed synchronously (never happens today, but kept defensive).
 fn post_send(sim: &mut Simulator, rank: u32, to: u32, bytes: u64, tag: u32) {
     let (src_host, dst_host) = {
-        let m = sim.mpi.as_ref().unwrap();
+        let m = mpi_ref(sim);
         (m.rank_host[rank as usize], m.rank_host[to as usize])
     };
     let key = (rank, to, tag);
     let fid = sim.start_flow(src_host, dst_host, bytes.max(1), FlowKind::Message { key });
-    let m = sim.mpi.as_mut().unwrap();
+    let m = mpi_mut(sim);
     m.flow_sender.insert(fid, rank);
     m.pending_send[rank as usize] = Some(fid);
 }
 
 /// Consume an already-arrived message if present.
 fn try_consume(sim: &mut Simulator, rank: u32, from: u32, tag: u32) -> bool {
-    let m = sim.mpi.as_mut().unwrap();
+    let m = mpi_mut(sim);
     let key = (from, rank, tag);
     match m.arrived.get_mut(&key) {
         Some(c) if *c > 0 => {
@@ -249,7 +269,7 @@ pub(crate) fn on_rank_wake(sim: &mut Simulator, rank: u32) {
 /// Engine callback: a message flow finished injecting (eager completion).
 pub(crate) fn on_send_complete(sim: &mut Simulator, fid: FlowId) {
     let rank = {
-        let m = sim.mpi.as_mut().expect("mpi attached");
+        let m = mpi_mut(sim);
         let Some(&rank) = m.flow_sender.get(&fid) else { return };
         if m.pending_send[rank as usize] == Some(fid) {
             m.pending_send[rank as usize] = None;
@@ -271,10 +291,13 @@ pub(crate) fn on_delivered(sim: &mut Simulator, fid: FlowId) {
     };
     let dst_rank = key.1;
     let unblocked = {
-        let m = sim.mpi.as_mut().expect("mpi attached");
+        let m = mpi_mut(sim);
         *m.arrived.entry(key).or_insert(0) += 1;
         if m.pending_recv[dst_rank as usize] == Some((key.0, key.2)) {
-            let c = m.arrived.get_mut(&key).expect("just inserted");
+            let c = match m.arrived.get_mut(&key) {
+                Some(c) => c,
+                None => unreachable!("entry inserted just above"),
+            };
             *c -= 1;
             m.pending_recv[dst_rank as usize] = None;
             true

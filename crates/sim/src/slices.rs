@@ -108,8 +108,10 @@ impl MultiSliceSim {
     /// In-flight flows on the old component drain naturally, exactly as
     /// traffic in flight during an epoch keeps flowing on the old rules.
     pub fn cutover(&mut self, slice: usize) {
-        let c = self.staged[slice]
-            .expect("cutover requires a staged component for this slice");
+        let c = match self.staged[slice] {
+            Some(c) => c,
+            None => panic!("cutover requires a staged component for slice {slice}"),
+        };
         self.active[slice] = c;
     }
 
@@ -188,8 +190,9 @@ impl MultiSliceSim {
         for &ci in &comps {
             let c = &self.components[ci];
             for l in c.topo.fabric_links() {
-                let a = SwitchId(c.switch_off + l.a.as_switch().unwrap().0);
-                let b = SwitchId(c.switch_off + l.b.as_switch().unwrap().0);
+                let (la, lb) = l.switch_ends();
+                let a = SwitchId(c.switch_off + la.0);
+                let b = SwitchId(c.switch_off + lb.0);
                 total += self.sim.channel_bytes(a, b) + self.sim.channel_bytes(b, a);
             }
         }

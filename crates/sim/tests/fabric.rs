@@ -1,6 +1,7 @@
 //! Fabric-level integration tests: RoCE/DCQCN behavior, credit
 //! conservation, and fairness invariants the unit tests don't cover.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use sdt_routing::{generic::Bfs, RouteTable};
 use sdt_sim::{DcqcnConfig, SimConfig, SimOutcome, Simulator};
 use sdt_topology::chain::{chain, star};

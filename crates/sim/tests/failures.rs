@@ -1,6 +1,7 @@
 //! Failure-injection tests: dead links lose traffic, the Network Monitor
 //! sees them, and adaptive routing steers new flows around them.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use sdt_routing::dragonfly::{DragonflyMinimal, DragonflyUgal};
 use sdt_routing::{generic::Bfs, RouteTable};
 use sdt_sim::{SimConfig, SimOutcome, Simulator};

@@ -1,5 +1,6 @@
 //! Property-based tests of the fabric engine's conservation laws.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use proptest::prelude::*;
 use sdt_routing::{generic::Bfs, RouteTable};
 use sdt_sim::{Granularity, SimConfig, SimOutcome, Simulator};

@@ -278,6 +278,45 @@ impl Epoch {
         Ok(())
     }
 
+    /// The epoch lowered to wire order: the exact `(switch, table,
+    /// flow-mod)` sequence make-before-break application sends — adds table
+    /// 1 → table 0, then deletes table 0 → table 1, with a same-(match,
+    /// priority) delete+add pair applied as an in-place replacement
+    /// (OpenFlow MODIFY: the add is held back and lands right after its
+    /// delete, otherwise the delete would wipe its own replacement).
+    ///
+    /// Both the manager's `apply_epoch` and the static pre-install check
+    /// replay this sequence, so what the verifier proves is byte-for-byte
+    /// what the switches receive.
+    pub fn ordered_mods(&self) -> Vec<(u32, u8, FlowMod)> {
+        type ModKey = (u32, u8, FlowMatch, u16);
+        let delete_keys: HashSet<ModKey> =
+            self.deletes.iter().map(|d| (d.switch, d.table, d.m, d.priority)).collect();
+        let mut replacements: std::collections::HashMap<ModKey, Vec<FlowEntry>> =
+            std::collections::HashMap::new();
+        let mut mods = Vec::with_capacity(self.adds.len() + self.deletes.len());
+        for table in [1u8, 0u8] {
+            for a in self.adds.iter().filter(|a| a.table == table) {
+                let key = (a.switch, a.table, a.entry.m, a.entry.priority);
+                if delete_keys.contains(&key) {
+                    replacements.entry(key).or_default().push(a.entry);
+                } else {
+                    mods.push((a.switch, a.table, FlowMod::Add(a.entry)));
+                }
+            }
+        }
+        for table in [0u8, 1u8] {
+            for d in self.deletes.iter().filter(|d| d.table == table) {
+                mods.push((d.switch, d.table, FlowMod::Delete(d.m, d.priority)));
+                let key = (d.switch, d.table, d.m, d.priority);
+                for e in replacements.remove(&key).into_iter().flatten() {
+                    mods.push((d.switch, d.table, FlowMod::Add(e)));
+                }
+            }
+        }
+        mods
+    }
+
     /// Build the report for this epoch (before or after applying it).
     pub fn report(&self, num_switches: usize, timing: &InstallTiming) -> EpochReport {
         let max = self.mods_per_switch(num_switches).into_iter().max().unwrap_or(0);

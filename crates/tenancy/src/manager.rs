@@ -40,10 +40,11 @@ use sdt_core::sdt::{
 };
 use sdt_core::synthesis::SynthesisOutput;
 use sdt_openflow::{
-    Action, FlowMod, HostAddr, InstallTiming, OpenFlowSwitch, SwitchConfig,
+    Action, HostAddr, InstallTiming, OpenFlowSwitch, SwitchConfig,
 };
 use sdt_routing::{default_strategy, RouteTable};
 use sdt_topology::{HostId, SwitchId, Topology};
+use sdt_verify::{Intent, TableView, Verifier};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
@@ -80,6 +81,10 @@ pub enum AdmissionError {
     /// Epoch verification failed — a manager invariant was violated and the
     /// epoch was not applied. Should never happen.
     EpochViolation(String),
+    /// The static verifier proved the pending epoch would create a loop,
+    /// blackhole or cross-slice leak; nothing was installed. The string is
+    /// the verifier's summary naming the offending rule(s).
+    StaticViolation(String),
 }
 
 impl fmt::Display for AdmissionError {
@@ -92,6 +97,9 @@ impl fmt::Display for AdmissionError {
             ),
             AdmissionError::UnknownSlice(id) => write!(f, "unknown {id}"),
             AdmissionError::EpochViolation(v) => write!(f, "epoch verification failed: {v}"),
+            AdmissionError::StaticViolation(v) => {
+                write!(f, "static verification rejected the epoch: {v}")
+            }
         }
     }
 }
@@ -235,6 +243,14 @@ pub struct SliceManager {
     next_id: u32,
     next_metadata: u32,
     next_addr: u32,
+    /// Gate every epoch on a static proof before any flow-mod is applied.
+    /// On by default; [`SliceManager::set_static_verify`] is the escape
+    /// hatch for experiments that install intentionally broken tables.
+    static_verify: bool,
+    /// Proof of the *current* live tables, carried between epochs so each
+    /// admission only pays for the delta ([`Verifier::check_delta`]).
+    /// `None` until first use, or after the escape hatch bypassed a proof.
+    verifier: Option<Verifier>,
 }
 
 impl SliceManager {
@@ -260,6 +276,18 @@ impl SliceManager {
             next_id: 0,
             next_metadata: 0,
             next_addr: 0,
+            static_verify: true,
+            verifier: None,
+        }
+    }
+
+    /// Escape hatch: enable/disable the static pre-install proof. Disabling
+    /// also drops the cached proof — it no longer describes what is
+    /// installed once unverified epochs go through.
+    pub fn set_static_verify(&mut self, on: bool) {
+        self.static_verify = on;
+        if !on {
+            self.verifier = None;
         }
     }
 
@@ -274,8 +302,11 @@ impl SliceManager {
     }
 
     /// Mutable access to the live switches (the audit needs to forward
-    /// probe packets, which bumps port counters).
+    /// probe packets, which bumps port counters). Drops the cached static
+    /// proof: a caller may rewrite tables behind the manager's back, and a
+    /// stale proof would let the next delta check miss that damage.
     pub fn switches_mut(&mut self) -> &mut [OpenFlowSwitch] {
+        self.verifier = None;
         &mut self.switches
     }
 
@@ -355,36 +386,102 @@ impl SliceManager {
     /// (OpenFlow's MODIFY): the add is held back and installed right after
     /// its delete.
     fn apply_epoch(&mut self, epoch: &Epoch) -> EpochReport {
-        type ModKey = (u32, u8, sdt_openflow::FlowMatch, u16);
-        let delete_keys: std::collections::HashSet<ModKey> =
-            epoch.deletes.iter().map(|d| (d.switch, d.table, d.m, d.priority)).collect();
-        let mut replacements: HashMap<ModKey, Vec<sdt_openflow::FlowEntry>> = HashMap::new();
-        for table in [1u8, 0u8] {
-            for a in epoch.adds.iter().filter(|a| a.table == table) {
-                let key = (a.switch, a.table, a.entry.m, a.entry.priority);
-                if delete_keys.contains(&key) {
-                    replacements.entry(key).or_default().push(a.entry);
-                } else {
-                    self.switches[a.switch as usize]
-                        .apply(a.table, FlowMod::Add(a.entry))
-                        .expect("headroom pre-checked before applying the epoch");
-                }
-            }
-        }
-        for table in [0u8, 1u8] {
-            for d in epoch.deletes.iter().filter(|d| d.table == table) {
-                self.switches[d.switch as usize]
-                    .apply(d.table, FlowMod::Delete(d.m, d.priority))
-                    .expect("deletes cannot overflow");
-                let key = (d.switch, d.table, d.m, d.priority);
-                for e in replacements.remove(&key).into_iter().flatten() {
-                    self.switches[d.switch as usize]
-                        .apply(d.table, FlowMod::Add(e))
-                        .expect("replacement cannot overflow: a delete just freed a slot");
-                }
+        for (sw, table, m) in epoch.ordered_mods() {
+            if let Err(e) = self.switches[sw as usize].apply(table, m) {
+                unreachable!("headroom pre-checked before applying the epoch: {e}");
             }
         }
         epoch.report(self.switches.len(), &self.timing)
+    }
+
+    /// The connectivity intent of a hypothetical slice set: every current
+    /// slice except `skip`, plus `extra` — the shape admission, make-before-
+    /// break reconfiguration and teardown each verify against.
+    fn intent_with(&self, skip: Option<SliceId>, extra: Option<&Slice>) -> Intent {
+        fn push(intent: &mut Intent, s: &Slice) {
+            intent.push_domain(
+                &format!("{}:{}", s.id, s.name),
+                &s.topology,
+                &s.projection,
+                |h| s.host_addr(h),
+            );
+        }
+        let mut intent = Intent::new();
+        for s in self.slices.values() {
+            if Some(s.id) != skip {
+                push(&mut intent, s);
+            }
+        }
+        if let Some(s) = extra {
+            push(&mut intent, s);
+        }
+        intent
+    }
+
+    /// The intent the live tables are currently expected to implement.
+    pub fn intent(&self) -> Intent {
+        self.intent_with(None, None)
+    }
+
+    /// A proof of the *current* live tables, building it on first use and
+    /// caching it for delta checks.
+    fn current_verifier(&mut self) -> Verifier {
+        match self.verifier.take() {
+            Some(v) => v,
+            None => Verifier::check(
+                &self.cluster,
+                TableView::of_switches(&self.switches),
+                self.intent(),
+            ),
+        }
+    }
+
+    /// Statically verify a full pass over the live tables against the
+    /// current intent, and cache the proof. Zero packet injections.
+    pub fn verify_report(&mut self) -> sdt_verify::VerifyReport {
+        let v = self.current_verifier();
+        let report = v.report().clone();
+        self.verifier = Some(v);
+        report
+    }
+
+    /// Statically verify a pending epoch against the live tables plus its
+    /// delta, without applying anything: would the tables *after* this
+    /// epoch still be loop-free, blackhole-free and isolated? Live tables
+    /// are untouched either way.
+    pub fn precheck_epoch(&mut self, epoch: &Epoch) -> Result<(), AdmissionError> {
+        let current = self.current_verifier();
+        let pending = Verifier::check_delta(&current, &epoch.ordered_mods(), self.intent());
+        self.verifier = Some(current);
+        if pending.holds() {
+            Ok(())
+        } else {
+            Err(AdmissionError::StaticViolation(pending.report().summary()))
+        }
+    }
+
+    /// The pre-install gate used by every lifecycle operation: prove the
+    /// epoch against the current tables + delta and the post-operation
+    /// intent. On success returns the new proof (installed into the cache
+    /// by the caller *after* `apply_epoch`); on failure restores the cached
+    /// current proof and nothing is applied.
+    fn static_gate(
+        &mut self,
+        epoch: &Epoch,
+        intent: Intent,
+    ) -> Result<Option<Verifier>, AdmissionError> {
+        if !self.static_verify {
+            return Ok(None);
+        }
+        let current = self.current_verifier();
+        let pending = Verifier::check_delta(&current, &epoch.ordered_mods(), intent);
+        if pending.holds() {
+            Ok(Some(pending))
+        } else {
+            let summary = pending.report().summary();
+            self.verifier = Some(current);
+            Err(AdmissionError::StaticViolation(summary))
+        }
     }
 
     /// Admit a slice with its topology's default (Table III) routing.
@@ -434,8 +531,10 @@ impl SliceManager {
         epoch
             .verify(&slice.owned_space(), &self.owned_by_others(id))
             .map_err(|v| AdmissionError::EpochViolation(v.to_string()))?;
+        let proof = self.static_gate(&epoch, self.intent_with(None, Some(&slice)))?;
 
         self.apply_epoch(&epoch);
+        self.verifier = proof;
         self.next_id += 1;
         self.next_metadata += metadata_reserved;
         self.next_addr += addr_reserved;
@@ -473,7 +572,7 @@ impl SliceManager {
         // same-family reconfigurations then diff to near-nothing.
         let mut prefer: HashMap<(SwitchId, SwitchId), PhysLink> = HashMap::new();
         for l in old.topology.fabric_links() {
-            let (a, b) = (l.a.as_switch().unwrap(), l.b.as_switch().unwrap());
+            let (a, b) = l.switch_ends();
             prefer.insert((a.min(b), a.max(b)), old.projection.link_real[&l.id]);
         }
         let occ = self.occupancy_excluding(Some(id));
@@ -525,8 +624,10 @@ impl SliceManager {
         epoch
             .verify(&own, &self.owned_by_others(id))
             .map_err(|v| AdmissionError::EpochViolation(v.to_string()))?;
+        let proof = self.static_gate(&epoch, self.intent_with(Some(id), Some(&new_slice)))?;
 
         let report = self.apply_epoch(&epoch);
+        self.verifier = proof;
         if !fits {
             self.next_metadata += metadata_reserved;
             self.next_addr += addr_reserved;
@@ -550,7 +651,9 @@ impl SliceManager {
         epoch
             .verify(&slice.owned_space(), &self.owned_by_others(id))
             .map_err(|v| AdmissionError::EpochViolation(v.to_string()))?;
+        let proof = self.static_gate(&epoch, self.intent_with(Some(id), None))?;
         self.apply_epoch(&epoch);
+        self.verifier = proof;
         self.slices.remove(&id.0);
         Ok(reclaimed)
     }

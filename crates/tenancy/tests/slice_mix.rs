@@ -10,6 +10,7 @@
 //!     entries — and the live tables shrink by exactly that much;
 //! (d) a rejected admission leaves the fabric byte-identical.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use proptest::prelude::*;
 use sdt_core::cluster::ClusterBuilder;
 use sdt_core::methods::SwitchModel;

@@ -1,0 +1,186 @@
+//! Pre-install epoch checking: the manager must refuse to apply a pending
+//! epoch whose *post-state* would violate a static property — even when
+//! the epoch is perfectly well-scoped under the ownership rules — and a
+//! refusal must leave the live tables byte-identical.
+//!
+//! This is the VeriFlow-style gap [`Epoch::verify`] cannot close: ownership
+//! checking looks at *match* fields only, so an epoch can stay entirely
+//! inside its own (port, metadata) namespace and still blackhole its own
+//! routes or output another tenant's traffic. Only the static data-plane
+//! verifier sees that.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use sdt_core::cluster::ClusterBuilder;
+use sdt_core::methods::SwitchModel;
+use sdt_openflow::{Action, FlowEntry, FlowMatch, FlowMod, OpenFlowSwitch};
+use sdt_tenancy::{
+    AdmissionError, Epoch, EpochAdd, EpochDelete, OwnedSpace, SliceManager,
+};
+use sdt_topology::chain::{chain, ring};
+use sdt_topology::HostId;
+
+fn manager() -> SliceManager {
+    let cluster = ClusterBuilder::new(SwitchModel::openflow_128x100g(), 2)
+        .hosts_per_switch(8)
+        .inter_links_per_pair(8)
+        .build();
+    SliceManager::new(cluster)
+}
+
+/// Byte-level snapshot of every live table.
+fn fingerprint(mgr: &SliceManager) -> Vec<Vec<FlowEntry>> {
+    mgr.switches()
+        .iter()
+        .flat_map(|sw| [sw.table(0).entries().to_vec(), sw.table(1).entries().to_vec()])
+        .collect()
+}
+
+/// An epoch that deletes one of the slice's own route entries passes the
+/// ownership check but blackholes a pair — the static precheck must reject
+/// it and must not touch the live tables while doing so.
+#[test]
+fn precheck_rejects_blackholing_epoch_and_leaves_tables_untouched() {
+    let mut mgr = manager();
+    let a = mgr.create("a", &ring(4)).unwrap();
+    let slice = mgr.slice(a).unwrap().clone();
+    let (sw, victim) = slice
+        .installed
+        .table1
+        .iter()
+        .enumerate()
+        .find_map(|(sw, t)| t.first().map(|e| (sw as u32, *e)))
+        .expect("an admitted slice has route entries");
+
+    let epoch = Epoch {
+        slice: a,
+        adds: vec![],
+        deletes: vec![EpochDelete { switch: sw, table: 1, m: victim.m, priority: victim.priority }],
+    };
+    // Ownership-wise the epoch is impeccable: it only touches the slice's
+    // own metadata space.
+    epoch
+        .verify(&slice.owned_space(), &OwnedSpace::default())
+        .expect("the epoch is inside its own namespace");
+
+    let before = fingerprint(&mgr);
+    let err = mgr.precheck_epoch(&epoch).unwrap_err();
+    assert!(
+        matches!(err, AdmissionError::StaticViolation(ref s) if s.contains("blackhole")),
+        "static precheck names the defect class: {err}"
+    );
+    assert_eq!(fingerprint(&mgr), before, "a refused precheck must not mutate live tables");
+    // The live fabric still verifies clean — only the *pending* state was bad.
+    assert!(mgr.verify_report().holds());
+}
+
+/// A MODIFY-shaped epoch (delete + re-add of the same entry) is harmless
+/// and must pass the precheck.
+#[test]
+fn precheck_accepts_healthy_modify_epoch() {
+    let mut mgr = manager();
+    let a = mgr.create("a", &ring(4)).unwrap();
+    let slice = mgr.slice(a).unwrap().clone();
+    let (sw, e) = slice
+        .installed
+        .table1
+        .iter()
+        .enumerate()
+        .find_map(|(sw, t)| t.first().map(|e| (sw as u32, *e)))
+        .unwrap();
+    let epoch = Epoch {
+        slice: a,
+        adds: vec![EpochAdd { switch: sw, table: 1, entry: e }],
+        deletes: vec![EpochDelete { switch: sw, table: 1, m: e.m, priority: e.priority }],
+    };
+    mgr.precheck_epoch(&epoch).expect("an in-place replacement changes nothing");
+}
+
+/// An epoch entirely inside slice A's metadata space that outputs onto
+/// slice B's host port: invisible to ownership checking, rejected by the
+/// static precheck as a leak.
+#[test]
+fn precheck_rejects_cross_slice_leak_epoch() {
+    let mut mgr = manager();
+    let a = mgr.create("a", &ring(4)).unwrap();
+    let b = mgr.create("b", &ring(4)).unwrap();
+    let sa = mgr.slice(a).unwrap().clone();
+    let sb = mgr.slice(b).unwrap().clone();
+
+    // Find (a-host ingress, b-host port) on the same physical switch, and
+    // the metadata value a-host's classify rule writes there.
+    let classify_md = |switches: &[OpenFlowSwitch], p: sdt_core::PhysPort| -> Option<u32> {
+        switches[p.switch as usize].table(0).entries().iter().find_map(|e| {
+            match (e.m.in_port, e.action) {
+                (Some(port), Action::WriteMetadataGoto(md)) if port == p.port => Some(md),
+                _ => None,
+            }
+        })
+    };
+    let (md, to_port, dst_addr) = (0..sa.topology.num_hosts())
+        .flat_map(|ha| (0..sb.topology.num_hosts()).map(move |hb| (HostId(ha), HostId(hb))))
+        .find_map(|(ha, hb)| {
+            let pa = sa.projection.primary_host_port(&sa.topology, ha);
+            let pb = sb.projection.primary_host_port(&sb.topology, hb);
+            if pa.switch != pb.switch {
+                return None;
+            }
+            classify_md(mgr.switches(), pa).map(|md| (md, pb, sb.host_addr(hb)))
+        })
+        .expect("some a-host and b-host share a physical switch");
+
+    let evil = Epoch {
+        slice: a,
+        adds: vec![EpochAdd {
+            switch: to_port.switch,
+            table: 1,
+            entry: FlowEntry {
+                m: FlowMatch::to_dst(dst_addr).and_metadata(md),
+                priority: 99,
+                action: Action::Output(to_port.port),
+            },
+        }],
+        deletes: vec![],
+    };
+    // The match is inside slice A's own metadata space: ownership checking
+    // is blind to where the *action* points.
+    evil.verify(&sa.owned_space(), &sb.owned_space()).expect("ownership cannot see the leak");
+
+    let before = fingerprint(&mgr);
+    let err = mgr.precheck_epoch(&evil).unwrap_err();
+    assert!(
+        matches!(err, AdmissionError::StaticViolation(ref s) if s.contains("leak")),
+        "leak named: {err}"
+    );
+    assert_eq!(fingerprint(&mgr), before);
+}
+
+/// Damage applied behind the manager's back blocks the next admission
+/// (the gate re-proves the whole post-state), and the escape hatch lets an
+/// operator override the gate deliberately.
+#[test]
+fn corrupted_fabric_blocks_admission_until_escape_hatch() {
+    let mut mgr = manager();
+    let a = mgr.create("a", &ring(4)).unwrap();
+    // Gut one of slice A's route entries directly on the live switch.
+    let (sw, victim) = mgr
+        .switches()
+        .iter()
+        .enumerate()
+        .find_map(|(sw, s)| s.table(1).entries().first().map(|e| (sw, *e)))
+        .unwrap();
+    mgr.switches_mut()[sw].apply(1, FlowMod::Delete(victim.m, victim.priority)).unwrap();
+
+    // The next admission re-proves the full post-state and finds slice A
+    // blackholed — rejected, even though slice B itself is fine.
+    let err = mgr.create("b", &chain(2)).unwrap_err();
+    assert!(matches!(err, AdmissionError::StaticViolation(_)), "{err}");
+    assert_eq!(mgr.num_slices(), 1, "rejected admission leaves no trace");
+
+    // Escape hatch: an operator who knows better can force it through.
+    mgr.set_static_verify(false);
+    mgr.create("b", &chain(2)).expect("gate disabled");
+    assert_eq!(mgr.num_slices(), 2);
+    // The full report still tells the truth about the wounded fabric.
+    assert!(!mgr.verify_report().holds());
+    let _ = a;
+}

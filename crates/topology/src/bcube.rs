@@ -65,7 +65,7 @@ pub fn bcube(n: u32, k: u32) -> Topology {
             b.attach(HostId(h), ids.switch(l, j));
         }
     }
-    b.build().expect("bcube generator produces a valid topology")
+    crate::graph::built(b.build(), "bcube")
 }
 
 #[cfg(test)]

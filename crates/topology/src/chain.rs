@@ -18,7 +18,7 @@ pub fn chain(n: u32) -> Topology {
             b.fabric(SwitchId(s), SwitchId(s + 1));
         }
     }
-    b.build().expect("chain generator produces a valid topology")
+    crate::graph::built(b.build(), "chain")
 }
 
 /// Ring of `n >= 3` switches, one host each.
@@ -29,7 +29,7 @@ pub fn ring(n: u32) -> Topology {
         b.attach(HostId(s), SwitchId(s));
         b.fabric(SwitchId(s), SwitchId((s + 1) % n));
     }
-    b.build().expect("ring generator produces a valid topology")
+    crate::graph::built(b.build(), "ring")
 }
 
 /// Star: one hub switch (id 0) with `leaves` single-host leaf switches.
@@ -42,7 +42,7 @@ pub fn star(leaves: u32) -> Topology {
         b.fabric(SwitchId(0), leaf);
         b.attach(HostId(i), leaf);
     }
-    b.build().expect("star generator produces a valid topology")
+    crate::graph::built(b.build(), "star")
 }
 
 #[cfg(test)]

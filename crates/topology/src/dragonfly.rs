@@ -128,7 +128,7 @@ pub fn dragonfly(a: u32, g: u32, h: u32, p: u32) -> Topology {
             b.fabric(x, y);
         }
     }
-    b.build().expect("dragonfly generator produces a valid topology")
+    crate::graph::built(b.build(), "dragonfly")
 }
 
 #[cfg(test)]

@@ -137,7 +137,7 @@ pub fn fat_tree(k: u32) -> Topology {
             }
         }
     }
-    let t = b.build().expect("fat-tree generator produces a valid topology");
+    let t = crate::graph::built(b.build(), "fat-tree");
     debug_assert_eq!(host, ids.num_hosts());
     t
 }

@@ -96,6 +96,16 @@ pub struct Link {
 }
 
 impl Link {
+    /// Both endpoints as switches. Panics on a host link — callers reach
+    /// this only through [`Topology::fabric_links`], which filters to
+    /// switch–switch links, so a miss here is a topology-invariant bug.
+    pub fn switch_ends(&self) -> (SwitchId, SwitchId) {
+        match (self.a.as_switch(), self.b.as_switch()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => unreachable!("fabric links join switches at both ends"),
+        }
+    }
+
     /// True if this link joins two switches (a *fabric* link).
     pub fn is_fabric(&self) -> bool {
         matches!((self.a, self.b), (Endpoint::Switch(_), Endpoint::Switch(_)))
@@ -266,6 +276,17 @@ impl TopologyBuilder {
     /// Validate and freeze the topology.
     pub fn build(self) -> Result<Topology, TopologyError> {
         Topology::new(self.name, self.kind, self.num_switches, self.num_hosts, self.links)
+    }
+}
+
+/// Unwrap a generator's [`TopologyBuilder::build`] result. Generators wire
+/// topologies from closed-form rules, so a build failure is a bug in the
+/// generator itself, never a user error — hence `unreachable!` rather than
+/// an `expect` on caller-supplied input.
+pub(crate) fn built(r: Result<Topology, TopologyError>, generator: &str) -> Topology {
+    match r {
+        Ok(t) => t,
+        Err(e) => unreachable!("{generator} generator produces a valid topology: {e}"),
     }
 }
 
@@ -564,8 +585,10 @@ impl Topology {
             s_off += t.num_switches();
             h_off += t.num_hosts();
         }
-        Topology::new(name.into(), TopologyKind::Custom, num_switches, num_hosts, links)
-            .expect("disjoint parts cannot collide")
+        match Topology::new(name.into(), TopologyKind::Custom, num_switches, num_hosts, links) {
+            Ok(t) => t,
+            Err(e) => unreachable!("disjoint parts cannot collide: {e}"),
+        }
     }
 
     /// The switch-graph as plain adjacency lists with unit edge weights —

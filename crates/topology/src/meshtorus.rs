@@ -84,7 +84,7 @@ fn grid(dims: &[u32], wrap: bool) -> Topology {
             }
         }
     }
-    b.build().expect("grid generator produces a valid topology")
+    crate::graph::built(b.build(), "grid")
 }
 
 /// n-dimensional mesh (no wraparound), one host per switch.

@@ -101,7 +101,8 @@ pub fn bisection_width_estimate(topo: &Topology, tries: u32) -> usize {
         let cut = topo
             .fabric_links()
             .filter(|l| {
-                side[l.a.as_switch().unwrap().idx()] != side[l.b.as_switch().unwrap().idx()]
+                let (a, b) = l.switch_ends();
+                side[a.idx()] != side[b.idx()]
             })
             .count();
         best = best.min(cut);

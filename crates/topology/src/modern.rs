@@ -34,7 +34,7 @@ pub fn leaf_spine(leaves: u32, spines: u32, hosts_per_leaf: u32) -> Topology {
             b.attach(HostId(l * hosts_per_leaf + h), SwitchId(l));
         }
     }
-    b.build().expect("leaf-spine generator produces a valid topology")
+    crate::graph::built(b.build(), "leaf-spine")
 }
 
 /// Jellyfish: a random `r`-regular graph over `n` switches, one host per
@@ -113,7 +113,7 @@ pub fn jellyfish(n: u32, r: u32, seed: u64) -> Topology {
     for v in 0..n {
         bld.attach(HostId(v), SwitchId(v));
     }
-    bld.build().expect("jellyfish generator produces a valid topology")
+    crate::graph::built(bld.build(), "jellyfish")
 }
 
 /// 2D HyperX / flattened butterfly: switches on an `a x b` grid, full mesh
@@ -139,7 +139,7 @@ pub fn hyperx(a: u32, bdim: u32, t: u32) -> Topology {
             }
         }
     }
-    b.build().expect("hyperx generator produces a valid topology")
+    crate::graph::built(b.build(), "hyperx")
 }
 
 #[cfg(test)]

@@ -80,7 +80,7 @@ pub fn zoo_graph(index: u32) -> Topology {
         b.fabric(SwitchId(a), SwitchId(bb));
         added += 1;
     }
-    b.build().expect("zoo generator produces a valid topology")
+    crate::graph::built(b.build(), "zoo")
 }
 
 /// Build the whole 261-graph corpus.
@@ -116,7 +116,7 @@ pub fn abilene() -> Topology {
     ] {
         b.fabric(SwitchId(x), SwitchId(y));
     }
-    b.build().expect("abilene is a valid topology")
+    crate::graph::built(b.build(), "abilene")
 }
 
 #[cfg(test)]

@@ -1,0 +1,756 @@
+//! The static analyses: forwarding-graph loop scan, per-pair reachability
+//! closure, dead/nondeterministic-rule warnings, and the VeriFlow-style
+//! incremental delta check.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use sdt_core::cluster::{PhysPort, PhysicalCluster};
+use sdt_openflow::{
+    shadowed_entries_in, Action, FlowEntry, FlowMod, MatchUniverse, PortNo, ShadowedEntry,
+};
+use sdt_topology::HostId;
+
+use crate::model::{entry_matches, HeaderClass, HeaderValues, Intent, TableView};
+
+/// A named rule: enough to point an operator at the exact `FlowEntry` in
+/// the exact table that causes a finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuleRef {
+    /// Physical switch.
+    pub switch: u32,
+    /// Pipeline table (0 = classify, 1 = route).
+    pub table: u8,
+    /// The installed entry.
+    pub entry: FlowEntry,
+}
+
+impl std::fmt::Display for RuleRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "switch {} table {} prio {} {:?} -> {:?}",
+            self.switch, self.table, self.entry.priority, self.entry.m, self.entry.action
+        )
+    }
+}
+
+/// Why a match space dead-ends.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    /// No entry matched (table miss — drop in OpenFlow-with-no-miss-rule).
+    Miss {
+        /// Switch where the miss occurs.
+        switch: u32,
+        /// Table that missed.
+        table: u8,
+    },
+    /// An explicit drop rule fired.
+    Rule(RuleRef),
+    /// Output to a port with no cable and no host behind it.
+    Unwired(PhysPort),
+    /// Output to a host port no intent host is attached to.
+    UnownedHostPort(PhysPort),
+    /// A table-1 rule tried to continue the pipeline (goto past the last
+    /// table is a drop).
+    BadGoto(RuleRef),
+}
+
+impl std::fmt::Display for DropReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DropReason::Miss { switch, table } => {
+                write!(f, "table miss at switch {switch} table {table}")
+            }
+            DropReason::Rule(r) => write!(f, "drop rule [{r}]"),
+            DropReason::Unwired(p) => {
+                write!(f, "output to unwired port {} on switch {}", p.port.0, p.switch)
+            }
+            DropReason::UnownedHostPort(p) => {
+                write!(f, "output to unassigned host port {} on switch {}", p.port.0, p.switch)
+            }
+            DropReason::BadGoto(r) => write!(f, "goto past last table [{r}]"),
+        }
+    }
+}
+
+/// A forwarding cycle: following the installed rules, a packet of this
+/// header class re-enters a port it already entered.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoopFinding {
+    /// The ingress ports on the cycle, in traversal order.
+    pub ports: Vec<PhysPort>,
+    /// The rule chain that forms the cycle (classify + route rules at each
+    /// hop).
+    pub rules: Vec<RuleRef>,
+    /// Header class exhibiting the loop.
+    pub class: HeaderClass,
+}
+
+impl std::fmt::Display for LoopFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let path: Vec<String> =
+            self.ports.iter().map(|p| format!("sw{}:p{}", p.switch, p.port.0)).collect();
+        write!(f, "forwarding loop {} via {} rule(s)", path.join(" -> "), self.rules.len())?;
+        for r in &self.rules {
+            write!(f, "; [{r}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// A host pair the intent expects to communicate whose match space
+/// dead-ends instead.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlackholeFinding {
+    /// Domain of both hosts.
+    pub domain: String,
+    /// Sending host.
+    pub src: HostId,
+    /// Intended destination host.
+    pub dst: HostId,
+    /// Why the packets die.
+    pub reason: DropReason,
+}
+
+impl std::fmt::Display for BlackholeFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "blackhole: {} host {} -> host {} dies at {}",
+            self.domain, self.src.0, self.dst.0, self.reason
+        )
+    }
+}
+
+/// A delivery the intent forbids: traffic from one domain reaching a host
+/// port it must not reach (cross-slice leak, or misdelivery to the wrong
+/// host), with the rule that performed the final output.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LeakFinding {
+    /// Sending domain.
+    pub from_domain: String,
+    /// Sending host.
+    pub src: HostId,
+    /// Domain owning the port the packet arrived at.
+    pub to_domain: String,
+    /// Host that (wrongly) receives the traffic.
+    pub to_host: HostId,
+    /// The destination address the packet carried.
+    pub dst_addr: sdt_openflow::HostAddr,
+    /// Host port the packet egressed on.
+    pub port: PhysPort,
+    /// The rule that output the packet onto the host port.
+    pub via: RuleRef,
+}
+
+impl std::fmt::Display for LeakFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "leak: {} host {} reaches {} host {} (dst addr {}) on switch {} port {} via [{}]",
+            self.from_domain,
+            self.src.0,
+            self.to_domain,
+            self.to_host.0,
+            self.dst_addr.0,
+            self.port.switch,
+            self.port.port.0,
+            self.via
+        )
+    }
+}
+
+/// A rule that can never fire: its whole match space is covered by earlier
+/// higher- or equal-priority rules (singly or as a union), or it tests
+/// pipeline state the earlier tables never produce.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShadowFinding {
+    /// Switch holding the dead rule.
+    pub switch: u32,
+    /// Table holding the dead rule.
+    pub table: u8,
+    /// The dead rule and the rules covering it (empty for unreachable
+    /// pipeline state, e.g. a table-0 rule matching on metadata).
+    pub shadowed: ShadowedEntry,
+}
+
+impl std::fmt::Display for ShadowFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "dead rule at switch {} table {}: prio {} {:?} covered by {} rule(s)",
+            self.switch,
+            self.table,
+            self.shadowed.entry.priority,
+            self.shadowed.entry.m,
+            self.shadowed.covered_by.len()
+        )
+    }
+}
+
+/// Two equal-priority rules with overlapping but non-identical matches:
+/// which one fires depends on installation order. Deterministic in this
+/// model (first match wins), but OpenFlow leaves it switch-defined, so the
+/// verifier flags it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NondetFinding {
+    /// Switch holding the pair.
+    pub switch: u32,
+    /// Table holding the pair.
+    pub table: u8,
+    /// The earlier-installed rule (the one that wins here).
+    pub first: FlowEntry,
+    /// The later-installed overlapping rule.
+    pub second: FlowEntry,
+}
+
+impl std::fmt::Display for NondetFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "order-dependent match at switch {} table {}: prio {} {:?} overlaps {:?}",
+            self.switch, self.table, self.first.priority, self.first.m, self.second.m
+        )
+    }
+}
+
+/// The complete verdict of a static verification pass.
+#[derive(Clone, Debug, Default)]
+pub struct VerifyReport {
+    /// Forwarding cycles (any header class).
+    pub loops: Vec<LoopFinding>,
+    /// Intended pairs whose traffic dead-ends.
+    pub blackholes: Vec<BlackholeFinding>,
+    /// Forbidden deliveries, each naming the offending rule.
+    pub leaks: Vec<LeakFinding>,
+    /// Dead rules (diagnostic — does not fail [`VerifyReport::holds`]).
+    pub shadowed: Vec<ShadowFinding>,
+    /// Order-dependent equal-priority overlaps (diagnostic).
+    pub nondeterminism: Vec<NondetFinding>,
+    /// Ordered host pairs proven to deliver as intended.
+    pub delivered_pairs: usize,
+    /// Ordered host pairs proven isolated as intended.
+    pub isolated_pairs: usize,
+    /// Ordered host pairs whose traffic cycles forever.
+    pub looped_pairs: usize,
+    /// Total ordered pairs covered by the verdict.
+    pub pairs_checked: usize,
+    /// Pairs actually re-walked (smaller than `pairs_checked` after an
+    /// incremental check; the rest were proven unaffected by the delta).
+    pub pairs_walked: usize,
+    /// Switches whose tables were (re-)scanned for rule-level warnings.
+    pub switches_scanned: usize,
+}
+
+impl VerifyReport {
+    /// Does the data plane satisfy its intent: no loops, no blackholes, no
+    /// leaks? (Shadow/nondeterminism findings are warnings, not failures.)
+    pub fn holds(&self) -> bool {
+        self.loops.is_empty()
+            && self.blackholes.is_empty()
+            && self.leaks.is_empty()
+            && self.looped_pairs == 0
+    }
+
+    /// One-line verdict plus the first finding of each failing class.
+    pub fn summary(&self) -> String {
+        if self.holds() {
+            return format!(
+                "verified: {} pairs delivered, {} isolated, no loops/blackholes/leaks",
+                self.delivered_pairs, self.isolated_pairs
+            );
+        }
+        let mut parts = vec![format!(
+            "violations: {} loop(s), {} blackhole(s), {} leak(s)",
+            self.loops.len(),
+            self.blackholes.len(),
+            self.leaks.len()
+        )];
+        if let Some(l) = self.loops.first() {
+            parts.push(l.to_string());
+        }
+        if let Some(b) = self.blackholes.first() {
+            parts.push(b.to_string());
+        }
+        if let Some(l) = self.leaks.first() {
+            parts.push(l.to_string());
+        }
+        parts.join("; ")
+    }
+}
+
+/// One symbolic forwarding step: what happens to a packet of a given header
+/// class entering a switch at a given port.
+enum Step {
+    /// Egresses on a host port.
+    Deliver { port: PhysPort, via: RuleRef },
+    /// Egresses on a cable; continues at the far end.
+    Next { to: PhysPort, rules: Vec<RuleRef> },
+    /// Dies.
+    Dead { at: u32, reason: DropReason },
+}
+
+/// Evaluate the two-table pipeline of `at.switch` for a packet entering on
+/// `at.port`, symbolically (first matching entry wins; no counters touched).
+fn step(view: &TableView, cluster: &PhysicalCluster, at: PhysPort, class: &HeaderClass) -> Step {
+    let sw = at.switch;
+    let Some(e0) = view.entries(sw, 0).iter().find(|e| entry_matches(e, at.port, None, class))
+    else {
+        return Step::Dead { at: sw, reason: DropReason::Miss { switch: sw, table: 0 } };
+    };
+    let r0 = RuleRef { switch: sw, table: 0, entry: *e0 };
+    let md = match e0.action {
+        Action::Drop => return Step::Dead { at: sw, reason: DropReason::Rule(r0) },
+        Action::Output(p) => return egress(cluster, PhysPort { switch: sw, port: p }, vec![r0]),
+        Action::WriteMetadataGoto(md) => md,
+    };
+    let Some(e1) =
+        view.entries(sw, 1).iter().find(|e| entry_matches(e, at.port, Some(md), class))
+    else {
+        return Step::Dead { at: sw, reason: DropReason::Miss { switch: sw, table: 1 } };
+    };
+    let r1 = RuleRef { switch: sw, table: 1, entry: *e1 };
+    match e1.action {
+        Action::Drop => Step::Dead { at: sw, reason: DropReason::Rule(r1) },
+        Action::WriteMetadataGoto(_) => {
+            Step::Dead { at: sw, reason: DropReason::BadGoto(r1) }
+        }
+        Action::Output(p) => egress(cluster, PhysPort { switch: sw, port: p }, vec![r0, r1]),
+    }
+}
+
+/// Resolve a physical egress port: host port, cable, or nothing.
+fn egress(cluster: &PhysicalCluster, port: PhysPort, rules: Vec<RuleRef>) -> Step {
+    if cluster.is_host_port(port) {
+        let via = rules.last().cloned().unwrap_or_else(|| unreachable!("egress needs a rule"));
+        return Step::Deliver { port, via };
+    }
+    match cluster.link_at(port) {
+        Some(link) => Step::Next { to: link.other(port), rules },
+        None => Step::Dead { at: port.switch, reason: DropReason::Unwired(port) },
+    }
+}
+
+/// How one ordered intent pair fares, plus the switches its packets cross —
+/// the key to incremental re-checking (a pair whose path avoids every
+/// switch touched by a delta cannot change behaviour).
+#[derive(Clone, Debug)]
+struct PairTrace {
+    src_addr: sdt_openflow::HostAddr,
+    dst_addr: sdt_openflow::HostAddr,
+    outcome: PairOutcome,
+    switches: BTreeSet<u32>,
+}
+
+#[derive(Clone, Debug)]
+enum PairOutcome {
+    Delivered { port: PhysPort, via: RuleRef },
+    Dropped { reason: DropReason },
+    Looped,
+}
+
+/// Per-switch rule-level warnings, cached so a delta check only rescans the
+/// switches the delta touches.
+#[derive(Clone, Debug, Default)]
+struct SwitchWarnings {
+    shadowed: Vec<ShadowFinding>,
+    nondet: Vec<NondetFinding>,
+}
+
+/// The static verifier: proves loop-freedom, blackhole-freedom and
+/// isolation of a table snapshot against an [`Intent`], and re-proves them
+/// incrementally for a pending flow-mod batch without touching live tables.
+#[derive(Clone, Debug)]
+pub struct Verifier {
+    cluster: PhysicalCluster,
+    view: TableView,
+    intent: Intent,
+    values: HeaderValues,
+    traces: Vec<PairTrace>,
+    loops: Vec<LoopFinding>,
+    warnings: Vec<SwitchWarnings>,
+    report: VerifyReport,
+}
+
+impl Verifier {
+    /// Fully verify a table snapshot against an intent.
+    pub fn check(cluster: &PhysicalCluster, view: TableView, intent: Intent) -> Verifier {
+        let values = HeaderValues::collect(&view);
+        let mut v = Verifier {
+            cluster: cluster.clone(),
+            view,
+            intent,
+            values,
+            traces: Vec::new(),
+            loops: Vec::new(),
+            warnings: Vec::new(),
+            report: VerifyReport::default(),
+        };
+        v.scan_warnings(None);
+        v.scan_loops(None);
+        v.walk_pairs(None, None);
+        v.finalize(v.view.num_switches(), v.traces.len());
+        v
+    }
+
+    /// Incrementally verify `prev`'s tables plus a pending flow-mod batch
+    /// against a (possibly updated) intent, VeriFlow-style: only the
+    /// switches the batch touches are rescanned, only the host pairs whose
+    /// forwarding path crosses a touched switch (or whose intent entry
+    /// changed) are re-walked, and the loop scan restarts only from touched
+    /// switches.
+    ///
+    /// Soundness: the per-(switch, in-port, class) step function is
+    /// unchanged at untouched switches, so (a) a pair whose previous path
+    /// avoids every touched switch behaves identically, and (b) any *new*
+    /// forwarding cycle must cross a touched switch — in the functional
+    /// forwarding graph, walking from each touched-switch port finds every
+    /// such cycle; cycles wholly among untouched switches are carried over
+    /// from `prev` verbatim.
+    ///
+    /// `prev` is not modified, and no live table is: the batch is replayed
+    /// on a cloned snapshot.
+    pub fn check_delta(
+        prev: &Verifier,
+        batch: &[(u32, u8, FlowMod)],
+        intent: Intent,
+    ) -> Verifier {
+        let mut view = prev.view.clone();
+        let mut touched: BTreeSet<u32> = BTreeSet::new();
+        for (sw, table, m) in batch {
+            view.apply(*sw, *table, m);
+            touched.insert(*sw);
+        }
+        let values = HeaderValues::collect(&view);
+        let mut v = Verifier {
+            cluster: prev.cluster.clone(),
+            view,
+            intent,
+            values,
+            traces: Vec::new(),
+            loops: Vec::new(),
+            warnings: Vec::new(),
+            report: VerifyReport::default(),
+        };
+        // Carry over loops that avoid every touched switch; rediscover the
+        // rest from the touched frontier.
+        v.loops = prev
+            .loops
+            .iter()
+            .filter(|l| l.ports.iter().all(|p| !touched.contains(&p.switch)))
+            .cloned()
+            .collect();
+        v.scan_warnings(Some((&touched, &prev.warnings)));
+        v.scan_loops(Some(&touched));
+        let walked = v.walk_pairs(Some(&touched), Some(prev));
+        v.finalize(touched.len(), walked);
+        v
+    }
+
+    /// The verdict.
+    pub fn report(&self) -> &VerifyReport {
+        &self.report
+    }
+
+    /// Shorthand for `report().holds()`.
+    pub fn holds(&self) -> bool {
+        self.report.holds()
+    }
+
+    /// The intent this verdict is against.
+    pub fn intent(&self) -> &Intent {
+        &self.intent
+    }
+
+    /// Per-switch dead-rule and nondeterminism warnings. For untouched
+    /// switches in a delta check, the cached findings are reused.
+    fn scan_warnings(&mut self, delta: Option<(&BTreeSet<u32>, &[SwitchWarnings])>) {
+        let num_ports = self.cluster.model().ports as u16;
+        for sw in 0..self.view.num_switches() as u32 {
+            if let Some((touched, prev)) = delta {
+                if !touched.contains(&sw) {
+                    self.warnings.push(prev[sw as usize].clone());
+                    continue;
+                }
+            }
+            let mut w = SwitchWarnings::default();
+            // Metadata values table 0 can hand to table 1 on this switch.
+            let written: BTreeSet<u32> = self
+                .view
+                .entries(sw, 0)
+                .iter()
+                .filter_map(|e| match e.action {
+                    Action::WriteMetadataGoto(md) => Some(md),
+                    _ => None,
+                })
+                .collect();
+            for table in 0..2u8 {
+                let entries = self.view.entries(sw, table);
+                let universe = if table == 0 {
+                    // Table 0 sees raw packets: bounded ports, no metadata.
+                    MatchUniverse {
+                        in_ports: Some((0..num_ports).map(PortNo).collect()),
+                        metadata: None,
+                    }
+                } else {
+                    MatchUniverse::for_switch(num_ports, written.iter().copied())
+                };
+                if table == 0 {
+                    // A classify rule matching on metadata can never fire:
+                    // nothing runs before table 0 to write any.
+                    for e in entries.iter().filter(|e| e.m.metadata.is_some()) {
+                        w.shadowed.push(ShadowFinding {
+                            switch: sw,
+                            table,
+                            shadowed: ShadowedEntry { entry: *e, covered_by: Vec::new() },
+                        });
+                    }
+                }
+                for s in shadowed_entries_in(entries, &universe) {
+                    w.shadowed.push(ShadowFinding { switch: sw, table, shadowed: s });
+                }
+                for (i, a) in entries.iter().enumerate() {
+                    for b in entries[i + 1..]
+                        .iter()
+                        .take_while(|b| b.priority == a.priority)
+                        .filter(|b| a.m != b.m && a.m.overlaps(&b.m))
+                    {
+                        w.nondet.push(NondetFinding {
+                            switch: sw,
+                            table,
+                            first: *a,
+                            second: *b,
+                        });
+                    }
+                }
+            }
+            self.warnings.push(w);
+        }
+    }
+
+    /// Cycle scan over the forwarding port-graph. Nodes are cable ingress
+    /// ports; per header class the graph is functional (one successor), so
+    /// following successor chains with a visited set finds every cycle.
+    fn scan_loops(&mut self, touched: Option<&BTreeSet<u32>>) {
+        let starts: Vec<PhysPort> = self
+            .cluster
+            .links()
+            .iter()
+            .flat_map(|l| [l.a, l.b])
+            .filter(|p| touched.is_none_or(|t| t.contains(&p.switch)))
+            .collect();
+        let mut seen_cycles: HashSet<Vec<(u32, u16)>> = self
+            .loops
+            .iter()
+            .map(|l| canonical_cycle(&l.ports))
+            .collect();
+        for class in self.values.classes() {
+            let mut done: HashSet<PhysPort> = HashSet::new();
+            for &start in &starts {
+                if done.contains(&start) {
+                    continue;
+                }
+                let mut index: HashMap<PhysPort, usize> = HashMap::new();
+                let mut chain: Vec<(PhysPort, Vec<RuleRef>)> = Vec::new();
+                let mut cur = start;
+                loop {
+                    if done.contains(&cur) {
+                        break; // chain merges into an already-explored path
+                    }
+                    if let Some(&i) = index.get(&cur) {
+                        let cycle = &chain[i..];
+                        let ports: Vec<PhysPort> = cycle.iter().map(|(p, _)| *p).collect();
+                        if seen_cycles.insert(canonical_cycle(&ports)) {
+                            self.loops.push(LoopFinding {
+                                ports,
+                                rules: cycle.iter().flat_map(|(_, r)| r.clone()).collect(),
+                                class,
+                            });
+                        }
+                        break;
+                    }
+                    match step(&self.view, &self.cluster, cur, &class) {
+                        Step::Next { to, rules } => {
+                            index.insert(cur, chain.len());
+                            chain.push((cur, rules));
+                            cur = to;
+                        }
+                        Step::Deliver { .. } | Step::Dead { .. } => break,
+                    }
+                }
+                done.extend(chain.iter().map(|(p, _)| *p));
+            }
+        }
+    }
+
+    /// Reachability closure over every ordered intent host pair. Returns
+    /// the number of pairs actually re-walked (for the report).
+    fn walk_pairs(&mut self, touched: Option<&BTreeSet<u32>>, prev: Option<&Verifier>) -> usize {
+        // A previous trace is reusable iff both endpoints' intent entries
+        // are unchanged and the traced path avoids every touched switch.
+        let reusable: HashMap<(u32, u32), &PairTrace> = match (touched, prev) {
+            (Some(touched), Some(prev)) => {
+                let prev_hosts: HashMap<u32, (&crate::model::IntentHost, &str)> = prev
+                    .intent
+                    .hosts
+                    .iter()
+                    .map(|h| (h.addr.0, (h, prev.intent.domains[h.domain].as_str())))
+                    .collect();
+                let unchanged = |h: &crate::model::IntentHost| {
+                    prev_hosts.get(&h.addr.0).is_some_and(|(p, label)| {
+                        p.ingress == h.ingress
+                            && p.ports == h.ports
+                            && p.group == h.group
+                            && p.host == h.host
+                            && *label == self.intent.domains[h.domain]
+                    })
+                };
+                let ok_hosts: HashSet<u32> = self
+                    .intent
+                    .hosts
+                    .iter()
+                    .filter(|h| unchanged(h))
+                    .map(|h| h.addr.0)
+                    .collect();
+                prev.traces
+                    .iter()
+                    .filter(|t| {
+                        ok_hosts.contains(&t.src_addr.0)
+                            && ok_hosts.contains(&t.dst_addr.0)
+                            && t.switches.is_disjoint(touched)
+                    })
+                    .map(|t| ((t.src_addr.0, t.dst_addr.0), t))
+                    .collect()
+            }
+            _ => HashMap::new(),
+        };
+        let budget = 4 * self.cluster.links().len() + 8;
+        let mut walked = 0usize;
+        let mut traces = Vec::with_capacity(self.intent.hosts.len().saturating_mul(
+            self.intent.hosts.len().saturating_sub(1),
+        ));
+        for src in &self.intent.hosts {
+            for dst in &self.intent.hosts {
+                if std::ptr::eq(src, dst) {
+                    continue;
+                }
+                if let Some(t) = reusable.get(&(src.addr.0, dst.addr.0)) {
+                    traces.push((*t).clone());
+                    continue;
+                }
+                walked += 1;
+                let class = self.values.class_of(src.addr, dst.addr, 4791, 4791);
+                let mut switches = BTreeSet::new();
+                let mut at = src.ingress;
+                let mut outcome = PairOutcome::Looped;
+                for _ in 0..budget {
+                    switches.insert(at.switch);
+                    match step(&self.view, &self.cluster, at, &class) {
+                        Step::Deliver { port, via } => {
+                            outcome = PairOutcome::Delivered { port, via };
+                            break;
+                        }
+                        Step::Dead { at: sw, reason } => {
+                            switches.insert(sw);
+                            outcome = PairOutcome::Dropped { reason };
+                            break;
+                        }
+                        Step::Next { to, .. } => at = to,
+                    }
+                }
+                traces.push(PairTrace {
+                    src_addr: src.addr,
+                    dst_addr: dst.addr,
+                    outcome,
+                    switches,
+                });
+            }
+        }
+        self.traces = traces;
+        walked
+    }
+
+    /// Turn traces + warnings + loops into the final report.
+    fn finalize(&mut self, switches_scanned: usize, pairs_walked: usize) {
+        let owner: HashMap<PhysPort, usize> = self
+            .intent
+            .hosts
+            .iter()
+            .enumerate()
+            .flat_map(|(i, h)| h.ports.iter().map(move |&p| (p, i)))
+            .collect();
+        let mut report = VerifyReport {
+            loops: self.loops.clone(),
+            switches_scanned,
+            pairs_walked,
+            pairs_checked: self.traces.len(),
+            ..VerifyReport::default()
+        };
+        for w in &self.warnings {
+            report.shadowed.extend(w.shadowed.iter().cloned());
+            report.nondeterminism.extend(w.nondet.iter().cloned());
+        }
+        let mut t = 0usize;
+        for (i, src) in self.intent.hosts.iter().enumerate() {
+            for (j, dst) in self.intent.hosts.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let trace = &self.traces[t];
+                t += 1;
+                let expected = self.intent.expects_delivery(i, j);
+                match &trace.outcome {
+                    PairOutcome::Delivered { port, via } => match owner.get(port) {
+                        Some(&k) if k == j && expected => report.delivered_pairs += 1,
+                        Some(&k) => {
+                            let to = &self.intent.hosts[k];
+                            report.leaks.push(LeakFinding {
+                                from_domain: self.intent.domains[src.domain].clone(),
+                                src: src.host,
+                                to_domain: self.intent.domains[to.domain].clone(),
+                                to_host: to.host,
+                                dst_addr: dst.addr,
+                                port: *port,
+                                via: via.clone(),
+                            });
+                        }
+                        None if expected => report.blackholes.push(BlackholeFinding {
+                            domain: self.intent.domains[src.domain].clone(),
+                            src: src.host,
+                            dst: dst.host,
+                            reason: DropReason::UnownedHostPort(*port),
+                        }),
+                        None => report.isolated_pairs += 1,
+                    },
+                    PairOutcome::Dropped { reason } => {
+                        if expected {
+                            report.blackholes.push(BlackholeFinding {
+                                domain: self.intent.domains[src.domain].clone(),
+                                src: src.host,
+                                dst: dst.host,
+                                reason: reason.clone(),
+                            });
+                        } else {
+                            report.isolated_pairs += 1;
+                        }
+                    }
+                    PairOutcome::Looped => report.looped_pairs += 1,
+                }
+            }
+        }
+        self.report = report;
+    }
+}
+
+/// Canonical rotation of a cycle's port list, for de-duplication across
+/// header classes and delta passes.
+fn canonical_cycle(ports: &[PhysPort]) -> Vec<(u32, u16)> {
+    let raw: Vec<(u32, u16)> = ports.iter().map(|p| (p.switch, p.port.0)).collect();
+    let Some(min_at) = (0..raw.len()).min_by_key(|&i| raw[i]) else {
+        return raw;
+    };
+    let mut out = Vec::with_capacity(raw.len());
+    out.extend_from_slice(&raw[min_at..]);
+    out.extend_from_slice(&raw[..min_at]);
+    out
+}

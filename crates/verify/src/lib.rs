@@ -1,0 +1,43 @@
+//! Static data-plane verification for SDT (`sdt-verify`).
+//!
+//! Every other correctness check in this workspace is *dynamic*: walk a
+//! synthetic packet through live tables ([`sdt_core::walk_packet`]), or
+//! probe the full cross-slice matrix (`SliceAudit`). This crate proves the
+//! same properties — and more — *symbolically*, from nothing but the
+//! physical wiring and the installed [`sdt_openflow::FlowEntry`] lists,
+//! with **zero packet injections** (no lookup or port counter moves):
+//!
+//! 1. **Loop detection** — any cycle in the projected forwarding
+//!    port-graph, reported as the rule chain that forms it
+//!    ([`LoopFinding`]).
+//! 2. **Blackhole detection** — host pairs the intent expects to
+//!    communicate whose match space dead-ends in a drop rule, a table
+//!    miss, or an unwired port ([`BlackholeFinding`]).
+//! 3. **Static isolation proof** — the exact reachability closure over
+//!    every ordered host pair, so any cross-domain (cross-slice,
+//!    cross-component) delivery is a leak with the offending rule named
+//!    ([`LeakFinding`]). This subsumes the pairwise-only
+//!    [`sdt_openflow::shadowed_entries`] diagnostic: the closure is
+//!    computed from first-match semantics with union-complete shadow
+//!    analysis ([`sdt_openflow::shadowed_entries_in`]).
+//! 4. **Incremental epoch checking** — [`Verifier::check_delta`] verifies a
+//!    pending flow-mod batch against the *current* tables plus the delta,
+//!    VeriFlow-style: only the switches the batch touches are rescanned and
+//!    only the host pairs whose forwarding path crosses them are re-walked,
+//!    so admission-time gating costs O(delta), not O(network).
+//!
+//! Exhaustiveness is affordable because the match algebra is
+//! equality-or-wildcard: collecting the concrete values each header field
+//! is compared against anywhere, plus one "fresh" value per field, yields
+//! an exact finite partition of header space ([`HeaderValues`]); two
+//! packets in the same class take identical decisions at every rule, so
+//! one symbolic walk per class covers all packets.
+
+pub mod analysis;
+pub mod model;
+
+pub use analysis::{
+    BlackholeFinding, DropReason, LeakFinding, LoopFinding, NondetFinding, RuleRef,
+    ShadowFinding, Verifier, VerifyReport,
+};
+pub use model::{HeaderClass, HeaderValues, Intent, IntentHost, TableView};

@@ -1,0 +1,358 @@
+//! Symbolic model of the deployed data plane: a mutable snapshot of every
+//! flow table ([`TableView`]), the operator's connectivity intent
+//! ([`Intent`]), and the finite header-equivalence-class machinery that
+//! makes exhaustive analysis tractable.
+
+use std::collections::BTreeSet;
+
+use sdt_core::cluster::PhysPort;
+use sdt_core::synthesis::{addr_of, SynthesisOutput};
+use sdt_core::SdtProjection;
+use sdt_openflow::{FlowEntry, FlowMod, HostAddr, OpenFlowSwitch};
+use sdt_topology::{HostId, Topology};
+
+/// A side-effect-free snapshot of every flow table in the cluster, mutable
+/// under [`FlowMod`] semantics.
+///
+/// The verifier never calls [`sdt_openflow::FlowTable::lookup`] or
+/// [`OpenFlowSwitch::forward`] — both bump lookup/port counters, and the
+/// whole point of static checking is to prove properties with **zero packet
+/// injections** (the differential test asserts the counters stay at zero).
+/// Instead the entry lists are copied out once and matched symbolically.
+#[derive(Clone, Debug, Default)]
+pub struct TableView {
+    /// Per physical switch, tables 0 and 1, in `FlowTable` order
+    /// (descending priority, stable insertion order within a level).
+    tables: Vec<[Vec<FlowEntry>; 2]>,
+}
+
+impl TableView {
+    /// An all-empty view for `num_switches` switches.
+    pub fn empty(num_switches: usize) -> Self {
+        TableView { tables: vec![[Vec::new(), Vec::new()]; num_switches] }
+    }
+
+    /// Snapshot the live tables of a switch bank. Reads
+    /// [`sdt_openflow::FlowTable::entries`] only — no lookups, no counters.
+    pub fn of_switches(switches: &[OpenFlowSwitch]) -> Self {
+        TableView {
+            tables: switches
+                .iter()
+                .map(|s| [s.table(0).entries().to_vec(), s.table(1).entries().to_vec()])
+                .collect(),
+        }
+    }
+
+    /// View of a synthesized (not yet installed) pipeline — the shape the
+    /// tables *would* have after installation. Entries are ordered exactly
+    /// as `FlowTable::apply` would order them: stable sort by descending
+    /// priority.
+    pub fn of_synthesis(s: &SynthesisOutput) -> Self {
+        let order = |entries: &[FlowEntry]| {
+            let mut v = entries.to_vec();
+            v.sort_by_key(|e| std::cmp::Reverse(e.priority));
+            v
+        };
+        TableView {
+            tables: s
+                .table0
+                .iter()
+                .zip(&s.table1)
+                .map(|(t0, t1)| [order(t0), order(t1)])
+                .collect(),
+        }
+    }
+
+    /// Number of switches in the view.
+    pub fn num_switches(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Entries of one table, descending priority.
+    pub fn entries(&self, switch: u32, table: u8) -> &[FlowEntry] {
+        &self.tables[switch as usize][usize::from(table)]
+    }
+
+    /// Apply one flow-mod with the same semantics as `FlowTable::apply`
+    /// (minus capacity, which admission checks separately).
+    pub fn apply(&mut self, switch: u32, table: u8, m: &FlowMod) {
+        let t = &mut self.tables[switch as usize][usize::from(table)];
+        match m {
+            FlowMod::Add(e) => {
+                let pos = t.partition_point(|x| x.priority >= e.priority);
+                t.insert(pos, *e);
+            }
+            FlowMod::Clear => t.clear(),
+            FlowMod::Delete(fm, priority) => {
+                t.retain(|e| !(e.m == *fm && e.priority == *priority));
+            }
+        }
+    }
+}
+
+/// One host the operator expects the fabric to serve.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IntentHost {
+    /// Index into [`Intent::domains`].
+    pub domain: usize,
+    /// Host id within its domain's logical topology.
+    pub host: HostId,
+    /// Fabric-wide address the pipeline routes on.
+    pub addr: HostAddr,
+    /// Primary attachment port — where this host's packets enter.
+    pub ingress: PhysPort,
+    /// Every physical port wired to this host (multi-homed hosts have
+    /// several); delivery through any of them reaches the host.
+    pub ports: Vec<PhysPort>,
+    /// Connectivity group within the domain: hosts in different groups
+    /// (disconnected components of the logical topology) are *expected* to
+    /// be mutually unreachable.
+    pub group: u32,
+}
+
+/// The connectivity contract the tables must implement: which hosts exist,
+/// where they attach, and which pairs must (and must not) reach each other.
+///
+/// A *domain* is one isolation unit — a whole deployment for the
+/// single-tenant controller, one slice for the tenancy layer. The expected
+/// verdict for an ordered host pair is: **deliver** iff same domain and same
+/// connectivity group, **drop** otherwise.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Intent {
+    /// Domain labels, used in findings (`"fat-tree-k4"`, `"slice-3:ml"`, …).
+    pub domains: Vec<String>,
+    /// Every host, across all domains.
+    pub hosts: Vec<IntentHost>,
+}
+
+impl Intent {
+    /// An empty intent (no hosts — every delivery is a leak).
+    pub fn new() -> Self {
+        Intent::default()
+    }
+
+    /// Intent of a single-tenant deployment: one domain holding the whole
+    /// topology, host addresses from [`addr_of`].
+    pub fn of_projection(proj: &SdtProjection, topo: &Topology, label: &str) -> Self {
+        let mut intent = Intent::new();
+        intent.push_domain(label, topo, proj, addr_of);
+        intent
+    }
+
+    /// Append one domain (topology + its projection) to the intent.
+    /// `addr` maps the domain's logical hosts to their fabric-wide
+    /// addresses (slices pass their namespaced `Slice::host_addr`).
+    pub fn push_domain(
+        &mut self,
+        label: &str,
+        topo: &Topology,
+        proj: &SdtProjection,
+        addr: impl Fn(HostId) -> HostAddr,
+    ) -> usize {
+        let domain = self.domains.len();
+        self.domains.push(label.to_string());
+        let comp = topo.component_of();
+        for h in 0..topo.num_hosts() {
+            let h = HostId(h);
+            let mut ports: Vec<PhysPort> = topo
+                .attachments(h)
+                .iter()
+                .map(|&(_, lid)| proj.host_port[&(h, lid)])
+                .collect();
+            ports.sort();
+            self.hosts.push(IntentHost {
+                domain,
+                host: h,
+                addr: addr(h),
+                ingress: proj.primary_host_port(topo, h),
+                ports,
+                group: comp[topo.host_switch(h).idx()],
+            });
+        }
+        domain
+    }
+
+    /// Should a packet from host `i` reach host `j`? (Indexes into
+    /// [`Intent::hosts`].)
+    pub fn expects_delivery(&self, i: usize, j: usize) -> bool {
+        let (a, b) = (&self.hosts[i], &self.hosts[j]);
+        a.domain == b.domain && a.group == b.group
+    }
+}
+
+/// The concrete values each header field is compared against anywhere in
+/// the table set. Two packets agreeing on which of these values they carry
+/// (or carrying none of them) are matched identically by every rule, so one
+/// representative per equivalence class suffices — the standard
+/// header-space/VeriFlow argument, exact here because every match field is
+/// equality-or-wildcard (no ranges, no masks).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HeaderValues {
+    srcs: Vec<HostAddr>,
+    dsts: Vec<HostAddr>,
+    l4_srcs: Vec<u16>,
+    l4_dsts: Vec<u16>,
+}
+
+/// One header equivalence class: per field, either a concrete value some
+/// rule tests, or `None` — the *fresh* class of values no rule anywhere
+/// mentions (all such values are indistinguishable to the pipeline).
+/// `in_port` and pipeline metadata are switch-local state, not packet
+/// header, and are enumerated by the walk itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct HeaderClass {
+    /// Source-address class.
+    pub src: Option<HostAddr>,
+    /// Destination-address class.
+    pub dst: Option<HostAddr>,
+    /// L4 source port class.
+    pub l4_src: Option<u16>,
+    /// L4 destination port class.
+    pub l4_dst: Option<u16>,
+}
+
+impl HeaderValues {
+    /// Collect the value sets from every rule in the view.
+    pub fn collect(view: &TableView) -> Self {
+        let mut srcs = BTreeSet::new();
+        let mut dsts = BTreeSet::new();
+        let mut l4_srcs = BTreeSet::new();
+        let mut l4_dsts = BTreeSet::new();
+        for sw in 0..view.num_switches() as u32 {
+            for table in 0..2 {
+                for e in view.entries(sw, table) {
+                    srcs.extend(e.m.src);
+                    dsts.extend(e.m.dst);
+                    l4_srcs.extend(e.m.l4_src);
+                    l4_dsts.extend(e.m.l4_dst);
+                }
+            }
+        }
+        HeaderValues {
+            srcs: srcs.into_iter().collect(),
+            dsts: dsts.into_iter().collect(),
+            l4_srcs: l4_srcs.into_iter().collect(),
+            l4_dsts: l4_dsts.into_iter().collect(),
+        }
+    }
+
+    /// Every header class: the cross product of per-field value sets, each
+    /// extended with the fresh class. This is the complete, finite partition
+    /// of packet-header space the loop scan must cover.
+    pub fn classes(&self) -> Vec<HeaderClass> {
+        fn with_fresh<T: Copy>(vs: &[T]) -> Vec<Option<T>> {
+            let mut out: Vec<Option<T>> = vs.iter().copied().map(Some).collect();
+            out.push(None);
+            out
+        }
+        let mut classes = Vec::new();
+        for &src in &with_fresh(&self.srcs) {
+            for &dst in &with_fresh(&self.dsts) {
+                for &l4_src in &with_fresh(&self.l4_srcs) {
+                    for &l4_dst in &with_fresh(&self.l4_dsts) {
+                        classes.push(HeaderClass { src, dst, l4_src, l4_dst });
+                    }
+                }
+            }
+        }
+        classes
+    }
+
+    /// The class a concrete packet header falls into: each field keeps its
+    /// value if some rule tests it, else collapses to the fresh class.
+    pub fn class_of(&self, src: HostAddr, dst: HostAddr, l4_src: u16, l4_dst: u16) -> HeaderClass {
+        fn keep<T: Ord + Copy>(vs: &[T], v: T) -> Option<T> {
+            vs.binary_search(&v).ok().map(|_| v)
+        }
+        HeaderClass {
+            src: keep(&self.srcs, src),
+            dst: keep(&self.dsts, dst),
+            l4_src: keep(&self.l4_srcs, l4_src),
+            l4_dst: keep(&self.l4_dsts, l4_dst),
+        }
+    }
+}
+
+/// Symbolic match: does `m` fit a packet of class `h` entering on
+/// `in_port` with pipeline `metadata`? Mirrors `FlowMatch::matches` exactly,
+/// with the fresh class (`None`) failing every concrete field test.
+pub(crate) fn entry_matches(
+    e: &FlowEntry,
+    in_port: sdt_openflow::PortNo,
+    metadata: Option<u32>,
+    h: &HeaderClass,
+) -> bool {
+    fn ok<T: PartialEq>(rule: Option<T>, class: Option<T>) -> bool {
+        match rule {
+            None => true,
+            Some(v) => class == Some(v),
+        }
+    }
+    let meta_ok = match e.m.metadata {
+        None => true,
+        Some(want) => metadata == Some(want),
+    };
+    meta_ok
+        && e.m.in_port.is_none_or(|p| p == in_port)
+        && ok(e.m.src, h.src)
+        && ok(e.m.dst, h.dst)
+        && ok(e.m.l4_src, h.l4_src)
+        && ok(e.m.l4_dst, h.l4_dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdt_openflow::{Action, FlowMatch, PortNo};
+
+    #[test]
+    fn view_apply_mirrors_flow_table_order() {
+        let mut v = TableView::empty(1);
+        let e = |p: u16, port: u16| FlowEntry {
+            m: FlowMatch::on_port(PortNo(port)),
+            priority: p,
+            action: Action::Drop,
+        };
+        v.apply(0, 0, &FlowMod::Add(e(5, 0)));
+        v.apply(0, 0, &FlowMod::Add(e(9, 1)));
+        v.apply(0, 0, &FlowMod::Add(e(5, 2)));
+        let prios: Vec<u16> = v.entries(0, 0).iter().map(|e| e.priority).collect();
+        assert_eq!(prios, [9, 5, 5]);
+        // Stable within a level: port 0 entry installed before port 2.
+        assert_eq!(v.entries(0, 0)[1].m.in_port, Some(PortNo(0)));
+        v.apply(0, 0, &FlowMod::Delete(FlowMatch::on_port(PortNo(1)), 9));
+        assert_eq!(v.entries(0, 0).len(), 2);
+    }
+
+    #[test]
+    fn fresh_class_fails_concrete_tests() {
+        let e = FlowEntry {
+            m: FlowMatch::to_dst(HostAddr(7)),
+            priority: 1,
+            action: Action::Drop,
+        };
+        let hit = HeaderClass { src: None, dst: Some(HostAddr(7)), l4_src: None, l4_dst: None };
+        let fresh = HeaderClass { src: None, dst: None, l4_src: None, l4_dst: None };
+        assert!(entry_matches(&e, PortNo(0), None, &hit));
+        assert!(!entry_matches(&e, PortNo(0), None, &fresh));
+    }
+
+    #[test]
+    fn class_of_collapses_unknown_values() {
+        let mut v = TableView::empty(1);
+        v.apply(
+            0,
+            1,
+            &FlowMod::Add(FlowEntry {
+                m: FlowMatch::to_dst(HostAddr(3)),
+                priority: 1,
+                action: Action::Drop,
+            }),
+        );
+        let vals = HeaderValues::collect(&v);
+        let c = vals.class_of(HostAddr(9), HostAddr(3), 4791, 4791);
+        assert_eq!(c, HeaderClass { src: None, dst: Some(HostAddr(3)), l4_src: None, l4_dst: None });
+        // 2 dst classes (3 + fresh) × 1 × 1 × 1.
+        assert_eq!(vals.classes().len(), 2);
+    }
+}

@@ -84,7 +84,8 @@ impl RankGrid {
                 }
                 let c = rest / b;
                 let dims = [a, b, c];
-                let score = dims.iter().max().unwrap() - dims.iter().min().unwrap();
+                let score =
+                    dims.iter().max().copied().unwrap_or(0) - dims.iter().min().copied().unwrap_or(0);
                 if score < best_score {
                     best_score = score;
                     best = dims;

@@ -72,7 +72,7 @@ impl Trace {
                 continue;
             }
             let mut parts = line.split_whitespace();
-            let head = parts.next().expect("non-empty line");
+            let head = parts.next().unwrap_or_else(|| unreachable!("the line is non-empty"));
             fn num(
                 parts: &mut std::str::SplitWhitespace<'_>,
                 line: usize,
@@ -128,7 +128,7 @@ impl Trace {
                     };
                     trace
                         .as_mut()
-                        .expect("rank implies trace header")
+                        .unwrap_or_else(|| unreachable!("a live `rank` implies a trace header"))
                         .push(r, parsed);
                 }
                 other => return Err(err(i + 1, format!("unknown directive `{other}`"))),

@@ -6,6 +6,7 @@
 //!
 //! Run with: `cargo run --release --example dragonfly_active_routing`
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use sdt::routing::dragonfly::{DragonflyMinimal, DragonflyUgal};
 use sdt::routing::RouteTable;
 use sdt::sim::{run_trace, SimConfig};

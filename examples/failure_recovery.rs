@@ -15,6 +15,7 @@
 //!
 //! Run with: `cargo run --release --example failure_recovery`
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use sdt::controller::{FailureReport, RecoveryConfig, SdtController};
 use sdt::core::cluster::ClusterBuilder;
 use sdt::core::methods::SwitchModel;

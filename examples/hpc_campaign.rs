@@ -7,6 +7,7 @@
 //!
 //! Run with: `cargo run --release --example hpc_campaign`
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use sdt::controller::SdtController;
 use sdt::core::methods::SwitchModel;
 use sdt::routing::{default_strategy, RouteTable};

@@ -7,6 +7,7 @@
 //!
 //! Run with: `cargo run --release --example incast_pfc`
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use sdt::routing::{generic::Bfs, RouteTable};
 use sdt::sim::{SimConfig, Simulator};
 use sdt::topology::chain::chain;

@@ -14,6 +14,7 @@
 //!
 //! Run with: `cargo run --release --example multi_tenant`
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use sdt::controller::SliceController;
 use sdt::core::cluster::ClusterBuilder;
 use sdt::core::methods::SwitchModel;

@@ -4,6 +4,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use sdt::controller::{SdtController, TestbedConfig};
 use sdt::core::walk::{walk_packet, IsolationReport, WalkOutcome};
 use sdt::topology::meshtorus::torus;

@@ -4,6 +4,7 @@
 //!
 //! Run with: `cargo run --release --example telemetry_report`
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use sdt::routing::{default_strategy, RouteTable};
 use sdt::sim::{run_trace, SimConfig};
 use sdt::sim::Simulator;

@@ -6,6 +6,7 @@
 //!
 //! Run with: `cargo run --release --example wan_projection`
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use sdt::controller::SdtController;
 use sdt::core::feasibility::projectable_count;
 use sdt::core::methods::{Method, SwitchModel};

@@ -4,6 +4,7 @@
 //! RTT, the overhead *percentage shrinks* as messages grow, and bandwidth
 //! allocation under PFC matches the full testbed.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use sdt::routing::{generic::Bfs, RouteTable};
 use sdt::sim::{run_trace, SimConfig, Simulator};
 use sdt::topology::chain::chain;

@@ -19,6 +19,7 @@
 //! pair isolated, nothing leaked — and the rerouted tables never
 //! introduce a channel-dependency cycle.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use proptest::prelude::*;
 use sdt::controller::{FailureReport, RecoveryConfig, RecoveryOutcome, SdtController};
 use sdt::core::cluster::ClusterBuilder;
@@ -174,6 +175,9 @@ fn check_invariants(ctl: &SdtController, out: RecoveryOutcome, t: &mut String) {
         analyze(&out.deployment.routes).is_free(),
         "recovery introduced a channel-dependency cycle"
     );
+    // The repaired synthesis passed the pre-install static gate (the
+    // controller refuses to send a single flow-mod otherwise).
+    assert!(out.statically_verified, "recovery must have been statically verified");
     if !out.retry.converged {
         // The control channel defeated the retry budget. The invariant
         // here is honesty: the controller must *know* the tables are
@@ -182,12 +186,35 @@ fn check_invariants(ctl: &SdtController, out: RecoveryOutcome, t: &mut String) {
         return;
     }
     let mut switches = out.deployment.switches;
+    // Static verification of the LIVE post-recovery tables — before the
+    // probe audit touches them, so the pass is provably packet-free.
+    let static_report = {
+        let v = sdt::verify::Verifier::check(
+            ctl.cluster(),
+            sdt::verify::TableView::of_switches(&switches),
+            sdt::verify::Intent::of_projection(
+                &out.deployment.projection,
+                &out.deployment.topology,
+                out.deployment.topology.name(),
+            ),
+        );
+        v.report().clone()
+    };
+    assert!(
+        static_report.holds(),
+        "static verifier rejects the recovered tables: {}",
+        static_report.summary()
+    );
+    let _ = writeln!(t, "static-verify: {}", static_report.summary());
     let audit = IsolationReport::audit_on(
         ctl.cluster(),
         &mut switches,
         &out.deployment.projection,
         &out.deployment.topology,
     );
+    // Differential: the symbolic closure and the probe matrix agree.
+    assert_eq!(static_report.delivered_pairs, audit.delivered, "static vs probe delivered");
+    assert_eq!(static_report.isolated_pairs, audit.isolated, "static vs probe isolated");
     assert!(audit.clean(), "isolation violated after recovery: {:?}", audit.violations);
     // Every host pair is accounted for: connected pairs delivered,
     // severed pairs isolated — exactly the surviving logical topology.
@@ -350,8 +377,19 @@ proptest! {
         match ctl.recover(d, &report, &mut ch, &RecoveryConfig::default()) {
             Ok(out) => {
                 prop_assert!(analyze(&out.deployment.routes).is_free());
+                prop_assert!(out.statically_verified);
                 if out.retry.converged {
                     let mut switches = out.deployment.switches;
+                    let v = sdt::verify::Verifier::check(
+                        ctl.cluster(),
+                        sdt::verify::TableView::of_switches(&switches),
+                        sdt::verify::Intent::of_projection(
+                            &out.deployment.projection,
+                            &out.deployment.topology,
+                            out.deployment.topology.name(),
+                        ),
+                    );
+                    prop_assert!(v.holds(), "{}", v.report().summary());
                     let audit = IsolationReport::audit_on(
                         ctl.cluster(),
                         &mut switches,

@@ -6,6 +6,7 @@
 //!    function must *actually wedge* (caught by the watchdog), and the
 //!    Table III schemes must never wedge.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use sdt::routing::cdg::analyze;
 use sdt::routing::dimension::DimensionOrder;
 use sdt::routing::{Route, RouteTable, RoutingStrategy};

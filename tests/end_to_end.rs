@@ -3,6 +3,7 @@
 //! flit-granular "simulator" ACTs agree within a few percent while the
 //! flit run costs far more events.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use sdt::controller::{SdtController, TestbedConfig};
 use sdt::core::walk::IsolationReport;
 use sdt::routing::{default_strategy, RouteTable};

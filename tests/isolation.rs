@@ -2,6 +2,7 @@
 //! deployed on one SDT cluster; the software "Wireshark" must never see a
 //! packet cross between them.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use sdt::controller::SdtController;
 use sdt::core::cluster::ClusterBuilder;
 use sdt::core::methods::SwitchModel;

@@ -5,6 +5,7 @@
 //! over-budget slice is rejected with a structured reason naming the
 //! resource and the switch, with no partial install.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use sdt::controller::{SliceController, SliceOpError};
 use sdt::core::cluster::ClusterBuilder;
 use sdt::core::methods::SwitchModel;

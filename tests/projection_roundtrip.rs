@@ -2,6 +2,7 @@
 //! host pair is delivered through the physical dataplane, and the physical
 //! hop count equals the logical route length.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use sdt::controller::SdtController;
 use sdt::core::cluster::ClusterBuilder;
 use sdt::core::methods::SwitchModel;

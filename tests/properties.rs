@@ -1,5 +1,6 @@
 //! Property-based tests over the core invariants.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use proptest::prelude::*;
 use sdt::core::cluster::ClusterBuilder;
 use sdt::core::methods::SwitchModel;

@@ -1,0 +1,235 @@
+//! Differential test: the *static* verification verdict must agree with
+//! the *dynamic* probe-matrix audit on every preset topology and on a
+//! seeded random slice mix — and the static pass must provably inject zero
+//! packets (every table lookup counter and port counter stays at zero
+//! until the probe audit runs).
+//!
+//! On disagreement the assertion names each divergent probe as
+//! `(switch, in_port, dst)`, which is exactly what an operator would need
+//! to replay the packet by hand.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use sdt::controller::{paper_testbed, paper_topologies, SdtController};
+use sdt::core::synthesis::addr_of;
+use sdt::core::walk::{walk_packet, IsolationReport, WalkOutcome};
+use sdt::core::{ClusterBuilder, PhysicalCluster, SdtProjection, SwitchModel};
+use sdt::openflow::OpenFlowSwitch;
+use sdt::tenancy::{SliceAudit, SliceManager};
+use sdt::topology::chain::{chain, ring};
+use sdt::topology::fattree::fat_tree;
+use sdt::topology::meshtorus::{mesh, torus};
+use sdt::topology::{HostId, Topology};
+use sdt::verify::{Intent, TableView, Verifier, VerifyReport};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Every port and table counter across the fleet, summed. The static
+/// verifier reads `entries()` only, so this must stay zero through a
+/// full verification pass.
+fn total_counters(switches: &[OpenFlowSwitch]) -> u64 {
+    switches
+        .iter()
+        .map(|sw| {
+            let t = sw.table(0).stats().lookups + sw.table(1).stats().lookups;
+            let p: u64 = sw
+                .all_port_stats()
+                .iter()
+                .map(|ps| ps.rx_packets + ps.tx_packets)
+                .sum();
+            t + p
+        })
+        .sum()
+}
+
+/// Static verdict vs probe matrix on one single-tenant deployment: same
+/// delivered/isolated closure, same clean/violating verdict. Runs the
+/// static pass first and asserts it injected nothing.
+fn assert_static_matches_probes(
+    cluster: &PhysicalCluster,
+    proj: &SdtProjection,
+    topo: &Topology,
+    switches: &mut [OpenFlowSwitch],
+) -> VerifyReport {
+    assert_eq!(total_counters(switches), 0, "pre-existing traffic would taint the test");
+    let v = Verifier::check(
+        cluster,
+        TableView::of_switches(switches),
+        Intent::of_projection(proj, topo, topo.name()),
+    );
+    let r = v.report().clone();
+    assert_eq!(
+        total_counters(switches),
+        0,
+        "static verification must inject zero packets ({})",
+        topo.name()
+    );
+
+    // Now the dynamic side: walk every ordered host pair on the same live
+    // switches (this one *does* bump counters — it forwards real probes).
+    let audit = IsolationReport::audit_on(cluster, switches, proj, topo);
+    assert!(
+        total_counters(switches) > 0,
+        "the probe audit forwards real packets; counters prove which side injected"
+    );
+
+    let agree = r.holds() == audit.clean()
+        && r.delivered_pairs == audit.delivered
+        && r.isolated_pairs == audit.isolated;
+    if !agree {
+        panic!(
+            "static/probe divergence on {}:\n  static: holds={} delivered={} isolated={}\n  \
+             probe : clean={} delivered={} isolated={}\n  divergent probes: {}",
+            topo.name(),
+            r.holds(),
+            r.delivered_pairs,
+            r.isolated_pairs,
+            audit.clean(),
+            audit.delivered,
+            audit.isolated,
+            divergent_probes(cluster, proj, topo, switches, &r),
+        );
+    }
+    r
+}
+
+/// Re-walk every pair on both sides and name each disagreement as
+/// `(switch, in_port, dst)` — only reached when the differential fails.
+fn divergent_probes(
+    cluster: &PhysicalCluster,
+    proj: &SdtProjection,
+    topo: &Topology,
+    switches: &mut [OpenFlowSwitch],
+    r: &VerifyReport,
+) -> String {
+    use std::collections::HashSet;
+    let static_bad: HashSet<(HostId, HostId)> = r
+        .blackholes
+        .iter()
+        .map(|b| (b.src, b.dst))
+        .chain(r.leaks.iter().map(|l| (l.src, l.to_host)))
+        .collect();
+    let comp = topo.component_of();
+    let mut out = Vec::new();
+    for a in 0..topo.num_hosts() {
+        for b in 0..topo.num_hosts() {
+            if a == b {
+                continue;
+            }
+            let (src, dst) = (HostId(a), HostId(b));
+            let same = comp[topo.host_switch(src).idx()] == comp[topo.host_switch(dst).idx()];
+            let probe_ok = match walk_packet(cluster, switches, proj, topo, src, dst) {
+                WalkOutcome::Delivered { to, .. } => same && to == dst,
+                WalkOutcome::Dropped { .. } => !same,
+                WalkOutcome::Looped => false,
+            };
+            let static_ok = !static_bad.contains(&(src, dst));
+            if probe_ok != static_ok {
+                let ingress = proj.primary_host_port(topo, src);
+                out.push(format!(
+                    "(switch {}, in_port {}, dst {:?}/host {})",
+                    ingress.switch,
+                    ingress.port.0,
+                    addr_of(dst),
+                    dst.0
+                ));
+            }
+        }
+    }
+    if out.is_empty() {
+        "(count mismatch only — no per-pair disagreement)".into()
+    } else {
+        out.join(", ")
+    }
+}
+
+/// The paper's own 3-switch H3C testbed, every campaign topology.
+#[test]
+fn static_matches_probes_on_paper_presets() {
+    let mut ctl = paper_testbed();
+    for topo in paper_topologies() {
+        let mut d = ctl.deploy(&topo).unwrap();
+        let r = assert_static_matches_probes(
+            ctl.cluster(),
+            &d.projection,
+            &d.topology,
+            &mut d.switches,
+        );
+        assert!(r.holds(), "{}: {}", topo.name(), r.summary());
+        let h = topo.num_hosts() as usize;
+        assert_eq!(r.delivered_pairs, h * (h - 1));
+    }
+}
+
+/// The two-switch 128-port cluster used across the test suite, with a
+/// disconnected topology in the mix so the isolated-pair accounting is
+/// exercised too (two separate chains = one topology, two components).
+#[test]
+fn static_matches_probes_on_two_switch_cluster() {
+    let cluster = ClusterBuilder::new(SwitchModel::openflow_128x100g(), 2)
+        .hosts_per_switch(16)
+        .inter_links_per_pair(16)
+        .build();
+    let mut ctl = SdtController::new(cluster);
+    for topo in [fat_tree(4), torus(&[4, 4]), ring(8), mesh(&[3, 3])] {
+        let mut d = ctl.deploy(&topo).unwrap();
+        let r = assert_static_matches_probes(
+            ctl.cluster(),
+            &d.projection,
+            &d.topology,
+            &mut d.switches,
+        );
+        assert!(r.holds(), "{}: {}", topo.name(), r.summary());
+    }
+}
+
+/// Multi-tenant differential: a seeded random mix of slice admissions and
+/// teardowns, then static closure vs the probe-based [`SliceAudit`] —
+/// same per-domain delivered counts, same isolation verdict.
+#[test]
+fn static_matches_slice_audit_on_seeded_random_mix() {
+    let mut rng = StdRng::seed_from_u64(0x5d7_0001);
+    let cluster = ClusterBuilder::new(SwitchModel::openflow_128x100g(), 2)
+        .hosts_per_switch(8)
+        .inter_links_per_pair(8)
+        .build();
+    let mut mgr = SliceManager::new(cluster);
+
+    let mut admitted = Vec::new();
+    for i in 0..6 {
+        let topo = match rng.random_range(0u32..4) {
+            0 => chain(rng.random_range(2u32..5)),
+            1 => ring(rng.random_range(3u32..6)),
+            2 => mesh(&[2, 2]),
+            _ => mesh(&[3, 2]),
+        };
+        // Some admissions may be rejected on capacity — that's part of the
+        // mix; only admitted slices take part in the differential.
+        if let Ok(id) = mgr.create(&format!("mix-{i}"), &topo) {
+            admitted.push(id);
+        }
+    }
+    assert!(admitted.len() >= 2, "seed must admit at least two slices");
+    // Tear one down at random so the differential runs over a fabric that
+    // has seen the full lifecycle, not just fresh installs.
+    let victim = admitted.remove(rng.random_range(0..admitted.len()));
+    mgr.destroy(victim).unwrap();
+
+    assert_eq!(total_counters(mgr.switches()), 0, "admission path must stay packet-free");
+    let r = mgr.verify_report();
+    assert_eq!(
+        total_counters(mgr.switches()),
+        0,
+        "static verification of the shared fabric must inject zero packets"
+    );
+    assert!(r.holds(), "{}", r.summary());
+
+    let audit = SliceAudit::run(&mut mgr);
+    assert!(total_counters(mgr.switches()) > 0, "the slice audit forwards real probes");
+    assert_eq!(r.holds(), audit.clean(), "verdicts diverge: {}", r.summary());
+    let probe_delivered: usize = audit.per_slice.iter().map(|s| s.delivered).sum();
+    let probe_isolated: usize =
+        audit.per_slice.iter().map(|s| s.isolated).sum::<usize>() + audit.cross_isolated;
+    assert_eq!(r.delivered_pairs, probe_delivered, "delivered closures diverge");
+    assert_eq!(r.isolated_pairs, probe_isolated, "isolated closures diverge");
+    assert!(audit.cross_leaks.is_empty());
+}
