@@ -43,16 +43,40 @@ fn main() -> std::io::Result<()> {
         });
         (t0.elapsed().as_secs_f64(), cells)
     };
-    // Parallel first so the sequential pass cannot look better from a
-    // cold-cache handicap on the parallel one.
-    let (par_secs, par_cells) = sweep(threads);
-    let (seq_secs, seq_cells) = sweep(1);
     // Simulated results must be identical; wall-clock (the third field)
-    // legitimately differs between the two passes.
+    // legitimately differs between passes.
     let acts = |cells: &[(String, u64, u128)]| -> Vec<(String, u64)> {
         cells.iter().map(|(n, a, _)| (n.clone(), *a)).collect()
     };
-    assert_eq!(acts(&seq_cells), acts(&par_cells), "parallel sweep changed results");
+    let (seq_secs, par_secs, seq_cells, note) = if threads <= 1 {
+        // One worker: `sweep(threads)` and `sweep(1)` are the same
+        // expression, so timing them separately only measures noise (a
+        // past artifact recorded a phantom 0.94x "slowdown" that way).
+        // Warm up untimed, measure once, and record the single honest
+        // number for both columns.
+        let _ = sweep(1);
+        let (secs, cells) = sweep(1);
+        (secs, secs, cells, Some("pool degenerated to sequential (1 thread)"))
+    } else {
+        // Warm up untimed, then best-of-3 interleaved passes so neither
+        // side pays the cold-cache handicap.
+        let _ = sweep(threads);
+        let mut seq_best = f64::INFINITY;
+        let mut par_best = f64::INFINITY;
+        let mut cells = None;
+        for _ in 0..3 {
+            let (p, par_cells) = sweep(threads);
+            let (s, seq_cells) = sweep(1);
+            assert_eq!(acts(&seq_cells), acts(&par_cells), "parallel sweep changed results");
+            par_best = par_best.min(p);
+            seq_best = seq_best.min(s);
+            cells = Some(seq_cells);
+        }
+        match cells {
+            Some(c) => (seq_best, par_best, c, None),
+            None => unreachable!("loop ran three times"),
+        }
+    };
 
     // Route-lookup microcomparison: dense table vs the HashMap it replaced.
     let pairs: Vec<(SwitchId, SwitchId)> = routes.iter().map(|(&p, _)| p).collect();
@@ -87,6 +111,9 @@ fn main() -> std::io::Result<()> {
     jline!(json, "  \"sweep_sequential_s\": {seq_secs:.6},");
     jline!(json, "  \"sweep_parallel_s\": {par_secs:.6},");
     jline!(json, "  \"sweep_speedup\": {:.3},", seq_secs / par_secs);
+    if let Some(n) = note {
+        jline!(json, "  \"sweep_note\": \"{n}\",");
+    }
     jline!(json, "  \"route_lookup_dense_ns\": {dense_ns:.1},");
     jline!(json, "  \"route_lookup_hashmap_ns\": {hashmap_ns:.1},");
     jline!(json, "  \"route_lookup_speedup\": {:.3},", hashmap_ns / dense_ns);

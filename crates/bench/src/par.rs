@@ -7,21 +7,24 @@
 //! that: it fans the cells over a `std::thread::scope` pool and returns
 //! results in input order, bit-identical to the sequential map (asserted
 //! in `tests/determinism.rs`).
+//!
+//! The machinery lives in the `sdt-par` crate so the static verifier and
+//! tenancy audit can share it without depending on the umbrella crate;
+//! this module re-exports it under the historical `sdt_bench::par_map`
+//! names and adds the sweep-specific `SDT_BENCH_THREADS` default.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+pub use sdt_par::{par_map_threads, parse_threads, threads_from_env, SEQ_FALLBACK_NS};
 
 /// Worker count for experiment sweeps: `SDT_BENCH_THREADS` when set to a
 /// positive integer, else the machine's available parallelism.
 pub fn bench_threads() -> usize {
-    std::env::var("SDT_BENCH_THREADS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    threads_from_env("SDT_BENCH_THREADS")
 }
 
 /// Map `f` over `items` on [`bench_threads`] workers, preserving input
-/// order in the returned vector.
+/// order in the returned vector. Falls back to a sequential loop when the
+/// projected total work is too small to pay for thread spawns (see
+/// [`sdt_par::SEQ_FALLBACK_NS`]); either path returns the same bytes.
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -29,49 +32,6 @@ where
     F: Fn(&T) -> R + Sync,
 {
     par_map_threads(bench_threads(), items, f)
-}
-
-/// [`par_map`] with an explicit worker count (1 = plain sequential map).
-/// Workers pull the next unclaimed index from a shared counter, so cells
-/// are never split or duplicated regardless of per-cell cost skew.
-pub fn par_map_threads<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let n = items.len();
-    let threads = threads.min(n);
-    if threads <= 1 {
-        return items.iter().map(&f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
-        let workers: Vec<_> = (0..threads)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        local.push((i, f(&items[i])));
-                    }
-                    local
-                })
-            })
-            .collect();
-        workers
-            .into_iter()
-            .flat_map(|w| match w.join() {
-                Ok(part) => part,
-                Err(payload) => std::panic::resume_unwind(payload),
-            })
-            .collect()
-    });
-    tagged.sort_unstable_by_key(|&(i, _)| i);
-    tagged.into_iter().map(|(_, r)| r).collect()
 }
 
 #[cfg(test)]
@@ -85,25 +45,6 @@ mod tests {
         for threads in [1, 2, 4, 7] {
             assert_eq!(par_map_threads(threads, &items, |&x| x * x + 1), seq);
         }
-    }
-
-    #[test]
-    fn preserves_order_under_skewed_cost() {
-        // Early items sleep longest, so completion order inverts input
-        // order — the output must still come back in input order.
-        let items: Vec<u64> = (0..16).collect();
-        let out = par_map_threads(8, &items, |&x| {
-            std::thread::sleep(std::time::Duration::from_millis(16 - x));
-            x
-        });
-        assert_eq!(out, items);
-    }
-
-    #[test]
-    fn empty_and_singleton() {
-        let none: Vec<u32> = vec![];
-        assert!(par_map_threads(4, &none, |&x| x).is_empty());
-        assert_eq!(par_map_threads(4, &[9u32], |&x| x + 1), vec![10]);
     }
 
     #[test]

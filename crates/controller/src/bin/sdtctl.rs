@@ -20,6 +20,9 @@
 //!                                  slices of one cluster. `--corrupt
 //!                                  loop|blackhole|leak|shadow` seeds a
 //!                                  defect first to show it being caught.
+//!                                  `--stats` adds verifier cost figures:
+//!                                  header equivalence classes, symbolic
+//!                                  walks, worker count and wall time.
 //! ```
 //!
 //! Every command accepts `--json` for machine-readable output on stdout;
@@ -376,12 +379,15 @@ fn cmd_slices(paths: &[String], json: bool) -> Result<(), String> {
 /// the catch can be demonstrated end to end.
 fn cmd_verify(args: &[String], json: bool) -> Result<(), String> {
     let mut corrupt_kind: Option<String> = None;
+    let mut stats = false;
     let mut paths: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--corrupt" {
             let kind = it.next().ok_or("verify: --corrupt needs loop|blackhole|leak|shadow")?;
             corrupt_kind = Some(kind.clone());
+        } else if a == "--stats" {
+            stats = true;
         } else {
             paths.push(a.clone());
         }
@@ -399,12 +405,14 @@ fn cmd_verify(args: &[String], json: bool) -> Result<(), String> {
                     println!("seeded a `{kind}` defect into the live tables");
                 }
             }
+            let t0 = std::time::Instant::now();
             let v = Verifier::check(
                 ctl.cluster(),
                 TableView::of_switches(&d.switches),
                 Intent::of_projection(&d.projection, &d.topology, d.topology.name()),
             );
-            print_verify(d.topology.name(), v.report(), json);
+            let wall_s = t0.elapsed().as_secs_f64();
+            print_verify(d.topology.name(), v.report(), json, stats.then_some(wall_s));
             if v.holds() {
                 Ok(())
             } else {
@@ -423,8 +431,25 @@ fn cmd_verify(args: &[String], json: bool) -> Result<(), String> {
                 ctl.create(&name, &cfg.topology, &cfg.strategy)
                     .map_err(|e| format!("{path}: admission failed: {e}"))?;
             }
-            let r = ctl.manager_mut().verify_report();
-            print_verify("slices", &r, json);
+            let r = if stats {
+                // A cold full proof, so the reported wall time measures the
+                // verifier and not the admission-time cache.
+                let mgr = ctl.manager_mut();
+                let t0 = std::time::Instant::now();
+                let v = Verifier::check(
+                    mgr.cluster(),
+                    TableView::of_switches(mgr.switches()),
+                    mgr.intent(),
+                );
+                let wall_s = t0.elapsed().as_secs_f64();
+                let r = v.report().clone();
+                print_verify("slices", &r, json, Some(wall_s));
+                r
+            } else {
+                let r = ctl.manager_mut().verify_report();
+                print_verify("slices", &r, json, None);
+                r
+            };
             if r.holds() {
                 Ok(())
             } else {
@@ -534,13 +559,25 @@ fn corrupt(d: &mut Deployment, kind: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn print_verify(scope: &str, r: &VerifyReport, json: bool) {
+/// Report printer. `stats_wall_s` carries the `--stats` wall-clock; when
+/// set, an extra stats block (equivalence classes, walks, wall time, worker
+/// count) is emitted in both output modes.
+fn print_verify(scope: &str, r: &VerifyReport, json: bool, stats_wall_s: Option<f64>) {
+    let threads = sdt_verify::verify_threads();
     if json {
+        let stats = match stats_wall_s {
+            Some(wall_s) => format!(
+                ",\"stats\":{{\"header_classes\":{},\"pairs_walked\":{},\
+                 \"wall_s\":{wall_s:.6},\"threads\":{threads}}}",
+                r.header_classes, r.pairs_walked
+            ),
+            None => String::new(),
+        };
         println!(
             "{{\"scope\":{},\"holds\":{},\"delivered_pairs\":{},\"isolated_pairs\":{},\
              \"pairs_checked\":{},\"pairs_walked\":{},\"switches_scanned\":{},\
              \"loops\":{},\"blackholes\":{},\"leaks\":{},\"shadowed\":{},\
-             \"nondeterminism\":{}}}",
+             \"nondeterminism\":{}{stats}}}",
             jstr(scope),
             r.holds(),
             r.delivered_pairs,
@@ -564,6 +601,14 @@ fn print_verify(scope: &str, r: &VerifyReport, json: bool) {
             r.pairs_walked,
             r.switches_scanned
         );
+        if let Some(wall_s) = stats_wall_s {
+            println!(
+                "  stats: {} header classes, {} symbolic walks, {threads} worker(s), {:.1} ms wall",
+                r.header_classes,
+                r.pairs_walked,
+                wall_s * 1e3
+            );
+        }
         dump_findings(&r.loops);
         dump_findings(&r.blackholes);
         dump_findings(&r.leaks);

@@ -21,10 +21,12 @@
 //! (§VII-B), and this crate is that abstract switch.
 
 pub mod control;
+pub mod index;
 pub mod switch;
 pub mod table;
 
 pub use control::{table_divergence, BarrierReport, ControlChannel, ControlConfig};
+pub use index::EntryIndex;
 pub use switch::{OpenFlowSwitch, PortStats, SwitchConfig};
 pub use table::{
     diff_tables, shadowed_entries, shadowed_entries_in, subtract_witness, Action, FlowEntry,

@@ -1,7 +1,10 @@
 //! Priority-matched flow tables with capacity accounting.
 
+use crate::index::{entry_key, query_key, tier_of, TierKey, TIER_COUNT, TIER_METADATA};
 use crate::{HostAddr, PortNo};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Wildcard-able match over the fields SDT programs: ingress port, pipeline
 /// metadata (OpenFlow 1.3 multi-table), plus an IPv4-style 5-tuple subset.
@@ -184,7 +187,7 @@ impl std::fmt::Display for TableError {
 impl std::error::Error for TableError {}
 
 /// Aggregate occupancy statistics.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TableStats {
     /// Installed entries.
     pub entries: usize,
@@ -194,15 +197,128 @@ pub struct TableStats {
     pub misses: u64,
 }
 
-/// A priority-ordered flow table with bounded capacity.
+/// An entry plus its install sequence number, as stored in the tier index.
+/// Buckets are kept sorted by (priority descending, seq ascending) — the
+/// same total order as position in the canonical entry vector, so the best
+/// (priority, seq) pair across all tiers is exactly the entry a linear
+/// front-to-back scan would hit first.
+#[derive(Clone, Copy, Debug)]
+struct IndexedEntry {
+    seq: u64,
+    entry: FlowEntry,
+}
+
+/// Live multi-tier hash index over a table's entries (see
+/// [`crate::index`] for the tier layout). Patched incrementally on every
+/// [`FlowTable::apply`]: Add inserts into one bucket, Delete drains one
+/// bucket, Clear resets — no rebuild ever scans the whole table.
 #[derive(Clone, Debug)]
+struct TierIndex {
+    tiers: [HashMap<TierKey, Vec<IndexedEntry>>; TIER_COUNT],
+    /// Monotonic install counter; within one priority level, lower seq ==
+    /// installed earlier == wins first (the OpenFlow first-match rule).
+    next_seq: u64,
+}
+
+impl TierIndex {
+    fn new() -> Self {
+        TierIndex { tiers: std::array::from_fn(|_| HashMap::new()), next_seq: 0 }
+    }
+
+    fn add(&mut self, e: FlowEntry) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let tier = tier_of(&e.m);
+        let bucket = self.tiers[tier].entry(entry_key(tier, &e.m)).or_default();
+        // New entries carry the largest seq, so within the equal-priority
+        // run they slot after every existing entry — mirroring the
+        // partition_point insert on the canonical vector.
+        let pos = bucket.partition_point(|x| x.entry.priority >= e.priority);
+        bucket.insert(pos, IndexedEntry { seq, entry: e });
+    }
+
+    fn delete(&mut self, fm: &FlowMatch, priority: u16) {
+        let tier = tier_of(fm);
+        let key = entry_key(tier, fm);
+        if let Some(bucket) = self.tiers[tier].get_mut(&key) {
+            bucket.retain(|x| !(x.entry.m == *fm && x.entry.priority == priority));
+            if bucket.is_empty() {
+                self.tiers[tier].remove(&key);
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        for t in &mut self.tiers {
+            t.clear();
+        }
+        self.next_seq = 0;
+    }
+
+    /// Highest-priority match, earliest-installed within a level — the
+    /// cross-tier merge. Each tier contributes its best candidate (buckets
+    /// are sorted best-first, so the scan stops at the first residual-field
+    /// match or as soon as the bucket cannot beat the current best).
+    fn lookup(&self, meta: &PacketMeta, metadata: Option<u32>) -> Option<Action> {
+        let mut best: Option<(u16, u64, Action)> = None;
+        for tier in 0..TIER_COUNT {
+            let map = &self.tiers[tier];
+            if map.is_empty() || (tier & TIER_METADATA != 0 && metadata.is_none()) {
+                continue;
+            }
+            let key = query_key(tier, meta.in_port, metadata, Some(meta.dst));
+            let Some(bucket) = map.get(&key) else { continue };
+            for ie in bucket {
+                if let Some((bp, bs, _)) = best {
+                    let worse = ie.entry.priority < bp
+                        || (ie.entry.priority == bp && ie.seq >= bs);
+                    if worse {
+                        break; // bucket is best-first: nothing below helps
+                    }
+                }
+                if ie.entry.m.matches(meta, metadata) {
+                    best = Some((ie.entry.priority, ie.seq, ie.entry.action));
+                    break;
+                }
+            }
+        }
+        best.map(|(_, _, action)| action)
+    }
+}
+
+/// Below this entry count a straight scan of the canonical vector beats
+/// probing up to eight hash buckets; both paths return identical results.
+const LINEAR_CUTOFF: usize = 8;
+
+/// A priority-ordered flow table with bounded capacity.
+///
+/// Lookups are served from a multi-tier hash index (exact tiers on
+/// `in_port`/`metadata`/`dst`, wildcard-tier fallback, priority-merged
+/// across tiers — see [`crate::index`]) so cost is O(tiers), not
+/// O(entries); [`FlowTable::linear_lookup_with`] keeps the original scan as
+/// a differential-testing oracle.
+#[derive(Debug)]
 pub struct FlowTable {
     /// Entries sorted by descending priority (stable insertion order within
     /// a priority level — first match wins, as in OpenFlow).
     entries: Vec<FlowEntry>,
     capacity: usize,
-    lookups: std::cell::Cell<u64>,
-    misses: std::cell::Cell<u64>,
+    /// Tier index over `entries`, patched in lock-step by `apply`.
+    index: TierIndex,
+    lookups: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Clone for FlowTable {
+    fn clone(&self) -> Self {
+        FlowTable {
+            entries: self.entries.clone(),
+            capacity: self.capacity,
+            index: self.index.clone(),
+            lookups: AtomicU64::new(self.lookups.load(Ordering::Relaxed)),
+            misses: AtomicU64::new(self.misses.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl FlowTable {
@@ -211,8 +327,9 @@ impl FlowTable {
         FlowTable {
             entries: Vec::new(),
             capacity,
-            lookups: std::cell::Cell::new(0),
-            misses: std::cell::Cell::new(0),
+            index: TierIndex::new(),
+            lookups: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
@@ -236,7 +353,9 @@ impl FlowTable {
         self.capacity - self.entries.len()
     }
 
-    /// Apply a flow-mod.
+    /// Apply a flow-mod. The tier index is patched in the same step — one
+    /// bucket insert for Add, one bucket drain for Delete — so it never
+    /// needs a full rebuild.
     pub fn apply(&mut self, m: FlowMod) -> Result<(), TableError> {
         match m {
             FlowMod::Add(e) => {
@@ -248,14 +367,17 @@ impl FlowTable {
                     .entries
                     .partition_point(|x| x.priority >= e.priority);
                 self.entries.insert(pos, e);
+                self.index.add(e);
                 Ok(())
             }
             FlowMod::Clear => {
                 self.entries.clear();
+                self.index.clear();
                 Ok(())
             }
             FlowMod::Delete(fm, priority) => {
                 self.entries.retain(|e| !(e.m == fm && e.priority == priority));
+                self.index.delete(&fm, priority);
                 Ok(())
             }
         }
@@ -277,14 +399,36 @@ impl FlowTable {
 
     /// Lookup with pipeline metadata from an earlier table. Same
     /// first-match-wins-within-priority contract as [`FlowTable::lookup`].
+    ///
+    /// Served from the tier index above `LINEAR_CUTOFF` entries, by
+    /// linear scan below it; the two paths return identical results and
+    /// move the lookup/miss counters identically (one lookup per call, one
+    /// miss per `None`).
     pub fn lookup_with(&self, meta: &PacketMeta, metadata: Option<u32>) -> Option<Action> {
-        self.lookups.set(self.lookups.get() + 1);
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let hit = if self.entries.len() <= LINEAR_CUTOFF {
+            self.entries.iter().find(|e| e.m.matches(meta, metadata)).map(|e| e.action)
+        } else {
+            self.index.lookup(meta, metadata)
+        };
+        if hit.is_none() {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// The pre-index O(entries) linear scan, kept as the reference
+    /// implementation: differential tests and `bench_ctrl` compare
+    /// [`FlowTable::lookup_with`] against it entry-for-entry and
+    /// counter-for-counter (same single lookup bump, same miss bump).
+    pub fn linear_lookup_with(&self, meta: &PacketMeta, metadata: Option<u32>) -> Option<Action> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
         for e in &self.entries {
             if e.m.matches(meta, metadata) {
                 return Some(e.action);
             }
         }
-        self.misses.set(self.misses.get() + 1);
+        self.misses.fetch_add(1, Ordering::Relaxed);
         None
     }
 
@@ -292,8 +436,8 @@ impl FlowTable {
     pub fn stats(&self) -> TableStats {
         TableStats {
             entries: self.entries.len(),
-            lookups: self.lookups.get(),
-            misses: self.misses.get(),
+            lookups: self.lookups.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
         }
     }
 
@@ -812,6 +956,99 @@ mod tests {
         }))
         .unwrap();
         assert_eq!(t.lookup(&meta(0, 0, 0)), Some(Action::Output(PortNo(1))));
+    }
+
+    /// Above [`LINEAR_CUTOFF`] lookups go through the tier index; pin that
+    /// path against the linear-scan oracle on a mixed-tier table, through
+    /// interleaved deletes and re-adds.
+    #[test]
+    fn indexed_path_matches_linear_oracle() {
+        let mut t = FlowTable::new(128);
+        for dst in 0..12u32 {
+            t.apply(FlowMod::Add(FlowEntry {
+                m: FlowMatch::to_dst(HostAddr(dst)),
+                priority: 10,
+                action: Action::Output(PortNo(dst as u16)),
+            }))
+            .unwrap();
+        }
+        for port in 0..4u16 {
+            t.apply(FlowMod::Add(FlowEntry {
+                m: FlowMatch::on_port(PortNo(port)),
+                priority: 4,
+                action: Action::WriteMetadataGoto(u32::from(port)),
+            }))
+            .unwrap();
+        }
+        t.apply(FlowMod::Add(FlowEntry {
+            m: FlowMatch::to_dst(HostAddr(3)).and_metadata(2),
+            priority: 20,
+            action: Action::Drop,
+        }))
+        .unwrap();
+        t.apply(FlowMod::Add(FlowEntry { m: FlowMatch::any(), priority: 0, action: Action::Drop }))
+            .unwrap();
+        assert!(t.len() > LINEAR_CUTOFF, "test must exercise the indexed path");
+        t.apply(FlowMod::Delete(FlowMatch::to_dst(HostAddr(5)), 10)).unwrap();
+        t.apply(FlowMod::Add(FlowEntry {
+            m: FlowMatch::to_dst(HostAddr(5)),
+            priority: 10,
+            action: Action::Output(PortNo(31)),
+        }))
+        .unwrap();
+        for in_port in 0..6u16 {
+            for dst in 0..14u32 {
+                for md in [None, Some(2), Some(7)] {
+                    let p = meta(in_port, 1, dst);
+                    assert_eq!(
+                        t.lookup_with(&p, md),
+                        t.linear_lookup_with(&p, md),
+                        "in_port={in_port} dst={dst} md={md:?}"
+                    );
+                }
+            }
+        }
+        // Both paths bumped the counters identically: equal lookup totals,
+        // equal miss totals (each probe ran once per path).
+        let s = t.stats();
+        assert_eq!(s.lookups % 2, 0);
+        assert_eq!(s.misses % 2, 0);
+    }
+
+    /// The index preserves install-order stability within a priority level
+    /// even when the equal-priority entries live in different tiers.
+    #[test]
+    fn indexed_first_match_is_install_order_stable_across_tiers() {
+        let mut t = FlowTable::new(32);
+        // Pad the table over the cutoff with non-matching entries.
+        for dst in 100..110u32 {
+            t.apply(FlowMod::Add(FlowEntry {
+                m: FlowMatch::to_dst(HostAddr(dst)),
+                priority: 50,
+                action: Action::Drop,
+            }))
+            .unwrap();
+        }
+        // Same priority, overlapping matches, different tiers: the
+        // port-tier entry installed first must win over the dst-tier one.
+        t.apply(FlowMod::Add(FlowEntry {
+            m: FlowMatch::on_port(PortNo(1)),
+            priority: 5,
+            action: Action::Output(PortNo(8)),
+        }))
+        .unwrap();
+        t.apply(FlowMod::Add(FlowEntry {
+            m: FlowMatch::to_dst(HostAddr(9)),
+            priority: 5,
+            action: Action::Output(PortNo(9)),
+        }))
+        .unwrap();
+        let p = meta(1, 0, 9);
+        assert_eq!(t.lookup(&p), Some(Action::Output(PortNo(8))));
+        assert_eq!(t.lookup(&p), t.linear_lookup_with(&p, None));
+        // Delete the winner: the dst-tier entry takes over.
+        t.apply(FlowMod::Delete(FlowMatch::on_port(PortNo(1)), 5)).unwrap();
+        assert_eq!(t.lookup(&p), Some(Action::Output(PortNo(9))));
     }
 
     #[test]

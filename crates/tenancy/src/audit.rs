@@ -104,8 +104,21 @@ impl SliceAudit {
     }
 
     /// Run the audit over the manager's live switches. Probe packets bump
-    /// port counters (they walk the real dataplane), hence `&mut`.
+    /// port counters (they walk the real dataplane), hence `&mut`. Worker
+    /// count comes from [`sdt_verify::verify_threads`] (`SDT_VERIFY_THREADS`).
     pub fn run(mgr: &mut SliceManager) -> SliceAudit {
+        Self::run_threads(mgr, sdt_verify::verify_threads())
+    }
+
+    /// [`SliceAudit::run`] with an explicit worker count. The probe matrices
+    /// fan out one job per (slice, source host) over the *shared* switch
+    /// bank — [`OpenFlowSwitch::pipeline_egress`] takes `&self` and its
+    /// table counters are atomic, so no bank clones are needed — then merge
+    /// outcomes and replay port-stat effects in canonical (slice, src,
+    /// target-slice, dst) order. Any thread count produces an identical
+    /// audit and identical final counters: the walks only read the tables,
+    /// and counter increments commute.
+    pub fn run_threads(mgr: &mut SliceManager, threads: usize) -> SliceAudit {
         // Snapshot the slices; the walks below need the switches mutably.
         let slices: Vec<crate::manager::Slice> = mgr.slices().cloned().collect();
         let cluster = mgr.cluster().clone();
@@ -180,8 +193,73 @@ impl SliceAudit {
             }
         }
 
-        let switches = mgr.switches_mut();
-        for s in &slices {
+        // One job per (slice, source host): every probe that host originates
+        // — the intra-slice row plus its row of every cross-slice matrix —
+        // walked against the shared read-only bank. Hop effects are recorded
+        // and replayed below so the port counters end up exactly as if the
+        // probes had run sequentially.
+        let jobs: Vec<(usize, u32)> = slices
+            .iter()
+            .enumerate()
+            .flat_map(|(si, s)| (0..s.topology.num_hosts()).map(move |a| (si, a)))
+            .collect();
+        let mut offsets = Vec::with_capacity(slices.len());
+        {
+            let mut acc = 0;
+            for s in &slices {
+                offsets.push(acc);
+                acc += s.topology.num_hosts() as usize;
+            }
+        }
+        let bank: &[OpenFlowSwitch] = mgr.switches();
+        let (cluster_ref, owner_ref, slices_ref) = (&cluster, &host_owner, &slices);
+        let probes: Vec<SrcProbes> = sdt_par::par_map_threads(threads, &jobs, |&(si, a)| {
+            let s = &slices_ref[si];
+            let src = HostId(a);
+            let start = s.projection.primary_host_port(&s.topology, src);
+            let mut hops = Vec::new();
+            let mut intra = Vec::new();
+            for b in 0..s.topology.num_hosts() {
+                if a == b {
+                    continue;
+                }
+                let dst = HostId(b);
+                let w = walk(
+                    cluster_ref,
+                    bank,
+                    owner_ref,
+                    start,
+                    s.host_addr(src),
+                    s.host_addr(dst),
+                    &mut hops,
+                );
+                intra.push((src, dst, w));
+            }
+            let mut cross = vec![Vec::new(); slices_ref.len()];
+            for (ti, t) in slices_ref.iter().enumerate() {
+                if t.id == s.id {
+                    continue;
+                }
+                for b in 0..t.topology.num_hosts() {
+                    let dst = HostId(b);
+                    let w = walk(
+                        cluster_ref,
+                        bank,
+                        owner_ref,
+                        start,
+                        s.host_addr(src),
+                        t.host_addr(dst),
+                        &mut hops,
+                    );
+                    cross[ti].push((src, dst, w));
+                }
+            }
+            SrcProbes { intra, cross, hops }
+        });
+
+        // Merge in the canonical order the sequential audit used: per slice,
+        // intra pairs src-major, then cross matrices target-slice-major.
+        for (si, s) in slices.iter().enumerate() {
             let mut entry = SliceAuditEntry {
                 id: s.id,
                 name: s.name.clone(),
@@ -190,25 +268,11 @@ impl SliceAudit {
                 violations: Vec::new(),
                 shadowed: shadowed_of.get(&s.id).copied().unwrap_or(0),
             };
-            // Intra-slice: single-tenant semantics on the shared fabric.
             let comp = s.topology.component_of();
             for a in 0..s.topology.num_hosts() {
-                for b in 0..s.topology.num_hosts() {
-                    if a == b {
-                        continue;
-                    }
-                    let (src, dst) = (HostId(a), HostId(b));
+                for &(src, dst, outcome) in &probes[offsets[si] + a as usize].intra {
                     let same = comp[s.topology.host_switch(src).idx()]
                         == comp[s.topology.host_switch(dst).idx()];
-                    let start = s.projection.primary_host_port(&s.topology, src);
-                    let outcome = walk(
-                        &cluster,
-                        switches,
-                        &host_owner,
-                        start,
-                        s.host_addr(src),
-                        s.host_addr(dst),
-                    );
                     match outcome {
                         Walk::Delivered(owner) if same && owner == (s.id, dst) => {
                             entry.delivered += 1
@@ -228,23 +292,12 @@ impl SliceAudit {
                     }
                 }
             }
-            // Cross-slice: probes toward every foreign host must die.
-            for t in &slices {
+            for (ti, t) in slices.iter().enumerate() {
                 if t.id == s.id {
                     continue;
                 }
                 for a in 0..s.topology.num_hosts() {
-                    for b in 0..t.topology.num_hosts() {
-                        let (src, dst) = (HostId(a), HostId(b));
-                        let start = s.projection.primary_host_port(&s.topology, src);
-                        let outcome = walk(
-                            &cluster,
-                            switches,
-                            &host_owner,
-                            start,
-                            s.host_addr(src),
-                            t.host_addr(dst),
-                        );
+                    for &(src, dst, outcome) in &probes[offsets[si] + a as usize].cross[ti] {
                         match outcome {
                             Walk::Dropped(_) => audit.cross_isolated += 1,
                             Walk::Delivered((sid, h)) => audit.cross_leaks.push(CrossLeak {
@@ -267,10 +320,29 @@ impl SliceAudit {
             }
             audit.per_slice.push(entry);
         }
+
+        // Replay the probes' port-counter effects. Increments commute, so
+        // job order is immaterial; canonical order keeps it reproducible.
+        let switches = mgr.switches_mut();
+        for p in &probes {
+            for &(sw, in_port, out) in &p.hops {
+                switches[sw as usize].record_traffic(in_port, out, 1500);
+            }
+        }
         audit
     }
 }
 
+/// Everything one (slice, source host) job produced: its intra-slice row,
+/// one row per foreign slice's cross matrix, and the hop-by-hop port
+/// effects to replay.
+struct SrcProbes {
+    intra: Vec<(HostId, HostId, Walk)>,
+    cross: Vec<Vec<(HostId, HostId, Walk)>>,
+    hops: Vec<(u32, PortNo, Option<PortNo>)>,
+}
+
+#[derive(Clone, Copy)]
 enum Walk {
     Delivered((SliceId, HostId)),
     Dropped(u32),
@@ -280,21 +352,27 @@ enum Walk {
 /// Slice-aware packet walk: like [`sdt_core::walk::walk_packet`] but with
 /// explicit fabric-wide addresses (the slice's namespaced ones) and a
 /// cross-slice host-port owner map, so a mis-delivery names the tenant that
-/// received the packet.
+/// received the packet. Runs on a shared bank via
+/// [`OpenFlowSwitch::pipeline_egress`]; every hop's port effect is appended
+/// to `hops` for the caller to replay through
+/// [`OpenFlowSwitch::record_traffic`].
 fn walk(
     cluster: &PhysicalCluster,
-    switches: &mut [OpenFlowSwitch],
+    switches: &[OpenFlowSwitch],
     host_owner: &HashMap<PhysPort, (SliceId, HostId)>,
     start: PhysPort,
     src: HostAddr,
     dst: HostAddr,
+    hops: &mut Vec<(u32, PortNo, Option<PortNo>)>,
 ) -> Walk {
     let mut at_switch = start.switch;
     let mut in_port = start.port;
     let budget = 4 * cluster.links().len() + 8;
     for _ in 0..budget {
         let meta = PacketMeta { in_port, src, dst, l4_src: 4791, l4_dst: 4791 };
-        let out = match switches[at_switch as usize].forward(&meta, 1500) {
+        let decision = switches[at_switch as usize].pipeline_egress(&meta);
+        hops.push((at_switch, in_port, decision));
+        let out = match decision {
             Some(p) => p,
             None => return Walk::Dropped(at_switch),
         };
@@ -363,6 +441,30 @@ mod tests {
         assert!(audit.clean(), "stale state after destroy: {audit:?}");
         assert_eq!(audit.per_slice.len(), 1);
         assert_eq!(audit.orphan_entries, 0);
+    }
+
+    #[test]
+    fn audit_is_thread_count_invariant() {
+        // Two identically-built managers, audited with 1 worker and with 8:
+        // the reports must be byte-identical and the live switches must end
+        // with identical table and port counters (probe effects replay in
+        // canonical order; lookup counters commute).
+        let build = || {
+            let mut mgr = manager();
+            mgr.create("a", &chain(4)).unwrap();
+            mgr.create("b", &ring(5)).unwrap();
+            mgr.create("c", &mesh(&[2, 2])).unwrap();
+            mgr
+        };
+        let (mut seq, mut par) = (build(), build());
+        let a1 = SliceAudit::run_threads(&mut seq, 1);
+        let a8 = SliceAudit::run_threads(&mut par, 8);
+        assert_eq!(format!("{a1:?}"), format!("{a8:?}"));
+        for (s1, s8) in seq.switches().iter().zip(par.switches()) {
+            assert_eq!(s1.table(0).stats(), s8.table(0).stats());
+            assert_eq!(s1.table(1).stats(), s8.table(1).stats());
+            assert_eq!(format!("{:?}", s1.all_port_stats()), format!("{:?}", s8.all_port_stats()));
+        }
     }
 
     #[test]

@@ -1,12 +1,23 @@
 //! The static analyses: forwarding-graph loop scan, per-pair reachability
 //! closure, dead/nondeterministic-rule warnings, and the VeriFlow-style
 //! incremental delta check.
+//!
+//! # Parallel, deterministic
+//!
+//! The three passes are embarrassingly parallel — warnings per switch,
+//! loop scans per header class, reachability walks per source host — and
+//! each is fanned out over [`sdt_par::par_map_threads`] with results merged
+//! back in canonical order (switch id / class enumeration order / intent
+//! host order). Workers share only immutable state, so any worker count
+//! produces byte-identical findings; `SDT_VERIFY_THREADS` (see
+//! [`crate::verify_threads`]) only changes wall-clock time.
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 
 use sdt_core::cluster::{PhysPort, PhysicalCluster};
 use sdt_openflow::{
-    shadowed_entries_in, Action, FlowEntry, FlowMod, MatchUniverse, PortNo, ShadowedEntry,
+    shadowed_entries_in, Action, EntryIndex, FlowEntry, FlowMod, MatchUniverse, PortNo,
+    ShadowedEntry,
 };
 use sdt_topology::HostId;
 
@@ -240,6 +251,9 @@ pub struct VerifyReport {
     pub pairs_walked: usize,
     /// Switches whose tables were (re-)scanned for rule-level warnings.
     pub switches_scanned: usize,
+    /// Size of the header-equivalence-class partition the analyses covered
+    /// (`HeaderValues::num_classes`).
+    pub header_classes: usize,
 }
 
 impl VerifyReport {
@@ -290,26 +304,45 @@ enum Step {
     Dead { at: u32, reason: DropReason },
 }
 
+/// Per-(switch, table) tier indexes over a [`TableView`], built once per
+/// verification pass so every symbolic step costs O(tiers) instead of a
+/// linear scan over the table (same [`sdt_openflow::EntryIndex`] machinery
+/// the live [`sdt_openflow::FlowTable`] uses).
+fn view_indexes(view: &TableView) -> Vec<[EntryIndex; 2]> {
+    (0..view.num_switches() as u32)
+        .map(|sw| [EntryIndex::build(view.entries(sw, 0)), EntryIndex::build(view.entries(sw, 1))])
+        .collect()
+}
+
 /// Evaluate the two-table pipeline of `at.switch` for a packet entering on
 /// `at.port`, symbolically (first matching entry wins; no counters touched).
-fn step(view: &TableView, cluster: &PhysicalCluster, at: PhysPort, class: &HeaderClass) -> Step {
+/// The tier index prunes candidates; `entry_matches` keeps the final say,
+/// so the firing entry is exactly the linear scan's first match.
+fn step(
+    indexes: &[[EntryIndex; 2]],
+    cluster: &PhysicalCluster,
+    at: PhysPort,
+    class: &HeaderClass,
+) -> Step {
     let sw = at.switch;
-    let Some(e0) = view.entries(sw, 0).iter().find(|e| entry_matches(e, at.port, None, class))
+    let idx = &indexes[sw as usize];
+    let Some(&e0) =
+        idx[0].first_match_where(at.port, None, class.dst, |e| entry_matches(e, at.port, None, class))
     else {
         return Step::Dead { at: sw, reason: DropReason::Miss { switch: sw, table: 0 } };
     };
-    let r0 = RuleRef { switch: sw, table: 0, entry: *e0 };
+    let r0 = RuleRef { switch: sw, table: 0, entry: e0 };
     let md = match e0.action {
         Action::Drop => return Step::Dead { at: sw, reason: DropReason::Rule(r0) },
         Action::Output(p) => return egress(cluster, PhysPort { switch: sw, port: p }, vec![r0]),
         Action::WriteMetadataGoto(md) => md,
     };
-    let Some(e1) =
-        view.entries(sw, 1).iter().find(|e| entry_matches(e, at.port, Some(md), class))
+    let Some(&e1) = idx[1]
+        .first_match_where(at.port, Some(md), class.dst, |e| entry_matches(e, at.port, Some(md), class))
     else {
         return Step::Dead { at: sw, reason: DropReason::Miss { switch: sw, table: 1 } };
     };
-    let r1 = RuleRef { switch: sw, table: 1, entry: *e1 };
+    let r1 = RuleRef { switch: sw, table: 1, entry: e1 };
     match e1.action {
         Action::Drop => Step::Dead { at: sw, reason: DropReason::Rule(r1) },
         Action::WriteMetadataGoto(_) => {
@@ -366,6 +399,7 @@ pub struct Verifier {
     view: TableView,
     intent: Intent,
     values: HeaderValues,
+    indexes: Vec<[EntryIndex; 2]>,
     traces: Vec<PairTrace>,
     loops: Vec<LoopFinding>,
     warnings: Vec<SwitchWarnings>,
@@ -373,23 +407,37 @@ pub struct Verifier {
 }
 
 impl Verifier {
-    /// Fully verify a table snapshot against an intent.
+    /// Fully verify a table snapshot against an intent, on
+    /// [`crate::verify_threads`] workers.
     pub fn check(cluster: &PhysicalCluster, view: TableView, intent: Intent) -> Verifier {
+        Self::check_threads(cluster, view, intent, crate::verify_threads())
+    }
+
+    /// [`Verifier::check`] with an explicit worker count (1 = fully
+    /// sequential). The report is byte-identical for every worker count.
+    pub fn check_threads(
+        cluster: &PhysicalCluster,
+        view: TableView,
+        intent: Intent,
+        threads: usize,
+    ) -> Verifier {
         let values = HeaderValues::collect(&view);
+        let indexes = view_indexes(&view);
         let mut v = Verifier {
             cluster: cluster.clone(),
             view,
             intent,
             values,
+            indexes,
             traces: Vec::new(),
             loops: Vec::new(),
             warnings: Vec::new(),
             report: VerifyReport::default(),
         };
-        v.scan_warnings(None);
-        v.scan_loops(None);
-        v.walk_pairs(None, None);
-        v.finalize(v.view.num_switches(), v.traces.len());
+        v.scan_warnings(None, threads);
+        v.scan_loops(None, threads);
+        let walked = v.walk_pairs(None, None, threads);
+        v.finalize(v.view.num_switches(), walked);
         v
     }
 
@@ -415,6 +463,17 @@ impl Verifier {
         batch: &[(u32, u8, FlowMod)],
         intent: Intent,
     ) -> Verifier {
+        Self::check_delta_threads(prev, batch, intent, crate::verify_threads())
+    }
+
+    /// [`Verifier::check_delta`] with an explicit worker count (1 = fully
+    /// sequential). The report is byte-identical for every worker count.
+    pub fn check_delta_threads(
+        prev: &Verifier,
+        batch: &[(u32, u8, FlowMod)],
+        intent: Intent,
+        threads: usize,
+    ) -> Verifier {
         let mut view = prev.view.clone();
         let mut touched: BTreeSet<u32> = BTreeSet::new();
         for (sw, table, m) in batch {
@@ -422,11 +481,13 @@ impl Verifier {
             touched.insert(*sw);
         }
         let values = HeaderValues::collect(&view);
+        let indexes = view_indexes(&view);
         let mut v = Verifier {
             cluster: prev.cluster.clone(),
             view,
             intent,
             values,
+            indexes,
             traces: Vec::new(),
             loops: Vec::new(),
             warnings: Vec::new(),
@@ -440,9 +501,9 @@ impl Verifier {
             .filter(|l| l.ports.iter().all(|p| !touched.contains(&p.switch)))
             .cloned()
             .collect();
-        v.scan_warnings(Some((&touched, &prev.warnings)));
-        v.scan_loops(Some(&touched));
-        let walked = v.walk_pairs(Some(&touched), Some(prev));
+        v.scan_warnings(Some((&touched, &prev.warnings)), threads);
+        v.scan_loops(Some(&touched), threads);
+        let walked = v.walk_pairs(Some(&touched), Some(prev), threads);
         v.finalize(touched.len(), walked);
         v
     }
@@ -462,76 +523,34 @@ impl Verifier {
         &self.intent
     }
 
-    /// Per-switch dead-rule and nondeterminism warnings. For untouched
+    /// Per-switch dead-rule and nondeterminism warnings, one independent
+    /// job per switch, merged back in switch-id order. For untouched
     /// switches in a delta check, the cached findings are reused.
-    fn scan_warnings(&mut self, delta: Option<(&BTreeSet<u32>, &[SwitchWarnings])>) {
+    fn scan_warnings(&mut self, delta: Option<(&BTreeSet<u32>, &[SwitchWarnings])>, threads: usize) {
         let num_ports = self.cluster.model().ports as u16;
-        for sw in 0..self.view.num_switches() as u32 {
+        let view = &self.view;
+        let ids: Vec<u32> = (0..view.num_switches() as u32).collect();
+        self.warnings = sdt_par::par_map_threads(threads, &ids, |&sw| {
             if let Some((touched, prev)) = delta {
                 if !touched.contains(&sw) {
-                    self.warnings.push(prev[sw as usize].clone());
-                    continue;
+                    return prev[sw as usize].clone();
                 }
             }
-            let mut w = SwitchWarnings::default();
-            // Metadata values table 0 can hand to table 1 on this switch.
-            let written: BTreeSet<u32> = self
-                .view
-                .entries(sw, 0)
-                .iter()
-                .filter_map(|e| match e.action {
-                    Action::WriteMetadataGoto(md) => Some(md),
-                    _ => None,
-                })
-                .collect();
-            for table in 0..2u8 {
-                let entries = self.view.entries(sw, table);
-                let universe = if table == 0 {
-                    // Table 0 sees raw packets: bounded ports, no metadata.
-                    MatchUniverse {
-                        in_ports: Some((0..num_ports).map(PortNo).collect()),
-                        metadata: None,
-                    }
-                } else {
-                    MatchUniverse::for_switch(num_ports, written.iter().copied())
-                };
-                if table == 0 {
-                    // A classify rule matching on metadata can never fire:
-                    // nothing runs before table 0 to write any.
-                    for e in entries.iter().filter(|e| e.m.metadata.is_some()) {
-                        w.shadowed.push(ShadowFinding {
-                            switch: sw,
-                            table,
-                            shadowed: ShadowedEntry { entry: *e, covered_by: Vec::new() },
-                        });
-                    }
-                }
-                for s in shadowed_entries_in(entries, &universe) {
-                    w.shadowed.push(ShadowFinding { switch: sw, table, shadowed: s });
-                }
-                for (i, a) in entries.iter().enumerate() {
-                    for b in entries[i + 1..]
-                        .iter()
-                        .take_while(|b| b.priority == a.priority)
-                        .filter(|b| a.m != b.m && a.m.overlaps(&b.m))
-                    {
-                        w.nondet.push(NondetFinding {
-                            switch: sw,
-                            table,
-                            first: *a,
-                            second: *b,
-                        });
-                    }
-                }
-            }
-            self.warnings.push(w);
-        }
+            switch_warnings(view, num_ports, sw)
+        });
     }
 
     /// Cycle scan over the forwarding port-graph. Nodes are cable ingress
     /// ports; per header class the graph is functional (one successor), so
     /// following successor chains with a visited set finds every cycle.
-    fn scan_loops(&mut self, touched: Option<&BTreeSet<u32>>) {
+    ///
+    /// Classes are scanned in parallel: each worker discovers its class's
+    /// cycles independently (the traversal never depends on what other
+    /// classes found), then the per-class lists are merged **in class
+    /// enumeration order** against one global dedup set — reproducing the
+    /// sequential pass's output exactly, including which class gets credit
+    /// for a cycle that several classes exhibit.
+    fn scan_loops(&mut self, touched: Option<&BTreeSet<u32>>, threads: usize) {
         let starts: Vec<PhysPort> = self
             .cluster
             .links()
@@ -539,53 +558,77 @@ impl Verifier {
             .flat_map(|l| [l.a, l.b])
             .filter(|p| touched.is_none_or(|t| t.contains(&p.switch)))
             .collect();
-        let mut seen_cycles: HashSet<Vec<(u32, u16)>> = self
+        let carried: HashSet<Vec<(u32, u16)>> = self
             .loops
             .iter()
             .map(|l| canonical_cycle(&l.ports))
             .collect();
-        for class in self.values.classes() {
-            let mut done: HashSet<PhysPort> = HashSet::new();
-            for &start in &starts {
-                if done.contains(&start) {
-                    continue;
-                }
-                let mut index: HashMap<PhysPort, usize> = HashMap::new();
-                let mut chain: Vec<(PhysPort, Vec<RuleRef>)> = Vec::new();
-                let mut cur = start;
-                loop {
-                    if done.contains(&cur) {
-                        break; // chain merges into an already-explored path
+        let classes = self.values.classes();
+        let (cluster, indexes, starts, carried_ref) =
+            (&self.cluster, &self.indexes, &starts, &carried);
+        let per_class: Vec<Vec<LoopFinding>> =
+            sdt_par::par_map_threads(threads, &classes, |&class| {
+                let mut found = Vec::new();
+                let mut local_seen: HashSet<Vec<(u32, u16)>> = HashSet::new();
+                let mut done: HashSet<PhysPort> = HashSet::new();
+                for &start in starts {
+                    if done.contains(&start) {
+                        continue;
                     }
-                    if let Some(&i) = index.get(&cur) {
-                        let cycle = &chain[i..];
-                        let ports: Vec<PhysPort> = cycle.iter().map(|(p, _)| *p).collect();
-                        if seen_cycles.insert(canonical_cycle(&ports)) {
-                            self.loops.push(LoopFinding {
-                                ports,
-                                rules: cycle.iter().flat_map(|(_, r)| r.clone()).collect(),
-                                class,
-                            });
+                    let mut index: HashMap<PhysPort, usize> = HashMap::new();
+                    let mut chain: Vec<(PhysPort, Vec<RuleRef>)> = Vec::new();
+                    let mut cur = start;
+                    loop {
+                        if done.contains(&cur) {
+                            break; // chain merges into an already-explored path
                         }
-                        break;
-                    }
-                    match step(&self.view, &self.cluster, cur, &class) {
-                        Step::Next { to, rules } => {
-                            index.insert(cur, chain.len());
-                            chain.push((cur, rules));
-                            cur = to;
+                        if let Some(&i) = index.get(&cur) {
+                            let cycle = &chain[i..];
+                            let ports: Vec<PhysPort> = cycle.iter().map(|(p, _)| *p).collect();
+                            let canon = canonical_cycle(&ports);
+                            if !carried_ref.contains(&canon) && local_seen.insert(canon) {
+                                found.push(LoopFinding {
+                                    ports,
+                                    rules: cycle.iter().flat_map(|(_, r)| r.clone()).collect(),
+                                    class,
+                                });
+                            }
+                            break;
                         }
-                        Step::Deliver { .. } | Step::Dead { .. } => break,
+                        match step(indexes, cluster, cur, &class) {
+                            Step::Next { to, rules } => {
+                                index.insert(cur, chain.len());
+                                chain.push((cur, rules));
+                                cur = to;
+                            }
+                            Step::Deliver { .. } | Step::Dead { .. } => break,
+                        }
                     }
+                    done.extend(chain.iter().map(|(p, _)| *p));
                 }
-                done.extend(chain.iter().map(|(p, _)| *p));
+                found
+            });
+        let mut seen_cycles = carried;
+        for found in per_class {
+            for l in found {
+                if seen_cycles.insert(canonical_cycle(&l.ports)) {
+                    self.loops.push(l);
+                }
             }
         }
     }
 
-    /// Reachability closure over every ordered intent host pair. Returns
-    /// the number of pairs actually re-walked (for the report).
-    fn walk_pairs(&mut self, touched: Option<&BTreeSet<u32>>, prev: Option<&Verifier>) -> usize {
+    /// Reachability closure over every ordered intent host pair, one
+    /// parallel job per source host; traces are concatenated in intent host
+    /// order, so the flattened vector is exactly the sequential
+    /// src-major/dst-minor order `finalize` consumes. Returns the number of
+    /// pairs actually re-walked (for the report).
+    fn walk_pairs(
+        &mut self,
+        touched: Option<&BTreeSet<u32>>,
+        prev: Option<&Verifier>,
+        threads: usize,
+    ) -> usize {
         // A previous trace is reusable iff both endpoints' intent entries
         // are unchanged and the traced path avoids every touched switch.
         let reusable: HashMap<(u32, u32), &PairTrace> = match (touched, prev) {
@@ -625,46 +668,56 @@ impl Verifier {
             _ => HashMap::new(),
         };
         let budget = 4 * self.cluster.links().len() + 8;
-        let mut walked = 0usize;
-        let mut traces = Vec::with_capacity(self.intent.hosts.len().saturating_mul(
-            self.intent.hosts.len().saturating_sub(1),
-        ));
-        for src in &self.intent.hosts {
-            for dst in &self.intent.hosts {
-                if std::ptr::eq(src, dst) {
-                    continue;
-                }
-                if let Some(t) = reusable.get(&(src.addr.0, dst.addr.0)) {
-                    traces.push((*t).clone());
-                    continue;
-                }
-                walked += 1;
-                let class = self.values.class_of(src.addr, dst.addr, 4791, 4791);
-                let mut switches = BTreeSet::new();
-                let mut at = src.ingress;
-                let mut outcome = PairOutcome::Looped;
-                for _ in 0..budget {
-                    switches.insert(at.switch);
-                    match step(&self.view, &self.cluster, at, &class) {
-                        Step::Deliver { port, via } => {
-                            outcome = PairOutcome::Delivered { port, via };
-                            break;
-                        }
-                        Step::Dead { at: sw, reason } => {
-                            switches.insert(sw);
-                            outcome = PairOutcome::Dropped { reason };
-                            break;
-                        }
-                        Step::Next { to, .. } => at = to,
+        let hosts = &self.intent.hosts;
+        let (cluster, values, indexes, reusable_ref) =
+            (&self.cluster, &self.values, &self.indexes, &reusable);
+        let per_src: Vec<(usize, Vec<PairTrace>)> =
+            sdt_par::par_map_threads(threads, hosts, |src| {
+                let mut walked = 0usize;
+                let mut traces = Vec::with_capacity(hosts.len().saturating_sub(1));
+                for dst in hosts {
+                    if std::ptr::eq(src, dst) {
+                        continue;
                     }
+                    if let Some(t) = reusable_ref.get(&(src.addr.0, dst.addr.0)) {
+                        traces.push((*t).clone());
+                        continue;
+                    }
+                    walked += 1;
+                    let class = values.class_of(src.addr, dst.addr, 4791, 4791);
+                    let mut switches = BTreeSet::new();
+                    let mut at = src.ingress;
+                    let mut outcome = PairOutcome::Looped;
+                    for _ in 0..budget {
+                        switches.insert(at.switch);
+                        match step(indexes, cluster, at, &class) {
+                            Step::Deliver { port, via } => {
+                                outcome = PairOutcome::Delivered { port, via };
+                                break;
+                            }
+                            Step::Dead { at: sw, reason } => {
+                                switches.insert(sw);
+                                outcome = PairOutcome::Dropped { reason };
+                                break;
+                            }
+                            Step::Next { to, .. } => at = to,
+                        }
+                    }
+                    traces.push(PairTrace {
+                        src_addr: src.addr,
+                        dst_addr: dst.addr,
+                        outcome,
+                        switches,
+                    });
                 }
-                traces.push(PairTrace {
-                    src_addr: src.addr,
-                    dst_addr: dst.addr,
-                    outcome,
-                    switches,
-                });
-            }
+                (walked, traces)
+            });
+        let mut walked = 0usize;
+        let mut traces =
+            Vec::with_capacity(hosts.len().saturating_mul(hosts.len().saturating_sub(1)));
+        for (w, t) in per_src {
+            walked += w;
+            traces.extend(t);
         }
         self.traces = traces;
         walked
@@ -684,6 +737,7 @@ impl Verifier {
             switches_scanned,
             pairs_walked,
             pairs_checked: self.traces.len(),
+            header_classes: self.values.num_classes(),
             ..VerifyReport::default()
         };
         for w in &self.warnings {
@@ -740,6 +794,58 @@ impl Verifier {
         }
         self.report = report;
     }
+}
+
+/// The dead-rule and nondeterminism warnings of a single switch — a pure
+/// function of its table view, so the per-switch jobs can run on any
+/// worker in any order.
+fn switch_warnings(view: &TableView, num_ports: u16, sw: u32) -> SwitchWarnings {
+    let mut w = SwitchWarnings::default();
+    // Metadata values table 0 can hand to table 1 on this switch.
+    let written: BTreeSet<u32> = view
+        .entries(sw, 0)
+        .iter()
+        .filter_map(|e| match e.action {
+            Action::WriteMetadataGoto(md) => Some(md),
+            _ => None,
+        })
+        .collect();
+    for table in 0..2u8 {
+        let entries = view.entries(sw, table);
+        let universe = if table == 0 {
+            // Table 0 sees raw packets: bounded ports, no metadata.
+            MatchUniverse {
+                in_ports: Some((0..num_ports).map(PortNo).collect()),
+                metadata: None,
+            }
+        } else {
+            MatchUniverse::for_switch(num_ports, written.iter().copied())
+        };
+        if table == 0 {
+            // A classify rule matching on metadata can never fire:
+            // nothing runs before table 0 to write any.
+            for e in entries.iter().filter(|e| e.m.metadata.is_some()) {
+                w.shadowed.push(ShadowFinding {
+                    switch: sw,
+                    table,
+                    shadowed: ShadowedEntry { entry: *e, covered_by: Vec::new() },
+                });
+            }
+        }
+        for s in shadowed_entries_in(entries, &universe) {
+            w.shadowed.push(ShadowFinding { switch: sw, table, shadowed: s });
+        }
+        for (i, a) in entries.iter().enumerate() {
+            for b in entries[i + 1..]
+                .iter()
+                .take_while(|b| b.priority == a.priority)
+                .filter(|b| a.m != b.m && a.m.overlaps(&b.m))
+            {
+                w.nondet.push(NondetFinding { switch: sw, table, first: *a, second: *b });
+            }
+        }
+    }
+    w
 }
 
 /// Canonical rotation of a cycle's port list, for de-duplication across

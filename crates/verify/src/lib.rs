@@ -41,3 +41,13 @@ pub use analysis::{
     ShadowFinding, Verifier, VerifyReport,
 };
 pub use model::{HeaderClass, HeaderValues, Intent, IntentHost, TableView};
+
+/// Worker count for the parallel analyses ([`Verifier::check`],
+/// [`Verifier::check_delta`], and the tenancy audit matrices):
+/// `SDT_VERIFY_THREADS` when set to a positive integer, else the machine's
+/// available parallelism. The fan-out is deterministic — findings are
+/// merged in canonical order, so any thread count produces byte-identical
+/// reports (pinned by `tests/determinism.rs`).
+pub fn verify_threads() -> usize {
+    sdt_par::threads_from_env("SDT_VERIFY_THREADS")
+}

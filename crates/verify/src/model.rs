@@ -258,6 +258,16 @@ impl HeaderValues {
         classes
     }
 
+    /// Size of the partition [`HeaderValues::classes`] enumerates, without
+    /// materializing it: per-field value count plus the fresh class, as a
+    /// product.
+    pub fn num_classes(&self) -> usize {
+        (self.srcs.len() + 1)
+            * (self.dsts.len() + 1)
+            * (self.l4_srcs.len() + 1)
+            * (self.l4_dsts.len() + 1)
+    }
+
     /// The class a concrete packet header falls into: each field keeps its
     /// value if some rule tests it, else collapses to the fresh class.
     pub fn class_of(&self, src: HostAddr, dst: HostAddr, l4_src: u16, l4_dst: u16) -> HeaderClass {
@@ -354,5 +364,6 @@ mod tests {
         assert_eq!(c, HeaderClass { src: None, dst: Some(HostAddr(3)), l4_src: None, l4_dst: None });
         // 2 dst classes (3 + fresh) × 1 × 1 × 1.
         assert_eq!(vals.classes().len(), 2);
+        assert_eq!(vals.num_classes(), vals.classes().len());
     }
 }

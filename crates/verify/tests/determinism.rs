@@ -1,0 +1,129 @@
+//! The parallel verifier must be invisible: any worker count produces a
+//! byte-identical report. Findings are discovered by per-switch, per-class
+//! and per-source fan-out but merged in canonical order, so 1 worker and 8
+//! workers must agree on every finding vec, every counter, and the full
+//! `Debug` rendering — on the paper's preset topologies, on an incremental
+//! delta check, and on a seeded random multi-tenant slice mix.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sdt_core::cluster::ClusterBuilder;
+use sdt_core::methods::SwitchModel;
+use sdt_core::sdt::SdtProjector;
+use sdt_openflow::FlowMod;
+use sdt_tenancy::SliceManager;
+use sdt_topology::chain::{chain, ring};
+use sdt_topology::dragonfly::dragonfly;
+use sdt_topology::fattree::fat_tree;
+use sdt_topology::meshtorus::{mesh, torus};
+use sdt_topology::Topology;
+use sdt_verify::{Intent, TableView, Verifier};
+
+/// Assert two verifiers derived the exact same proof.
+fn assert_identical(a: &Verifier, b: &Verifier, label: &str) {
+    let (ra, rb) = (a.report(), b.report());
+    assert_eq!(ra.loops, rb.loops, "{label}: loops differ");
+    assert_eq!(ra.blackholes, rb.blackholes, "{label}: blackholes differ");
+    assert_eq!(ra.leaks, rb.leaks, "{label}: leaks differ");
+    assert_eq!(ra.shadowed, rb.shadowed, "{label}: shadow findings differ");
+    assert_eq!(ra.nondeterminism, rb.nondeterminism, "{label}: nondet findings differ");
+    assert_eq!(
+        format!("{ra:?}"),
+        format!("{rb:?}"),
+        "{label}: reports not byte-identical"
+    );
+}
+
+/// Project a topology onto the smallest cluster that carries it.
+fn project(topo: &Topology) -> (sdt_core::cluster::PhysicalCluster, sdt_core::sdt::SdtProjection) {
+    let model = SwitchModel::openflow_128x100g();
+    let projector = SdtProjector { merge_entries_on_overflow: true, ..Default::default() };
+    for n in 1..=8u32 {
+        let cluster = ClusterBuilder::new(model, n)
+            .hosts_per_switch((topo.num_hosts() / n).max(1) as u16)
+            .inter_links_per_pair(24)
+            .build();
+        if let Ok(p) = projector.project_default(topo, &cluster) {
+            return (cluster, p);
+        }
+    }
+    panic!("{} does not fit on 8 switches", topo.name());
+}
+
+#[test]
+fn paper_presets_are_thread_count_invariant() {
+    let presets: Vec<Topology> =
+        vec![fat_tree(4), torus(&[4, 4]), dragonfly(4, 9, 2, 2), ring(8)];
+    for topo in &presets {
+        let (cluster, proj) = project(topo);
+        let view = || TableView::of_synthesis(&proj.synthesis);
+        let intent = || Intent::of_projection(&proj, topo, topo.name());
+        let v1 = Verifier::check_threads(&cluster, view(), intent(), 1);
+        let v8 = Verifier::check_threads(&cluster, view(), intent(), 8);
+        assert_identical(&v1, &v8, topo.name());
+        assert!(v1.holds(), "{} should verify clean", topo.name());
+    }
+}
+
+#[test]
+fn delta_check_is_thread_count_invariant() {
+    // Corrupt a verified fat-tree deployment with a batch that clears one
+    // switch's routing table — the delta re-walk must report the same
+    // blackholes at any worker count.
+    let topo = fat_tree(4);
+    let (cluster, proj) = project(&topo);
+    let view = || TableView::of_synthesis(&proj.synthesis);
+    let intent = || Intent::of_projection(&proj, &topo, topo.name());
+    let v1 = Verifier::check_threads(&cluster, view(), intent(), 1);
+    let v8 = Verifier::check_threads(&cluster, view(), intent(), 8);
+    let batch: Vec<(u32, u8, FlowMod)> = vec![(0, 1, FlowMod::Clear)];
+    let d1 = Verifier::check_delta_threads(&v1, &batch, intent(), 1);
+    let d8 = Verifier::check_delta_threads(&v8, &batch, intent(), 8);
+    assert_identical(&d1, &d8, "fat-tree k=4 + clear delta");
+    assert!(!d1.holds(), "clearing a routing table must break the proof");
+}
+
+#[test]
+fn random_slice_mix_is_thread_count_invariant() {
+    // A seeded random multi-tenant mix: admissions and teardowns leave live
+    // tables with orphaned shadows, metadata tiers and uneven occupancy —
+    // richer than any single synthesis. The full proof over the live tables
+    // must be identical at 1 and 8 workers.
+    let mut rng = StdRng::seed_from_u64(0x5d7_2026);
+    let cluster = ClusterBuilder::new(SwitchModel::openflow_128x100g(), 3)
+        .hosts_per_switch(16)
+        .inter_links_per_pair(16)
+        .build();
+    let mut mgr = SliceManager::new(cluster);
+    let mut admitted = Vec::new();
+    for i in 0..10 {
+        let topo = match rng.random_range(0..3u32) {
+            0 => chain(rng.random_range(2..5u32)),
+            1 => ring(rng.random_range(3..6u32)),
+            _ => mesh(&[2, 2]),
+        };
+        if let Ok(id) = mgr.create(&format!("s{i}"), &topo) {
+            admitted.push(id);
+        }
+        if !admitted.is_empty() && rng.random_bool(0.3) {
+            let victim = admitted.swap_remove(rng.random_range(0..admitted.len()));
+            mgr.destroy(victim).unwrap();
+        }
+    }
+    assert!(!admitted.is_empty(), "seed produced no surviving slices");
+    let v1 = Verifier::check_threads(
+        mgr.cluster(),
+        TableView::of_switches(mgr.switches()),
+        mgr.intent(),
+        1,
+    );
+    let v8 = Verifier::check_threads(
+        mgr.cluster(),
+        TableView::of_switches(mgr.switches()),
+        mgr.intent(),
+        8,
+    );
+    assert_identical(&v1, &v8, "random slice mix");
+    assert!(v1.holds(), "slice mix should verify clean");
+}
