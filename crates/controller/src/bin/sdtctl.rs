@@ -32,7 +32,7 @@
 use sdt_controller::{plan_wiring, Deployment, SdtController, SliceController, TestbedConfig};
 use sdt_core::walk::IsolationReport;
 use sdt_openflow::{Action, FlowEntry, FlowMod};
-use sdt_verify::{Intent, TableView, Verifier, VerifyReport};
+use sdt_verify::{Intent, TableView, Verifier, VerifyReport, WalkCache};
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
@@ -405,14 +405,40 @@ fn cmd_verify(args: &[String], json: bool) -> Result<(), String> {
                     println!("seeded a `{kind}` defect into the live tables");
                 }
             }
+            let intent =
+                || Intent::of_projection(&d.projection, &d.topology, d.topology.name());
+            let mut cache = WalkCache::new();
             let t0 = std::time::Instant::now();
-            let v = Verifier::check(
+            let v = Verifier::check_cached(
                 ctl.cluster(),
                 TableView::of_switches(&d.switches),
-                Intent::of_projection(&d.projection, &d.topology, d.topology.name()),
+                intent(),
+                sdt_verify::verify_threads(),
+                &mut cache,
             );
             let wall_s = t0.elapsed().as_secs_f64();
-            print_verify(d.topology.name(), v.report(), json, stats.then_some(wall_s));
+            let block = if stats {
+                // A warm memoized re-verify of the unchanged tables: shows
+                // what an incremental recheck costs once the cache is hot.
+                let t0 = std::time::Instant::now();
+                let _ = Verifier::check_delta_cached(
+                    &v,
+                    &[],
+                    intent(),
+                    sdt_verify::verify_threads(),
+                    &mut cache,
+                );
+                let warm_s = t0.elapsed().as_secs_f64();
+                Some(StatsBlock {
+                    wall_s,
+                    warm_s: Some(warm_s),
+                    stats: v.stats().clone(),
+                    cache_entries: cache.entries(),
+                })
+            } else {
+                None
+            };
+            print_verify(d.topology.name(), v.report(), json, block.as_ref());
             if v.holds() {
                 Ok(())
             } else {
@@ -432,18 +458,16 @@ fn cmd_verify(args: &[String], json: bool) -> Result<(), String> {
                     .map_err(|e| format!("{path}: admission failed: {e}"))?;
             }
             let r = if stats {
-                // A cold full proof, so the reported wall time measures the
-                // verifier and not the admission-time cache.
+                // A full memoized pass over the live tables: the manager's
+                // walk cache is already warm from the admission-time proofs,
+                // so the hit counters show how much of the proof replayed.
                 let mgr = ctl.manager_mut();
                 let t0 = std::time::Instant::now();
-                let v = Verifier::check(
-                    mgr.cluster(),
-                    TableView::of_switches(mgr.switches()),
-                    mgr.intent(),
-                );
+                let (r, vstats, cache_entries) = mgr.verify_report_with_stats();
                 let wall_s = t0.elapsed().as_secs_f64();
-                let r = v.report().clone();
-                print_verify("slices", &r, json, Some(wall_s));
+                let block =
+                    StatsBlock { wall_s, warm_s: None, stats: vstats, cache_entries };
+                print_verify("slices", &r, json, Some(&block));
                 r
             } else {
                 let r = ctl.manager_mut().verify_report();
@@ -559,18 +583,47 @@ fn corrupt(d: &mut Deployment, kind: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Report printer. `stats_wall_s` carries the `--stats` wall-clock; when
-/// set, an extra stats block (equivalence classes, walks, wall time, worker
-/// count) is emitted in both output modes.
-fn print_verify(scope: &str, r: &VerifyReport, json: bool, stats_wall_s: Option<f64>) {
+/// The `--stats` sidecar of one verification: wall clocks plus the fast
+/// path's collapse/memoization counters.
+struct StatsBlock {
+    /// Wall-clock of the (cold or memoized) full pass, seconds.
+    wall_s: f64,
+    /// Wall-clock of a warm empty-delta re-verify, when one was run.
+    warm_s: Option<f64>,
+    /// Fast-path statistics of the full pass.
+    stats: sdt_verify::VerifyStats,
+    /// Walk-cache entries retained after the pass.
+    cache_entries: usize,
+}
+
+/// Report printer. `block` carries the `--stats` numbers; when set, an
+/// extra stats block (equivalence classes, collapsed vs full walks, memo
+/// hits/misses, wall times, worker count) is emitted in both output modes.
+fn print_verify(scope: &str, r: &VerifyReport, json: bool, block: Option<&StatsBlock>) {
     let threads = sdt_verify::verify_threads();
     if json {
-        let stats = match stats_wall_s {
-            Some(wall_s) => format!(
-                ",\"stats\":{{\"header_classes\":{},\"pairs_walked\":{},\
-                 \"wall_s\":{wall_s:.6},\"threads\":{threads}}}",
-                r.header_classes, r.pairs_walked
-            ),
+        let stats = match block {
+            Some(b) => {
+                let warm = match b.warm_s {
+                    Some(w) => format!(",\"warm_reverify_s\":{w:.6}"),
+                    None => String::new(),
+                };
+                format!(
+                    ",\"stats\":{{\"header_classes\":{},\"pairs_walked\":{},\
+                     \"pairs_walked_full\":{},\"pairs_replayed\":{},\
+                     \"cache_hits\":{},\"cache_misses\":{},\"cache_entries\":{},\
+                     \"symmetric\":{},\"wall_s\":{:.6}{warm},\"threads\":{threads}}}",
+                    r.header_classes,
+                    r.pairs_walked,
+                    b.stats.pairs_walked_full,
+                    b.stats.pairs_replayed,
+                    b.stats.cache_hits,
+                    b.stats.cache_misses,
+                    b.cache_entries,
+                    b.stats.symmetric,
+                    b.wall_s,
+                )
+            }
             None => String::new(),
         };
         println!(
@@ -601,12 +654,24 @@ fn print_verify(scope: &str, r: &VerifyReport, json: bool, stats_wall_s: Option<
             r.pairs_walked,
             r.switches_scanned
         );
-        if let Some(wall_s) = stats_wall_s {
+        if let Some(b) = block {
             println!(
-                "  stats: {} header classes, {} symbolic walks, {threads} worker(s), {:.1} ms wall",
+                "  stats: {} header classes, {} symbolic walks ({} full, {} replayed), {threads} worker(s), {:.1} ms wall",
                 r.header_classes,
                 r.pairs_walked,
-                wall_s * 1e3
+                b.stats.pairs_walked_full,
+                b.stats.pairs_replayed,
+                b.wall_s * 1e3
+            );
+            println!(
+                "  memo: {} cache hits, {} misses, {} entries retained{}",
+                b.stats.cache_hits,
+                b.stats.cache_misses,
+                b.cache_entries,
+                match b.warm_s {
+                    Some(w) => format!(", warm re-verify {:.2} ms", w * 1e3),
+                    None => String::new(),
+                }
             );
         }
         dump_findings(&r.loops);

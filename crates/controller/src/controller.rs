@@ -15,8 +15,9 @@ use sdt_openflow::{ControlChannel, InstallTiming, OpenFlowSwitch};
 use sdt_routing::cdg::{analyze, DeadlockAnalysis};
 use sdt_routing::{default_strategy, RouteTable, RoutingStrategy};
 use sdt_topology::{HostId, SwitchId, Topology, TopologyKind};
-use sdt_verify::{Intent, TableView, Verifier};
+use sdt_verify::{Intent, TableView, Verifier, WalkCache};
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Outcome of the checking function (§V-1): what the wiring supports and
 /// what would have to change.
@@ -120,6 +121,12 @@ pub struct SdtController {
     timing: InstallTiming,
     require_deadlock_free: bool,
     static_verify: bool,
+    /// Memoized walk cache shared by every static verification this
+    /// controller runs (deploy gates, recovery gates, explicit
+    /// [`SdtController::verify_projection`] calls). Entries are
+    /// fingerprint-validated per class and switch, so repeated verifies of
+    /// similar table states only pay for what actually changed.
+    verify_cache: Mutex<WalkCache>,
     /// Count of reconfigurations performed (reporting).
     pub reconfigurations: u32,
 }
@@ -135,6 +142,7 @@ impl SdtController {
             timing: InstallTiming::default(),
             require_deadlock_free: true,
             static_verify: true,
+            verify_cache: Mutex::new(WalkCache::new()),
             reconfigurations: 0,
         }
     }
@@ -182,13 +190,25 @@ impl SdtController {
 
     /// Statically verify a projection's synthesized tables against the
     /// topology's delivery intent — no packets injected, no counters
-    /// touched. Pure read of the would-be pipeline.
+    /// touched. Pure read of the would-be pipeline. Walk results are
+    /// memoized in the controller's [`WalkCache`], so re-verifying after a
+    /// recovery or reconfiguration only pays for the classes whose table
+    /// fingerprints changed.
     pub fn verify_projection(&self, topo: &Topology, projection: &SdtProjection) -> Verifier {
-        Verifier::check(
+        let mut cache = self.verify_cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        Verifier::check_cached(
             &self.cluster,
             TableView::of_synthesis(&projection.synthesis),
             Intent::of_projection(projection, topo, topo.name()),
+            sdt_verify::verify_threads(),
+            &mut cache,
         )
+    }
+
+    /// Number of memoized walk-cache entries held by this controller's
+    /// verifier (observability: `sdtctl verify --stats` and benches).
+    pub fn verify_cache_entries(&self) -> usize {
+        self.verify_cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner).entries()
     }
 
     /// The deploy/recovery gate: error out with the report summary when the

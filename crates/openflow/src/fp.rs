@@ -1,0 +1,171 @@
+//! Incremental content fingerprints over flow tables.
+//!
+//! The static verifier memoizes per-class walk results keyed on *what the
+//! walk read*: the exact logical content of the tables it crossed. That
+//! needs a table digest that is (a) cheap to maintain under
+//! [`crate::FlowMod`] traffic — O(1) per Add/Delete, not a rescan — and
+//! (b) stable across snapshots: a [`crate::FlowTable`] and a verifier
+//! `TableView` holding the same entries installed by the same mod sequence
+//! must agree, so proofs recorded at admission time are valid against the
+//! live tables afterwards.
+//!
+//! The digest is a **commutative accumulator**: each entry hashes — together
+//! with its install sequence number — to a 128-bit value; the table
+//! fingerprint is the wrapping sum over installed entries. Adds add,
+//! deletes subtract, clears reset, so maintenance never touches the other
+//! entries. Including the install sequence number is what makes the scheme
+//! sound for first-match-wins semantics: two tables holding the same entry
+//! *multiset* but installed in a different order resolve equal-priority
+//! overlaps differently, and their fingerprints differ because the seq
+//! numbers do. (A fingerprint collision between genuinely different tables
+//! needs ~2^64 tables by the birthday bound — far beyond any testbed's
+//! reconfiguration count.)
+
+use crate::{Action, FlowEntry};
+
+/// 128-bit commutative table digest. `Default` is the empty table.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct TableFp {
+    lo: u64,
+    hi: u64,
+}
+
+impl TableFp {
+    /// Fold one installed entry in (wrapping add of its hash).
+    pub fn absorb(&mut self, e: TableFp) {
+        self.lo = self.lo.wrapping_add(e.lo);
+        self.hi = self.hi.wrapping_add(e.hi);
+    }
+
+    /// Fold one removed entry out (exact inverse of [`TableFp::absorb`]).
+    pub fn release(&mut self, e: TableFp) {
+        self.lo = self.lo.wrapping_sub(e.lo);
+        self.hi = self.hi.wrapping_sub(e.hi);
+    }
+}
+
+/// splitmix64-style word absorber: full-avalanche per word, so the
+/// commutative sum over entries keeps both lanes independent.
+fn mix(mut h: u64, w: u64) -> u64 {
+    h ^= w;
+    h = h.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+fn lane(seed: u64, words: &[u64; 5]) -> u64 {
+    let mut h = seed;
+    for &w in words {
+        h = mix(h, w);
+    }
+    h
+}
+
+fn opt<T: Into<u64>>(v: Option<T>) -> u64 {
+    // Presence-tagged encoding: None and Some(v) never collide.
+    match v {
+        None => 0,
+        Some(v) => v.into() | 1 << 63,
+    }
+}
+
+/// Hash of one entry at one install position, as folded into [`TableFp`].
+pub fn entry_fp(seq: u64, e: &FlowEntry) -> TableFp {
+    let (action_tag, action_val) = match e.action {
+        Action::Output(p) => (1u64, u64::from(p.0)),
+        Action::Drop => (2, 0),
+        Action::WriteMetadataGoto(md) => (3, u64::from(md)),
+    };
+    let words = [
+        seq,
+        opt(e.m.in_port.map(|p| p.0)) ^ opt(e.m.metadata).rotate_left(21),
+        opt(e.m.src.map(|a| a.0)) ^ opt(e.m.dst.map(|a| a.0)).rotate_left(21),
+        opt(e.m.l4_src) ^ opt(e.m.l4_dst).rotate_left(21),
+        u64::from(e.priority) | action_tag << 16 | action_val << 24,
+    ];
+    TableFp {
+        lo: lane(0x5d7_0f1e_1d00_2026, &words),
+        hi: lane(0xc0de_ba5e_ca11_ab1e, &words),
+    }
+}
+
+/// One-shot digest of a full (entries, seqs) snapshot — what the
+/// incremental accumulator would hold after installing exactly these.
+pub fn table_fp(entries: &[FlowEntry], seqs: &[u64]) -> TableFp {
+    let mut fp = TableFp::default();
+    for (e, &s) in entries.iter().zip(seqs) {
+        fp.absorb(entry_fp(s, e));
+    }
+    fp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FlowMatch, HostAddr, PortNo};
+
+    fn e(dst: u32, prio: u16, port: u16) -> FlowEntry {
+        FlowEntry {
+            m: FlowMatch::to_dst(HostAddr(dst)),
+            priority: prio,
+            action: Action::Output(PortNo(port)),
+        }
+    }
+
+    #[test]
+    fn absorb_release_round_trips() {
+        let mut fp = TableFp::default();
+        fp.absorb(entry_fp(0, &e(1, 5, 2)));
+        let snapshot = fp;
+        fp.absorb(entry_fp(1, &e(2, 5, 3)));
+        fp.release(entry_fp(1, &e(2, 5, 3)));
+        assert_eq!(fp, snapshot);
+        fp.release(entry_fp(0, &e(1, 5, 2)));
+        assert_eq!(fp, TableFp::default());
+    }
+
+    #[test]
+    fn install_order_distinguishes_equal_multisets() {
+        // Same entries, swapped install seqs: first-match-wins resolves
+        // their equal-priority overlap differently, so the digests differ.
+        let (a, b) = (e(1, 5, 2), e(1, 5, 3));
+        let mut ab = TableFp::default();
+        ab.absorb(entry_fp(0, &a));
+        ab.absorb(entry_fp(1, &b));
+        let mut ba = TableFp::default();
+        ba.absorb(entry_fp(0, &b));
+        ba.absorb(entry_fp(1, &a));
+        assert_ne!(ab, ba);
+    }
+
+    #[test]
+    fn content_changes_change_the_digest() {
+        let base = entry_fp(0, &e(1, 5, 2));
+        assert_ne!(base, entry_fp(0, &e(1, 5, 3)), "action");
+        assert_ne!(base, entry_fp(0, &e(2, 5, 2)), "match");
+        assert_ne!(base, entry_fp(0, &e(1, 6, 2)), "priority");
+        assert_ne!(base, entry_fp(1, &e(1, 5, 2)), "seq");
+        // None vs Some(0) on a field must not collide.
+        let wild = FlowEntry { m: FlowMatch::any(), priority: 5, action: Action::Drop };
+        let zero = FlowEntry {
+            m: FlowMatch::to_dst(HostAddr(0)),
+            priority: 5,
+            action: Action::Drop,
+        };
+        assert_ne!(entry_fp(0, &wild), entry_fp(0, &zero));
+    }
+
+    #[test]
+    fn one_shot_matches_incremental() {
+        let entries = [e(1, 9, 0), e(2, 5, 1), e(3, 5, 2)];
+        let seqs = [7u64, 8, 9];
+        let mut inc = TableFp::default();
+        for (i, x) in entries.iter().enumerate() {
+            inc.absorb(entry_fp(seqs[i], x));
+        }
+        assert_eq!(inc, table_fp(&entries, &seqs));
+    }
+}

@@ -21,12 +21,16 @@
 //! (§VII-B), and this crate is that abstract switch.
 
 pub mod control;
+pub mod fp;
 pub mod index;
+pub mod overlap;
 pub mod switch;
 pub mod table;
 
 pub use control::{table_divergence, BarrierReport, ControlChannel, ControlConfig};
+pub use fp::{entry_fp, table_fp, TableFp};
 pub use index::EntryIndex;
+pub use overlap::{table_warnings_indexed, OverlapHit, OverlapIndex};
 pub use switch::{OpenFlowSwitch, PortStats, SwitchConfig};
 pub use table::{
     diff_tables, shadowed_entries, shadowed_entries_in, subtract_witness, Action, FlowEntry,

@@ -101,6 +101,82 @@ where
     out
 }
 
+/// Like [`par_map_threads`], but workers claim items in **descending
+/// weight order** instead of input order. Results still come back in input
+/// order, bit-identical to the sequential map — only the schedule changes.
+///
+/// Use this when per-item cost is predictable and skewed: with self-paced
+/// input-order pulling, a heavy item claimed last can leave one worker
+/// running alone while the rest idle (makespan ≈ heaviest tail). Claiming
+/// heaviest-first is the classic LPT greedy, within 4/3 of the optimal
+/// makespan. `weight` is any monotone proxy for per-item cost — for the
+/// verifier's pair walk, `pairs × table sizes` of the job's home switch.
+pub fn par_map_weighted_threads<T, R, F, W>(
+    threads: usize,
+    items: &[T],
+    weight: W,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+    W: Fn(&T) -> u64,
+{
+    let n = items.len();
+    if threads.min(n) <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    // Schedule: item indexes, heaviest first. Ties break on input order so
+    // the schedule itself is deterministic (not that results depend on it).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(weight(&items[i])), i));
+
+    // Probe on the heaviest item: if even the projected total for the rest
+    // is below the spawn budget, stay sequential.
+    let head = order[0];
+    let t0 = Instant::now();
+    let head_result = f(&items[head]);
+    let probe_ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+    if probe_ns.saturating_mul((n - 1) as u64) < SEQ_FALLBACK_NS {
+        let mut tagged: Vec<(usize, R)> = Vec::with_capacity(n);
+        tagged.push((head, head_result));
+        tagged.extend(order[1..].iter().map(|&i| (i, f(&items[i]))));
+        tagged.sort_unstable_by_key(|&(i, _)| i);
+        return tagged.into_iter().map(|(_, r)| r).collect();
+    }
+    let next = AtomicUsize::new(1); // order[0] already done by the probe
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
+        let order = &order;
+        let workers: Vec<_> = (0..threads.min(n))
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let slot = next.fetch_add(1, Ordering::Relaxed);
+                        if slot >= n {
+                            break;
+                        }
+                        let i = order[slot];
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| match w.join() {
+                Ok(part) => part,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    tagged.push((head, head_result));
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,6 +219,49 @@ mod tests {
         let none: Vec<u32> = vec![];
         assert!(par_map_threads(4, &none, |&x| x).is_empty());
         assert_eq!(par_map_threads(4, &[9u32], |&x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn weighted_matches_sequential_map() {
+        let items: Vec<u64> = (0..100).collect();
+        let seq: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1, 2, 4, 7] {
+            assert_eq!(
+                par_map_weighted_threads(threads, &items, |&x| x % 7, |&x| x * 3 + 1),
+                seq
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_preserves_order_with_real_pool() {
+        // Weights invert the sleep times, so the claimed execution order
+        // differs from input order AND from completion order; the output
+        // must still come back in input order. Sleeps push the probe over
+        // the fallback threshold so the pool really spins up.
+        let items: Vec<u64> = (0..16).collect();
+        let out = par_map_weighted_threads(
+            8,
+            &items,
+            |&x| x,
+            |&x| {
+                std::thread::sleep(std::time::Duration::from_millis(1 + x % 5));
+                x
+            },
+        );
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn weighted_tiny_work_falls_back_sequential() {
+        let items: Vec<u64> = (0..64).collect();
+        let seq: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(5)).collect();
+        assert_eq!(
+            par_map_weighted_threads(8, &items, |&x| 64 - x, |&x| x.wrapping_mul(5)),
+            seq
+        );
+        let none: Vec<u32> = vec![];
+        assert!(par_map_weighted_threads(4, &none, |_| 1, |&x| x).is_empty());
     }
 
     #[test]

@@ -44,7 +44,7 @@ use sdt_openflow::{
 };
 use sdt_routing::{default_strategy, RouteTable};
 use sdt_topology::{HostId, SwitchId, Topology};
-use sdt_verify::{Intent, TableView, Verifier};
+use sdt_verify::{Intent, TableView, Verifier, VerifyStats, WalkCache};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
@@ -251,6 +251,11 @@ pub struct SliceManager {
     /// admission only pays for the delta ([`Verifier::check_delta`]).
     /// `None` until first use, or after the escape hatch bypassed a proof.
     verifier: Option<Verifier>,
+    /// Memoized per-class walk results, retained across every proof this
+    /// manager runs (admissions, reconfigurations, teardowns, full
+    /// re-verifies). Entries are fingerprint-validated, so they survive the
+    /// escape hatch and direct table edits: a stale entry simply misses.
+    cache: WalkCache,
 }
 
 impl SliceManager {
@@ -278,6 +283,7 @@ impl SliceManager {
             next_addr: 0,
             static_verify: true,
             verifier: None,
+            cache: WalkCache::new(),
         }
     }
 
@@ -428,10 +434,12 @@ impl SliceManager {
     fn current_verifier(&mut self) -> Verifier {
         match self.verifier.take() {
             Some(v) => v,
-            None => Verifier::check(
+            None => Verifier::check_cached(
                 &self.cluster,
                 TableView::of_switches(&self.switches),
                 self.intent(),
+                sdt_verify::verify_threads(),
+                &mut self.cache,
             ),
         }
     }
@@ -445,13 +453,44 @@ impl SliceManager {
         report
     }
 
+    /// Run a full memoized proof over the live tables — even when a cached
+    /// proof exists — and return it with the fast-path statistics (collapsed
+    /// walks, memo hits/misses) and the walk-cache size: the numbers behind
+    /// `sdtctl verify --stats`.
+    pub fn verify_report_with_stats(
+        &mut self,
+    ) -> (sdt_verify::VerifyReport, VerifyStats, usize) {
+        let v = Verifier::check_cached(
+            &self.cluster,
+            TableView::of_switches(&self.switches),
+            self.intent(),
+            sdt_verify::verify_threads(),
+            &mut self.cache,
+        );
+        let report = v.report().clone();
+        let stats = v.stats().clone();
+        self.verifier = Some(v);
+        (report, stats, self.cache.entries())
+    }
+
+    /// Number of memoized walk-cache entries retained by this manager.
+    pub fn walk_cache_entries(&self) -> usize {
+        self.cache.entries()
+    }
+
     /// Statically verify a pending epoch against the live tables plus its
     /// delta, without applying anything: would the tables *after* this
     /// epoch still be loop-free, blackhole-free and isolated? Live tables
     /// are untouched either way.
     pub fn precheck_epoch(&mut self, epoch: &Epoch) -> Result<(), AdmissionError> {
         let current = self.current_verifier();
-        let pending = Verifier::check_delta(&current, &epoch.ordered_mods(), self.intent());
+        let pending = Verifier::check_delta_cached(
+            &current,
+            &epoch.ordered_mods(),
+            self.intent(),
+            sdt_verify::verify_threads(),
+            &mut self.cache,
+        );
         self.verifier = Some(current);
         if pending.holds() {
             Ok(())
@@ -474,7 +513,13 @@ impl SliceManager {
             return Ok(None);
         }
         let current = self.current_verifier();
-        let pending = Verifier::check_delta(&current, &epoch.ordered_mods(), intent);
+        let pending = Verifier::check_delta_cached(
+            &current,
+            &epoch.ordered_mods(),
+            intent,
+            sdt_verify::verify_threads(),
+            &mut self.cache,
+        );
         if pending.holds() {
             Ok(Some(pending))
         } else {

@@ -13,14 +13,19 @@
 //! [`crate::verify_threads`]) only changes wall-clock time.
 
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
 
 use sdt_core::cluster::{PhysPort, PhysicalCluster};
 use sdt_openflow::{
-    shadowed_entries_in, Action, EntryIndex, FlowEntry, FlowMod, MatchUniverse, PortNo,
-    ShadowedEntry,
+    shadowed_entries_in, table_warnings_indexed, Action, EntryIndex, FlowEntry, FlowMod,
+    HostAddr, MatchUniverse, PortNo, ShadowedEntry, TableFp,
 };
 use sdt_topology::HostId;
 
+use crate::fast::{
+    cluster_fingerprint, mask_of, no_switches, DestinyMemo, FateOut, FateTable, VerifyStats,
+    WalkCache,
+};
 use crate::model::{entry_matches, HeaderClass, HeaderValues, Intent, TableView};
 
 /// A named rule: enough to point an operator at the exact `FlowEntry` in
@@ -308,9 +313,33 @@ enum Step {
 /// verification pass so every symbolic step costs O(tiers) instead of a
 /// linear scan over the table (same [`sdt_openflow::EntryIndex`] machinery
 /// the live [`sdt_openflow::FlowTable`] uses).
-fn view_indexes(view: &TableView) -> Vec<[EntryIndex; 2]> {
+/// Indexes are Arc-shared per switch so an incremental check clones the
+/// untouched switches' indexes by reference instead of rebuilding them.
+fn view_indexes(view: &TableView) -> Vec<Arc<[EntryIndex; 2]>> {
     (0..view.num_switches() as u32)
-        .map(|sw| [EntryIndex::build(view.entries(sw, 0)), EntryIndex::build(view.entries(sw, 1))])
+        .map(|sw| {
+            Arc::new([EntryIndex::build(view.entries(sw, 0)), EntryIndex::build(view.entries(sw, 1))])
+        })
+        .collect()
+}
+
+/// Indexes for a delta view: rebuild touched switches, share the rest.
+fn delta_indexes(
+    prev: &[Arc<[EntryIndex; 2]>],
+    view: &TableView,
+    touched: &BTreeSet<u32>,
+) -> Vec<Arc<[EntryIndex; 2]>> {
+    (0..view.num_switches() as u32)
+        .map(|sw| {
+            if touched.contains(&sw) || prev.get(sw as usize).is_none() {
+                Arc::new([
+                    EntryIndex::build(view.entries(sw, 0)),
+                    EntryIndex::build(view.entries(sw, 1)),
+                ])
+            } else {
+                prev[sw as usize].clone()
+            }
+        })
         .collect()
 }
 
@@ -319,7 +348,7 @@ fn view_indexes(view: &TableView) -> Vec<[EntryIndex; 2]> {
 /// The tier index prunes candidates; `entry_matches` keeps the final say,
 /// so the firing entry is exactly the linear scan's first match.
 fn step(
-    indexes: &[[EntryIndex; 2]],
+    indexes: &[Arc<[EntryIndex; 2]>],
     cluster: &PhysicalCluster,
     at: PhysPort,
     class: &HeaderClass,
@@ -367,27 +396,64 @@ fn egress(cluster: &PhysicalCluster, port: PhysPort, rules: Vec<RuleRef>) -> Ste
 /// How one ordered intent pair fares, plus the switches its packets cross —
 /// the key to incremental re-checking (a pair whose path avoids every
 /// switch touched by a delta cannot change behaviour).
+///
+/// The switch set is split in two Arc-shared parts so the symmetry-collapse
+/// path can assemble a trace without materializing a set per pair: `pre`
+/// (the class-independent approach, shared per ingress port) and `post`
+/// (the destiny's crossing set, shared per pipeline state). The set of
+/// switches crossed is `pre ∪ post`; `mask` is its bloom mask (see
+/// [`mask_of`]).
+///
+/// Traces carry no addresses: the pair a trace belongs to is implied by its
+/// position in the src-major/dst-minor trace vector, and the whole trace is
+/// `Arc`-shared so replaying a verdict to a million pairs moves pointers,
+/// not sets.
 #[derive(Clone, Debug)]
 struct PairTrace {
-    src_addr: sdt_openflow::HostAddr,
-    dst_addr: sdt_openflow::HostAddr,
     outcome: PairOutcome,
-    switches: BTreeSet<u32>,
+    pre: Arc<BTreeSet<u32>>,
+    post: Arc<BTreeSet<u32>>,
+    mask: u64,
 }
 
+impl PairTrace {
+    /// Does the traced path avoid every switch in `touched`? (`tmask` is
+    /// `touched`'s bloom mask.) Disjoint blooms prove avoidance — this
+    /// covers the empty delta outright — and only an aliased overlap pays
+    /// for the exact set check.
+    fn avoids(&self, touched: &BTreeSet<u32>, tmask: u64) -> bool {
+        if self.mask & tmask == 0 {
+            return true;
+        }
+        self.pre.is_disjoint(touched) && self.post.is_disjoint(touched)
+    }
+}
+
+/// The verdict of one ordered pair's walk.
 #[derive(Clone, Debug)]
-enum PairOutcome {
-    Delivered { port: PhysPort, via: RuleRef },
-    Dropped { reason: DropReason },
+pub(crate) enum PairOutcome {
+    /// Egressed on a host port.
+    Delivered {
+        /// The host port.
+        port: PhysPort,
+        /// Rule performing the final output.
+        via: RuleRef,
+    },
+    /// Died in a drop rule, a miss, or a bad port.
+    Dropped {
+        /// Where and why.
+        reason: DropReason,
+    },
+    /// Never terminates (forwarding cycle).
     Looped,
 }
 
 /// Per-switch rule-level warnings, cached so a delta check only rescans the
 /// switches the delta touches.
 #[derive(Clone, Debug, Default)]
-struct SwitchWarnings {
-    shadowed: Vec<ShadowFinding>,
-    nondet: Vec<NondetFinding>,
+pub(crate) struct SwitchWarnings {
+    pub(crate) shadowed: Vec<ShadowFinding>,
+    pub(crate) nondet: Vec<NondetFinding>,
 }
 
 /// The static verifier: proves loop-freedom, blackhole-freedom and
@@ -399,11 +465,12 @@ pub struct Verifier {
     view: TableView,
     intent: Intent,
     values: HeaderValues,
-    indexes: Vec<[EntryIndex; 2]>,
-    traces: Vec<PairTrace>,
+    indexes: Vec<Arc<[EntryIndex; 2]>>,
+    traces: Arc<Vec<Arc<PairTrace>>>,
     loops: Vec<LoopFinding>,
     warnings: Vec<SwitchWarnings>,
     report: VerifyReport,
+    stats: VerifyStats,
 }
 
 impl Verifier {
@@ -421,6 +488,50 @@ impl Verifier {
         intent: Intent,
         threads: usize,
     ) -> Verifier {
+        Self::check_impl(cluster, view, intent, threads, &mut None, false)
+    }
+
+    /// [`Verifier::check_threads`] with a persistent [`WalkCache`]: walk
+    /// destinies and warning scans proven in earlier passes are replayed
+    /// when their table fingerprints still match, and fresh results are
+    /// merged back for the next pass. The report is byte-identical to an
+    /// uncached check — the cache changes wall-clock only.
+    pub fn check_cached(
+        cluster: &PhysicalCluster,
+        view: TableView,
+        intent: Intent,
+        threads: usize,
+        cache: &mut WalkCache,
+    ) -> Verifier {
+        let mut slot = Some(std::mem::take(cache));
+        let v = Self::check_impl(cluster, view, intent, threads, &mut slot, false);
+        if let Some(c) = slot {
+            *cache = c;
+        }
+        v
+    }
+
+    /// The reference (unoptimized) verifier: no symmetry collapse, no
+    /// memoization — every pair budget-walked, every switch linearly
+    /// scanned. Exists so the differential tests can prove the fast path
+    /// byte-identical; not intended for production callers.
+    pub fn check_plain_threads(
+        cluster: &PhysicalCluster,
+        view: TableView,
+        intent: Intent,
+        threads: usize,
+    ) -> Verifier {
+        Self::check_impl(cluster, view, intent, threads, &mut None, true)
+    }
+
+    fn check_impl(
+        cluster: &PhysicalCluster,
+        view: TableView,
+        intent: Intent,
+        threads: usize,
+        cache: &mut Option<WalkCache>,
+        plain: bool,
+    ) -> Verifier {
         let values = HeaderValues::collect(&view);
         let indexes = view_indexes(&view);
         let mut v = Verifier {
@@ -429,15 +540,33 @@ impl Verifier {
             intent,
             values,
             indexes,
-            traces: Vec::new(),
+            traces: Arc::new(Vec::new()),
             loops: Vec::new(),
             warnings: Vec::new(),
             report: VerifyReport::default(),
+            stats: VerifyStats::default(),
         };
-        v.scan_warnings(None, threads);
-        v.scan_loops(None, threads);
-        let walked = v.walk_pairs(None, None, threads);
-        v.finalize(v.view.num_switches(), walked);
+        if let Some(c) = cache.as_mut() {
+            c.ensure_cluster(cluster_fingerprint(cluster));
+        }
+        if plain {
+            v.scan_warnings(None, threads);
+            v.scan_loops(None, threads);
+            let walked = v.walk_pairs(None, None, threads);
+            v.finalize(v.view.num_switches(), walked);
+            return v;
+        }
+        v.scan_warnings_fast(None, threads, cache);
+        let fates = FateTable::build(&v.cluster, &v.view, &v.indexes);
+        v.stats.symmetric = fates.ok;
+        if fates.ok {
+            let walked = v.walk_pairs_fast(&fates, None, None, threads, cache);
+            v.finalize(v.view.num_switches(), walked);
+        } else {
+            v.scan_loops(None, threads);
+            let walked = v.walk_pairs(None, None, threads);
+            v.finalize(v.view.num_switches(), walked);
+        }
         v
     }
 
@@ -474,25 +603,74 @@ impl Verifier {
         intent: Intent,
         threads: usize,
     ) -> Verifier {
+        Self::check_delta_impl(prev, batch, intent, threads, &mut None, false)
+    }
+
+    /// [`Verifier::check_delta_threads`] with a persistent [`WalkCache`]
+    /// (see [`Verifier::check_cached`]).
+    pub fn check_delta_cached(
+        prev: &Verifier,
+        batch: &[(u32, u8, FlowMod)],
+        intent: Intent,
+        threads: usize,
+        cache: &mut WalkCache,
+    ) -> Verifier {
+        let mut slot = Some(std::mem::take(cache));
+        let v = Self::check_delta_impl(prev, batch, intent, threads, &mut slot, false);
+        if let Some(c) = slot {
+            *cache = c;
+        }
+        v
+    }
+
+    /// The reference incremental check — see [`Verifier::check_plain_threads`].
+    pub fn check_delta_plain_threads(
+        prev: &Verifier,
+        batch: &[(u32, u8, FlowMod)],
+        intent: Intent,
+        threads: usize,
+    ) -> Verifier {
+        Self::check_delta_impl(prev, batch, intent, threads, &mut None, true)
+    }
+
+    fn check_delta_impl(
+        prev: &Verifier,
+        batch: &[(u32, u8, FlowMod)],
+        intent: Intent,
+        threads: usize,
+        cache: &mut Option<WalkCache>,
+        plain: bool,
+    ) -> Verifier {
         let mut view = prev.view.clone();
         let mut touched: BTreeSet<u32> = BTreeSet::new();
         for (sw, table, m) in batch {
             view.apply(*sw, *table, m);
             touched.insert(*sw);
         }
-        let values = HeaderValues::collect(&view);
-        let indexes = view_indexes(&view);
+        // An empty batch leaves the view bit-identical, so the header
+        // values collected from it are too — skip the rescan (the plain
+        // reference recollects unconditionally).
+        let values = if !plain && touched.is_empty() {
+            prev.values.clone()
+        } else {
+            HeaderValues::collect(&view)
+        };
+        let indexes = delta_indexes(&prev.indexes, &view, &touched);
         let mut v = Verifier {
             cluster: prev.cluster.clone(),
             view,
             intent,
             values,
             indexes,
-            traces: Vec::new(),
+            traces: Arc::new(Vec::new()),
             loops: Vec::new(),
             warnings: Vec::new(),
             report: VerifyReport::default(),
+            stats: VerifyStats::default(),
         };
+        if let Some(c) = cache.as_mut() {
+            c.ensure_cluster(cluster_fingerprint(&v.cluster));
+        }
         // Carry over loops that avoid every touched switch; rediscover the
         // rest from the touched frontier.
         v.loops = prev
@@ -501,10 +679,45 @@ impl Verifier {
             .filter(|l| l.ports.iter().all(|p| !touched.contains(&p.switch)))
             .cloned()
             .collect();
-        v.scan_warnings(Some((&touched, &prev.warnings)), threads);
-        v.scan_loops(Some(&touched), threads);
-        let walked = v.walk_pairs(Some(&touched), Some(prev), threads);
-        v.finalize(touched.len(), walked);
+        if plain {
+            v.scan_warnings(Some((&touched, &prev.warnings)), threads);
+            v.scan_loops(Some(&touched), threads);
+            let walked = v.walk_pairs(Some(&touched), Some(prev), threads);
+            v.finalize(touched.len(), walked);
+            return v;
+        }
+        v.scan_warnings_fast(Some((&touched, &prev.warnings)), threads, cache);
+        // Empty batch against an unchanged intent: the view, values,
+        // warnings, carried loops and every previous trace are replayed
+        // verbatim, so the report is `prev`'s with the delta counters
+        // zeroed — exactly what the full machinery below would recompute.
+        // (`symmetric` is inherited: the tables didn't change.)
+        let n = v.intent.hosts.len();
+        let unique_addrs = {
+            let mut seen = HashSet::with_capacity(n);
+            v.intent.hosts.iter().all(|h| seen.insert(h.addr.0))
+        };
+        if touched.is_empty()
+            && unique_addrs
+            && v.intent == prev.intent
+            && prev.traces.len() == n * n.saturating_sub(1)
+        {
+            v.traces = prev.traces.clone();
+            v.stats.symmetric = prev.stats.symmetric;
+            v.report =
+                VerifyReport { switches_scanned: 0, pairs_walked: 0, ..prev.report.clone() };
+            return v;
+        }
+        let fates = FateTable::build(&v.cluster, &v.view, &v.indexes);
+        v.stats.symmetric = fates.ok;
+        if fates.ok {
+            let walked = v.walk_pairs_fast(&fates, Some(&touched), Some(prev), threads, cache);
+            v.finalize(touched.len(), walked);
+        } else {
+            v.scan_loops(Some(&touched), threads);
+            let walked = v.walk_pairs(Some(&touched), Some(prev), threads);
+            v.finalize(touched.len(), walked);
+        }
         v
     }
 
@@ -523,6 +736,13 @@ impl Verifier {
         &self.intent
     }
 
+    /// Operational counters of this pass: symmetry-collapse savings, cache
+    /// hits, fallbacks. Not part of the report (reports stay byte-identical
+    /// across optimization levels; stats are allowed to differ).
+    pub fn stats(&self) -> &VerifyStats {
+        &self.stats
+    }
+
     /// Per-switch dead-rule and nondeterminism warnings, one independent
     /// job per switch, merged back in switch-id order. For untouched
     /// switches in a delta check, the cached findings are reused.
@@ -538,6 +758,49 @@ impl Verifier {
             }
             switch_warnings(view, num_ports, sw)
         });
+    }
+
+    /// [`Verifier::scan_warnings`] with the overlap-indexed scanner and the
+    /// persistent warning cache: a switch whose table fingerprints match a
+    /// cached scan replays it; everything else is scanned with
+    /// [`table_warnings_indexed`] (byte-identical findings, sub-quadratic).
+    fn scan_warnings_fast(
+        &mut self,
+        delta: Option<(&BTreeSet<u32>, &[SwitchWarnings])>,
+        threads: usize,
+        cache: &mut Option<WalkCache>,
+    ) {
+        let num_ports = self.cluster.model().ports as u16;
+        let view = &self.view;
+        let ids: Vec<u32> = (0..view.num_switches() as u32).collect();
+        let ro = cache.as_ref();
+        type Out = (SwitchWarnings, Option<((u32, TableFp, TableFp), SwitchWarnings)>, Option<bool>);
+        let results: Vec<Out> = sdt_par::par_map_threads(threads, &ids, |&sw| {
+            if let Some((touched, prev)) = delta {
+                if !touched.contains(&sw) {
+                    return (prev[sw as usize].clone(), None, None);
+                }
+            }
+            let key = (sw, view.fp(sw, 0), view.fp(sw, 1));
+            if let Some(w) = ro.and_then(|c| c.warnings.get(&key)) {
+                return (w.clone(), None, Some(true));
+            }
+            let w = switch_warnings_fast(view, num_ports, sw);
+            (w.clone(), Some((key, w)), Some(false))
+        });
+        let mut warnings = Vec::with_capacity(results.len());
+        for (w, fresh, hit) in results {
+            warnings.push(w);
+            match hit {
+                Some(true) => self.stats.warn_cache_hits += 1,
+                Some(false) => self.stats.warn_cache_misses += 1,
+                None => {}
+            }
+            if let (Some(c), Some((key, w))) = (cache.as_mut(), fresh) {
+                c.warnings.insert(key, w);
+            }
+        }
+        self.warnings = warnings;
     }
 
     /// Cycle scan over the forwarding port-graph. Nodes are cable ingress
@@ -568,45 +831,7 @@ impl Verifier {
             (&self.cluster, &self.indexes, &starts, &carried);
         let per_class: Vec<Vec<LoopFinding>> =
             sdt_par::par_map_threads(threads, &classes, |&class| {
-                let mut found = Vec::new();
-                let mut local_seen: HashSet<Vec<(u32, u16)>> = HashSet::new();
-                let mut done: HashSet<PhysPort> = HashSet::new();
-                for &start in starts {
-                    if done.contains(&start) {
-                        continue;
-                    }
-                    let mut index: HashMap<PhysPort, usize> = HashMap::new();
-                    let mut chain: Vec<(PhysPort, Vec<RuleRef>)> = Vec::new();
-                    let mut cur = start;
-                    loop {
-                        if done.contains(&cur) {
-                            break; // chain merges into an already-explored path
-                        }
-                        if let Some(&i) = index.get(&cur) {
-                            let cycle = &chain[i..];
-                            let ports: Vec<PhysPort> = cycle.iter().map(|(p, _)| *p).collect();
-                            let canon = canonical_cycle(&ports);
-                            if !carried_ref.contains(&canon) && local_seen.insert(canon) {
-                                found.push(LoopFinding {
-                                    ports,
-                                    rules: cycle.iter().flat_map(|(_, r)| r.clone()).collect(),
-                                    class,
-                                });
-                            }
-                            break;
-                        }
-                        match step(indexes, cluster, cur, &class) {
-                            Step::Next { to, rules } => {
-                                index.insert(cur, chain.len());
-                                chain.push((cur, rules));
-                                cur = to;
-                            }
-                            Step::Deliver { .. } | Step::Dead { .. } => break,
-                        }
-                    }
-                    done.extend(chain.iter().map(|(p, _)| *p));
-                }
-                found
+                scan_loops_class(indexes, cluster, starts, carried_ref, class)
             });
         let mut seen_cycles = carried;
         for found in per_class {
@@ -616,6 +841,52 @@ impl Verifier {
                 }
             }
         }
+    }
+
+    /// Which previous traces may be replayed for this delta: both
+    /// endpoints' intent entries unchanged, path avoiding every touched
+    /// switch. Keyed by address pair — shared verbatim by the reference
+    /// and fast walkers so their reuse decisions are identical.
+    fn reusable_map<'p>(
+        &self,
+        prev: &'p Verifier,
+        touched: &BTreeSet<u32>,
+        tmask: u64,
+    ) -> HashMap<(u32, u32), &'p Arc<PairTrace>> {
+        let np = prev.intent.hosts.len();
+        if np < 2 || prev.traces.len() != np * (np - 1) {
+            return HashMap::new();
+        }
+        let prev_hosts: HashMap<u32, (&crate::model::IntentHost, &str)> = prev
+            .intent
+            .hosts
+            .iter()
+            .map(|h| (h.addr.0, (h, prev.intent.domains[h.domain].as_str())))
+            .collect();
+        let unchanged = |h: &crate::model::IntentHost| {
+            prev_hosts.get(&h.addr.0).is_some_and(|(p, label)| {
+                p.ingress == h.ingress
+                    && p.ports == h.ports
+                    && p.group == h.group
+                    && p.host == h.host
+                    && *label == self.intent.domains[h.domain]
+            })
+        };
+        let ok_hosts: HashSet<u32> =
+            self.intent.hosts.iter().filter(|h| unchanged(h)).map(|h| h.addr.0).collect();
+        // Traces carry no addresses; recover the pair from the position
+        // (src-major/dst-minor over prev's intent hosts).
+        prev.traces
+            .iter()
+            .enumerate()
+            .filter_map(|(pos, t)| {
+                let (i, r) = (pos / (np - 1), pos % (np - 1));
+                let j = if r < i { r } else { r + 1 };
+                let (sa, da) = (prev.intent.hosts[i].addr.0, prev.intent.hosts[j].addr.0);
+                (ok_hosts.contains(&sa) && ok_hosts.contains(&da) && t.avoids(touched, tmask))
+                    .then_some(((sa, da), t))
+            })
+            .collect()
     }
 
     /// Reachability closure over every ordered intent host pair, one
@@ -631,47 +902,16 @@ impl Verifier {
     ) -> usize {
         // A previous trace is reusable iff both endpoints' intent entries
         // are unchanged and the traced path avoids every touched switch.
-        let reusable: HashMap<(u32, u32), &PairTrace> = match (touched, prev) {
-            (Some(touched), Some(prev)) => {
-                let prev_hosts: HashMap<u32, (&crate::model::IntentHost, &str)> = prev
-                    .intent
-                    .hosts
-                    .iter()
-                    .map(|h| (h.addr.0, (h, prev.intent.domains[h.domain].as_str())))
-                    .collect();
-                let unchanged = |h: &crate::model::IntentHost| {
-                    prev_hosts.get(&h.addr.0).is_some_and(|(p, label)| {
-                        p.ingress == h.ingress
-                            && p.ports == h.ports
-                            && p.group == h.group
-                            && p.host == h.host
-                            && *label == self.intent.domains[h.domain]
-                    })
-                };
-                let ok_hosts: HashSet<u32> = self
-                    .intent
-                    .hosts
-                    .iter()
-                    .filter(|h| unchanged(h))
-                    .map(|h| h.addr.0)
-                    .collect();
-                prev.traces
-                    .iter()
-                    .filter(|t| {
-                        ok_hosts.contains(&t.src_addr.0)
-                            && ok_hosts.contains(&t.dst_addr.0)
-                            && t.switches.is_disjoint(touched)
-                    })
-                    .map(|t| ((t.src_addr.0, t.dst_addr.0), t))
-                    .collect()
-            }
+        let tmask = touched.map_or(0, mask_of);
+        let reusable: HashMap<(u32, u32), &Arc<PairTrace>> = match (touched, prev) {
+            (Some(touched), Some(prev)) => self.reusable_map(prev, touched, tmask),
             _ => HashMap::new(),
         };
         let budget = 4 * self.cluster.links().len() + 8;
         let hosts = &self.intent.hosts;
         let (cluster, values, indexes, reusable_ref) =
             (&self.cluster, &self.values, &self.indexes, &reusable);
-        let per_src: Vec<(usize, Vec<PairTrace>)> =
+        let per_src: Vec<(usize, Vec<Arc<PairTrace>>)> =
             sdt_par::par_map_threads(threads, hosts, |src| {
                 let mut walked = 0usize;
                 let mut traces = Vec::with_capacity(hosts.len().saturating_sub(1));
@@ -680,7 +920,7 @@ impl Verifier {
                         continue;
                     }
                     if let Some(t) = reusable_ref.get(&(src.addr.0, dst.addr.0)) {
-                        traces.push((*t).clone());
+                        traces.push(Arc::clone(t));
                         continue;
                     }
                     walked += 1;
@@ -703,12 +943,13 @@ impl Verifier {
                             Step::Next { to, .. } => at = to,
                         }
                     }
-                    traces.push(PairTrace {
-                        src_addr: src.addr,
-                        dst_addr: dst.addr,
+                    let mask = mask_of(&switches);
+                    traces.push(Arc::new(PairTrace {
                         outcome,
-                        switches,
-                    });
+                        pre: Arc::new(switches),
+                        post: no_switches(),
+                        mask,
+                    }));
                 }
                 (walked, traces)
             });
@@ -719,19 +960,317 @@ impl Verifier {
             walked += w;
             traces.extend(t);
         }
-        self.traces = traces;
+        self.traces = Arc::new(traces);
         walked
+    }
+
+    /// [`Verifier::walk_pairs`] and [`Verifier::scan_loops`] fused, with
+    /// the symmetry collapse: one job per header class resolves one destiny
+    /// per pipeline state through a shared [`DestinyMemo`] (probing the
+    /// persistent [`WalkCache`] when one is attached) and uses it twice —
+    /// to prove the class loop-free (or fall back to the reference port
+    /// walk, keeping `LoopFinding`s byte-identical) and to replay one
+    /// representative verdict per source to every same-class pair. Jobs
+    /// are weighted by pair count and scheduled heaviest first over
+    /// [`sdt_par::par_map_weighted_threads`]; traces are scattered back
+    /// into the exact src-major/dst-minor order `finalize` consumes and
+    /// loop findings merge in class-enumeration order, so reports are
+    /// byte-identical to the reference's at any thread count.
+    #[allow(clippy::too_many_lines)]
+    fn walk_pairs_fast(
+        &mut self,
+        fates: &FateTable,
+        touched: Option<&BTreeSet<u32>>,
+        prev: Option<&Verifier>,
+        threads: usize,
+        cache: &mut Option<WalkCache>,
+    ) -> usize {
+        let hosts = &self.intent.hosts;
+        let n = hosts.len();
+        let total = n * n.saturating_sub(1);
+        let tmask = touched.map_or(0, mask_of);
+        // Per-position reuse table (pos = src-major pair index), pre-filled
+        // with `Arc`-cloned previous traces. The positional fast path
+        // applies when the intent is unchanged and addresses are unique —
+        // then the reference's address-keyed map would resolve every
+        // position to exactly this trace. Otherwise build the reference's
+        // map and read it out positionally.
+        let unique_addrs = {
+            let mut seen = HashSet::with_capacity(n);
+            hosts.iter().all(|h| seen.insert(h.addr.0))
+        };
+        let positional = |prev: &Verifier| {
+            unique_addrs && self.intent == prev.intent && prev.traces.len() == total
+        };
+        let mut slots: Vec<Option<Arc<PairTrace>>> = match (touched, prev) {
+            (Some(touched), Some(prev)) if positional(prev) => {
+                if touched.is_empty() {
+                    // Nothing touched: every trace replays verbatim, and
+                    // the walk below would visit a million pairs only to
+                    // skip each one. Clone the trace vector wholesale.
+                    self.traces = prev.traces.clone();
+                    return 0;
+                }
+                prev.traces
+                    .iter()
+                    .map(|t| t.avoids(touched, tmask).then(|| Arc::clone(t)))
+                    .collect()
+            }
+            (Some(touched), Some(prev)) => {
+                let map = self.reusable_map(prev, touched, tmask);
+                let mut v = Vec::with_capacity(total);
+                for (i, src) in hosts.iter().enumerate() {
+                    for (j, dst) in hosts.iter().enumerate() {
+                        if i != j {
+                            v.push(map.get(&(src.addr.0, dst.addr.0)).map(|t| Arc::clone(t)));
+                        }
+                    }
+                }
+                v
+            }
+            _ => vec![None; total],
+        };
+        // Group hosts by per-field class code (0 = fresh, k+1 = k-th
+        // tested value); a *walking* job is one (src-code, dst-code) cell =
+        // one header class (L4 fields are constant across intent traffic).
+        // Every other class still gets a job for the loop scan alone.
+        let values = &self.values;
+        let code = |vals: &[HostAddr], a: HostAddr| vals.binary_search(&a).map_or(0, |p| p + 1);
+        let mut srcs_by: Vec<Vec<usize>> = vec![Vec::new(); values.srcs().len() + 1];
+        let mut dsts_by: Vec<Vec<usize>> = vec![Vec::new(); values.dsts().len() + 1];
+        for (i, h) in hosts.iter().enumerate() {
+            srcs_by[code(values.srcs(), h.addr)].push(i);
+            dsts_by[code(values.dsts(), h.addr)].push(i);
+        }
+        let l4 = values.class_of(HostAddr(0), HostAddr(0), 4791, 4791);
+        // Loop-scan starts: every link ingress (on a touched switch, for
+        // deltas). Cycles carried over from `prev` are already in
+        // `self.loops` and must not be re-reported.
+        let starts: Vec<PhysPort> = self
+            .cluster
+            .links()
+            .iter()
+            .flat_map(|l| [l.a, l.b])
+            .filter(|p| touched.is_none_or(|t| t.contains(&p.switch)))
+            .collect();
+        // Start fates are class-independent, and Dead/Deliver starts can
+        // never reach a `Looped` destiny — so the per-class loop check only
+        // needs the distinct pipeline states the starts resolve to.
+        let start_states: Vec<(u32, u32)> = {
+            let mut seen = HashSet::new();
+            starts
+                .iter()
+                .filter_map(|&p| match &fates.fate(p).out {
+                    FateOut::State { sw, md } => Some((*sw, *md)),
+                    _ => None,
+                })
+                .filter(|s| seen.insert(*s))
+                .collect()
+        };
+        let carried: HashSet<Vec<(u32, u16)>> =
+            self.loops.iter().map(|l| canonical_cycle(&l.ports)).collect();
+        // One job per header class, in `classes()` enumeration order (loop
+        // findings are deduplicated first-class-wins, so this order is part
+        // of the report contract).
+        let jobs: Vec<(HeaderClass, usize, usize, bool)> = values
+            .classes()
+            .into_iter()
+            .map(|class| {
+                let a = class.src.map_or(0, |v| code(values.srcs(), v));
+                let b = class.dst.map_or(0, |v| code(values.dsts(), v));
+                let walk = class.l4_src == l4.l4_src
+                    && class.l4_dst == l4.l4_dst
+                    && !srcs_by[a].is_empty()
+                    && !dsts_by[b].is_empty();
+                (class, a, b, walk)
+            })
+            .collect();
+        let empty_cache = WalkCache::new();
+        let collect_fresh = cache.is_some();
+        let ro: &WalkCache = match cache.as_ref() {
+            Some(c) => c,
+            None => &empty_cache,
+        };
+        struct JobOut {
+            out: Vec<(usize, Arc<PairTrace>)>,
+            walked: usize,
+            full: usize,
+            hits: usize,
+            misses: usize,
+            fresh: Vec<((HeaderClass, u32, u32), crate::fast::CachedDestiny)>,
+            loops: Option<(Vec<LoopFinding>, bool)>,
+        }
+        let (cluster, view, indexes) = (&self.cluster, &self.view, &self.indexes);
+        let (hosts_ref, srcs_ref, dsts_ref, slots_ref) = (hosts, &srcs_by, &dsts_by, &slots);
+        let (starts_ref, states_ref, carried_ref) = (&starts, &start_states, &carried);
+        // Jobs emit only the pairs they actually walk (reused positions are
+        // already filled); each walked pair is an 8-byte `Arc` clone of its
+        // source's per-job representative trace.
+        let results: Vec<JobOut> = sdt_par::par_map_weighted_threads(
+            threads,
+            &jobs,
+            |&(_, a, b, walk)| {
+                (starts_ref.len() + if walk { srcs_ref[a].len() * dsts_ref[b].len() } else { 0 })
+                    as u64
+            },
+            |&(class, a, b, walk)| {
+                let mut memo =
+                    DestinyMemo::new(view, cluster, indexes, fates, ro, class, collect_fresh);
+                // Loop scan first: a class from whose start ports no
+                // `Looped` destiny is reachable provably has no cycle —
+                // skip it; one that does falls back to the reference port
+                // walk so the findings are byte-identical.
+                let loops = if starts_ref.is_empty() {
+                    None
+                } else {
+                    let looped = states_ref.iter().any(|&(sw, md)| {
+                        let idx = memo.resolve(sw, md);
+                        matches!(memo.destiny(idx).out, PairOutcome::Looped)
+                    });
+                    if looped {
+                        Some((
+                            scan_loops_class(indexes, cluster, starts_ref, carried_ref, class),
+                            false,
+                        ))
+                    } else {
+                        Some((Vec::new(), true))
+                    }
+                };
+                let mut out = Vec::new();
+                let (mut walked, mut full) = (0usize, 0usize);
+                // Cross-source representative table: two sources whose
+                // ingress fates reach the same pipeline state through the
+                // same singleton `pre` set produce content-identical traces
+                // (the destiny is a pure function of the state within this
+                // memo), so they share one allocation.
+                let mut reps: HashMap<(u32, u32, u32), Arc<PairTrace>> = HashMap::new();
+                for &i in srcs_ref[a].iter().filter(|_| walk) {
+                    let src = &hosts_ref[i];
+                    // Representative verdict for this source, built on the
+                    // first non-reused pair and replayed to the rest.
+                    let mut rep: Option<Arc<PairTrace>> = None;
+                    for &j in &dsts_ref[b] {
+                        if i == j {
+                            continue;
+                        }
+                        let pos = i * (n - 1) + if j < i { j } else { j - 1 };
+                        if slots_ref[pos].is_some() {
+                            continue;
+                        }
+                        walked += 1;
+                        if rep.is_none() {
+                            let fate = fates.fate(src.ingress);
+                            let shared = match &fate.out {
+                                FateOut::State { sw, md } if fate.pre.len() == 1 => {
+                                    fate.pre.first().map(|&s| (s, *sw, *md))
+                                }
+                                _ => None,
+                            };
+                            let t = match shared.and_then(|k| reps.get(&k).cloned()) {
+                                Some(t) => t,
+                                None => {
+                                    full += 1;
+                                    let (outcome, pre, post, mask) = match &fate.out {
+                                        FateOut::Dead(reason) => (
+                                            PairOutcome::Dropped { reason: reason.clone() },
+                                            fate.pre.clone(),
+                                            no_switches(),
+                                            fate.mask,
+                                        ),
+                                        FateOut::Deliver { port, via } => (
+                                            PairOutcome::Delivered {
+                                                port: *port,
+                                                via: via.clone(),
+                                            },
+                                            fate.pre.clone(),
+                                            no_switches(),
+                                            fate.mask,
+                                        ),
+                                        FateOut::State { sw, md } => {
+                                            let idx = memo.resolve(*sw, *md);
+                                            let d = memo.destiny(idx);
+                                            (
+                                                d.out.clone(),
+                                                fate.pre.clone(),
+                                                d.post.clone(),
+                                                fate.mask | d.mask,
+                                            )
+                                        }
+                                    };
+                                    let t = Arc::new(PairTrace { outcome, pre, post, mask });
+                                    if let Some(k) = shared {
+                                        reps.insert(k, Arc::clone(&t));
+                                    }
+                                    t
+                                }
+                            };
+                            rep = Some(t);
+                        }
+                        if let Some(r) = &rep {
+                            out.push((pos, Arc::clone(r)));
+                        }
+                    }
+                }
+                let (hits, misses) = (memo.hits, memo.misses);
+                let fresh = memo.fresh_entries();
+                JobOut { out, walked, full, hits, misses, fresh, loops }
+            },
+        );
+        let mut walked_total = 0usize;
+        let mut seen_cycles = carried;
+        for job in results {
+            walked_total += job.walked;
+            self.stats.pairs_walked_full += job.full;
+            self.stats.pairs_replayed += job.walked - job.full;
+            self.stats.cache_hits += job.hits;
+            self.stats.cache_misses += job.misses;
+            if let Some((found, fast)) = job.loops {
+                if fast {
+                    self.stats.loop_classes_fast += 1;
+                } else {
+                    self.stats.loop_classes_fallback += 1;
+                }
+                for l in found {
+                    if seen_cycles.insert(canonical_cycle(&l.ports)) {
+                        self.loops.push(l);
+                    }
+                }
+            }
+            for (pos, t) in job.out {
+                slots[pos] = Some(t);
+            }
+            if let Some(c) = cache.as_mut() {
+                for (k, v) in job.fresh {
+                    c.destinies.insert(k, v);
+                }
+            }
+        }
+        self.traces = Arc::new(
+            slots
+                .into_iter()
+                .map(|s| match s {
+                    Some(t) => t,
+                    None => unreachable!("every ordered pair belongs to exactly one class job"),
+                })
+                .collect(),
+        );
+        walked_total
     }
 
     /// Turn traces + warnings + loops into the final report.
     fn finalize(&mut self, switches_scanned: usize, pairs_walked: usize) {
-        let owner: HashMap<PhysPort, usize> = self
-            .intent
-            .hosts
-            .iter()
-            .enumerate()
-            .flat_map(|(i, h)| h.ports.iter().map(move |&p| (p, i)))
-            .collect();
+        // Dense port→host-index table (last write wins, like the HashMap it
+        // replaces): finalize probes it once per delivered pair, and a flat
+        // vector beats hashing at the ~1M-pair scale of the big presets.
+        let ports = self.cluster.model().ports as usize;
+        let mut owner: Vec<Option<usize>> = vec![None; self.cluster.num_switches() as usize * ports];
+        for (i, h) in self.intent.hosts.iter().enumerate() {
+            for &p in &h.ports {
+                owner[p.switch as usize * ports + p.port.idx()] = Some(i);
+            }
+        }
+        let owner_of =
+            |p: &PhysPort| owner.get(p.switch as usize * ports + p.port.idx()).copied().flatten();
         let mut report = VerifyReport {
             loops: self.loops.clone(),
             switches_scanned,
@@ -754,9 +1293,9 @@ impl Verifier {
                 t += 1;
                 let expected = self.intent.expects_delivery(i, j);
                 match &trace.outcome {
-                    PairOutcome::Delivered { port, via } => match owner.get(port) {
-                        Some(&k) if k == j && expected => report.delivered_pairs += 1,
-                        Some(&k) => {
+                    PairOutcome::Delivered { port, via } => match owner_of(port) {
+                        Some(k) if k == j && expected => report.delivered_pairs += 1,
+                        Some(k) => {
                             let to = &self.intent.hosts[k];
                             report.leaks.push(LeakFinding {
                                 from_domain: self.intent.domains[src.domain].clone(),
@@ -794,6 +1333,102 @@ impl Verifier {
         }
         self.report = report;
     }
+}
+
+/// One class's reference loop scan: follow the forwarding port-graph from
+/// each start with a visited set, reporting every new cycle. Shared by the
+/// plain pass (all classes) and the fast pass (fallback classes only).
+fn scan_loops_class(
+    indexes: &[Arc<[EntryIndex; 2]>],
+    cluster: &PhysicalCluster,
+    starts: &[PhysPort],
+    carried: &HashSet<Vec<(u32, u16)>>,
+    class: HeaderClass,
+) -> Vec<LoopFinding> {
+    let mut found = Vec::new();
+    let mut local_seen: HashSet<Vec<(u32, u16)>> = HashSet::new();
+    let mut done: HashSet<PhysPort> = HashSet::new();
+    for &start in starts {
+        if done.contains(&start) {
+            continue;
+        }
+        let mut index: HashMap<PhysPort, usize> = HashMap::new();
+        let mut chain: Vec<(PhysPort, Vec<RuleRef>)> = Vec::new();
+        let mut cur = start;
+        loop {
+            if done.contains(&cur) {
+                break; // chain merges into an already-explored path
+            }
+            if let Some(&i) = index.get(&cur) {
+                let cycle = &chain[i..];
+                let ports: Vec<PhysPort> = cycle.iter().map(|(p, _)| *p).collect();
+                let canon = canonical_cycle(&ports);
+                if !carried.contains(&canon) && local_seen.insert(canon) {
+                    found.push(LoopFinding {
+                        ports,
+                        rules: cycle.iter().flat_map(|(_, r)| r.clone()).collect(),
+                        class,
+                    });
+                }
+                break;
+            }
+            match step(indexes, cluster, cur, &class) {
+                Step::Next { to, rules } => {
+                    index.insert(cur, chain.len());
+                    chain.push((cur, rules));
+                    cur = to;
+                }
+                Step::Deliver { .. } | Step::Dead { .. } => break,
+            }
+        }
+        done.extend(chain.iter().map(|(p, _)| *p));
+    }
+    found
+}
+
+/// [`switch_warnings`] built on the mask-group overlap index: identical
+/// findings in identical order, sub-quadratic for the large tables the
+/// linear reference struggles with.
+fn switch_warnings_fast(view: &TableView, num_ports: u16, sw: u32) -> SwitchWarnings {
+    let mut w = SwitchWarnings::default();
+    let written: BTreeSet<u32> = view
+        .entries(sw, 0)
+        .iter()
+        .filter_map(|e| match e.action {
+            Action::WriteMetadataGoto(md) => Some(md),
+            _ => None,
+        })
+        .collect();
+    for table in 0..2u8 {
+        let entries = view.entries(sw, table);
+        let universe = if table == 0 {
+            MatchUniverse { in_ports: Some((0..num_ports).map(PortNo).collect()), metadata: None }
+        } else {
+            MatchUniverse::for_switch(num_ports, written.iter().copied())
+        };
+        if table == 0 {
+            for e in entries.iter().filter(|e| e.m.metadata.is_some()) {
+                w.shadowed.push(ShadowFinding {
+                    switch: sw,
+                    table,
+                    shadowed: ShadowedEntry { entry: *e, covered_by: Vec::new() },
+                });
+            }
+        }
+        let (shadowed, nondet) = table_warnings_indexed(entries, &universe);
+        for s in shadowed {
+            w.shadowed.push(ShadowFinding { switch: sw, table, shadowed: s });
+        }
+        for (a, b) in nondet {
+            w.nondet.push(NondetFinding {
+                switch: sw,
+                table,
+                first: entries[a as usize],
+                second: entries[b as usize],
+            });
+        }
+    }
+    w
 }
 
 /// The dead-rule and nondeterminism warnings of a single switch — a pure

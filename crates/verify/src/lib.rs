@@ -32,14 +32,29 @@
 //! an exact finite partition of header space ([`HeaderValues`]); two
 //! packets in the same class take identical decisions at every rule, so
 //! one symbolic walk per class covers all packets.
+//!
+//! # Verification at scale
+//!
+//! The exhaustive walk is collapsed, memoized and sharded (see
+//! [`mod@fast`]): structurally equivalent `(ingress, header-class)` walks
+//! share one representative, per-class verdicts persist across passes in a
+//! [`WalkCache`] keyed on table content fingerprints
+//! ([`sdt_openflow::TableFp`]), and class jobs spread over cores
+//! weighted-heaviest-first. All of it is *transparent*: whenever a
+//! precondition fails the pass falls back to the reference walker, and
+//! findings are byte-identical either way ([`Verifier::stats`] reports what
+//! was saved). Callers that verify repeatedly pass a long-lived cache to
+//! [`Verifier::check_cached`] / [`Verifier::check_delta_cached`].
 
 pub mod analysis;
+pub mod fast;
 pub mod model;
 
 pub use analysis::{
     BlackholeFinding, DropReason, LeakFinding, LoopFinding, NondetFinding, RuleRef,
     ShadowFinding, Verifier, VerifyReport,
 };
+pub use fast::{VerifyStats, WalkCache};
 pub use model::{HeaderClass, HeaderValues, Intent, IntentHost, TableView};
 
 /// Worker count for the parallel analyses ([`Verifier::check`],

@@ -1,0 +1,291 @@
+//! Differential proof that the fast verifier is invisible: the
+//! symmetry-collapsed, memoized, weight-sharded walk must produce reports
+//! **byte-identical** to the reference (plain) walker — on the paper's
+//! preset topologies, on incremental delta checks, on a seeded random
+//! multi-tenant slice mix, on the live tables left behind by a
+//! chaos-style `recover()`, and on arbitrary interleavings of flow-mod
+//! batches with verification passes (property test). The persistent
+//! [`WalkCache`] must never change a report either — only wall-clock.
+//!
+//! These tests compare the full `Debug` rendering of [`VerifyReport`], so
+//! any drift in a finding, a counter, or even ordering fails loudly.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sdt_controller::{FailureReport, RecoveryConfig, SdtController};
+use sdt_core::cluster::ClusterBuilder;
+use sdt_core::methods::SwitchModel;
+use sdt_core::sdt::SdtProjector;
+use sdt_openflow::{
+    Action, ControlChannel, FlowEntry, FlowMatch, FlowMod, HostAddr, PortNo,
+};
+use sdt_tenancy::SliceManager;
+use sdt_topology::chain::{chain, ring};
+use sdt_topology::dragonfly::dragonfly;
+use sdt_topology::fattree::fat_tree;
+use sdt_topology::meshtorus::{mesh, torus};
+use sdt_topology::Topology;
+use sdt_verify::{Intent, TableView, Verifier, WalkCache};
+
+/// Fast and plain must have derived the same proof, bit for bit.
+fn assert_identical(fast: &Verifier, plain: &Verifier, label: &str) {
+    let (rf, rp) = (fast.report(), plain.report());
+    assert_eq!(rf.loops, rp.loops, "{label}: loops differ");
+    assert_eq!(rf.blackholes, rp.blackholes, "{label}: blackholes differ");
+    assert_eq!(rf.leaks, rp.leaks, "{label}: leaks differ");
+    assert_eq!(rf.shadowed, rp.shadowed, "{label}: shadow findings differ");
+    assert_eq!(rf.nondeterminism, rp.nondeterminism, "{label}: nondet findings differ");
+    assert_eq!(
+        format!("{rf:?}"),
+        format!("{rp:?}"),
+        "{label}: reports not byte-identical"
+    );
+}
+
+/// Project a topology onto the smallest cluster that carries it.
+fn project(topo: &Topology) -> (sdt_core::cluster::PhysicalCluster, sdt_core::sdt::SdtProjection) {
+    let model = SwitchModel::openflow_128x100g();
+    let projector = SdtProjector { merge_entries_on_overflow: true, ..Default::default() };
+    for n in 1..=8u32 {
+        let cluster = ClusterBuilder::new(model, n)
+            .hosts_per_switch((topo.num_hosts() / n).max(1) as u16)
+            .inter_links_per_pair(24)
+            .build();
+        if let Ok(p) = projector.project_default(topo, &cluster) {
+            return (cluster, p);
+        }
+    }
+    panic!("{} does not fit on 8 switches", topo.name());
+}
+
+#[test]
+fn paper_presets_fast_equals_plain_and_cache_is_invisible() {
+    let presets: Vec<Topology> =
+        vec![fat_tree(4), torus(&[4, 4]), dragonfly(4, 9, 2, 2), ring(8)];
+    for topo in &presets {
+        let (cluster, proj) = project(topo);
+        let view = || TableView::of_synthesis(&proj.synthesis);
+        let intent = || Intent::of_projection(&proj, topo, topo.name());
+        let plain = Verifier::check_plain_threads(&cluster, view(), intent(), 2);
+        let fast = Verifier::check_threads(&cluster, view(), intent(), 2);
+        assert_identical(&fast, &plain, topo.name());
+        assert!(
+            fast.stats().symmetric,
+            "{}: SDT synthesis should admit the fast path",
+            topo.name()
+        );
+        // Cold cached pass fills the cache; warm pass must replay from it
+        // and still render the exact same report.
+        let mut cache = WalkCache::new();
+        let cold = Verifier::check_cached(&cluster, view(), intent(), 2, &mut cache);
+        assert_identical(&cold, &plain, &format!("{} cold cached", topo.name()));
+        assert!(cache.entries() > 0, "{}: cold pass must fill the cache", topo.name());
+        let warm = Verifier::check_cached(&cluster, view(), intent(), 2, &mut cache);
+        assert_identical(&warm, &plain, &format!("{} warm cached", topo.name()));
+        assert!(
+            warm.stats().cache_hits > 0 || warm.stats().warn_cache_hits > 0,
+            "{}: warm pass should hit the cache",
+            topo.name()
+        );
+    }
+}
+
+#[test]
+fn delta_checks_fast_equals_plain_across_modes() {
+    // Corrupt a verified fat-tree with a batch clearing one routing table:
+    // plain delta, fast delta and cached delta must all report the same
+    // blackholes, and a follow-up repair batch must agree too.
+    let topo = fat_tree(4);
+    let (cluster, proj) = project(&topo);
+    let view = || TableView::of_synthesis(&proj.synthesis);
+    let intent = || Intent::of_projection(&proj, &topo, topo.name());
+    let plain0 = Verifier::check_plain_threads(&cluster, view(), intent(), 2);
+    let fast0 = Verifier::check_threads(&cluster, view(), intent(), 2);
+    let mut cache = WalkCache::new();
+    let cached0 = Verifier::check_cached(&cluster, view(), intent(), 2, &mut cache);
+
+    let batch: Vec<(u32, u8, FlowMod)> = vec![(0, 1, FlowMod::Clear)];
+    let dp = Verifier::check_delta_plain_threads(&plain0, &batch, intent(), 2);
+    let df = Verifier::check_delta_threads(&fast0, &batch, intent(), 2);
+    let dc = Verifier::check_delta_cached(&cached0, &batch, intent(), 2, &mut cache);
+    assert_identical(&df, &dp, "clear delta fast");
+    assert_identical(&dc, &dp, "clear delta cached");
+    assert!(!dp.holds(), "clearing a routing table must break the proof");
+
+    // Re-verify the unmodified tables through the warm cache: an empty
+    // batch delta must agree with the plain empty delta (both report zero
+    // re-walked pairs — everything reused) and keep every clean finding.
+    let empty: Vec<(u32, u8, FlowMod)> = Vec::new();
+    let warm = Verifier::check_delta_cached(&cached0, &empty, intent(), 2, &mut cache);
+    let warm_plain = Verifier::check_delta_plain_threads(&plain0, &empty, intent(), 2);
+    assert_identical(&warm, &warm_plain, "warm empty delta");
+    assert!(warm.holds(), "empty delta over clean tables stays clean");
+}
+
+#[test]
+fn random_slice_mix_fast_equals_plain() {
+    // Seeded random multi-tenant churn leaves live tables richer than any
+    // single synthesis (orphaned shadows, uneven metadata tiers). Both
+    // walkers must agree on the full proof, cache or no cache.
+    let mut rng = StdRng::seed_from_u64(0x5d7_2026);
+    let cluster = ClusterBuilder::new(SwitchModel::openflow_128x100g(), 3)
+        .hosts_per_switch(16)
+        .inter_links_per_pair(16)
+        .build();
+    let mut mgr = SliceManager::new(cluster);
+    let mut admitted = Vec::new();
+    for i in 0..10 {
+        let topo = match rng.random_range(0..3u32) {
+            0 => chain(rng.random_range(2..5u32)),
+            1 => ring(rng.random_range(3..6u32)),
+            _ => mesh(&[2, 2]),
+        };
+        if let Ok(id) = mgr.create(&format!("s{i}"), &topo) {
+            admitted.push(id);
+        }
+        if !admitted.is_empty() && rng.random_bool(0.3) {
+            let victim = admitted.swap_remove(rng.random_range(0..admitted.len()));
+            mgr.destroy(victim).unwrap();
+        }
+    }
+    assert!(!admitted.is_empty(), "seed produced no surviving slices");
+    let view = || TableView::of_switches(mgr.switches());
+    let plain = Verifier::check_plain_threads(mgr.cluster(), view(), mgr.intent(), 2);
+    let fast = Verifier::check_threads(mgr.cluster(), view(), mgr.intent(), 2);
+    assert_identical(&fast, &plain, "random slice mix");
+    let mut cache = WalkCache::new();
+    let c1 = Verifier::check_cached(mgr.cluster(), view(), mgr.intent(), 2, &mut cache);
+    let c2 = Verifier::check_cached(mgr.cluster(), view(), mgr.intent(), 2, &mut cache);
+    assert_identical(&c1, &plain, "slice mix cold cached");
+    assert_identical(&c2, &plain, "slice mix warm cached");
+}
+
+#[test]
+fn post_recovery_live_tables_fast_equals_plain() {
+    // Chaos-style fault + recover(): kill a cable under a deployed torus,
+    // reconcile the live switches, then prove fast == plain on the exact
+    // tables the recovery left behind — including a warm pass through a
+    // cache that watched the *pre-fault* deployment (every invalidation
+    // must be caught by the table fingerprints).
+    let cluster = ClusterBuilder::new(SwitchModel::openflow_128x100g(), 2)
+        .hosts_per_switch(16)
+        .inter_links_per_pair(10)
+        .build();
+    let mut c = SdtController::new(cluster);
+    let d = c.deploy(&torus(&[4, 4])).unwrap();
+    let mut cache = WalkCache::new();
+    let pre = Verifier::check_cached(
+        c.cluster(),
+        TableView::of_switches(&d.switches),
+        Intent::of_projection(&d.projection, &d.topology, d.topology.name()),
+        2,
+        &mut cache,
+    );
+    assert!(pre.holds(), "intact deployment must verify clean");
+
+    let dead = (sdt_topology::SwitchId(0), sdt_topology::SwitchId(1));
+    let mut ch = ControlChannel::reliable();
+    let report = FailureReport::links(vec![dead]);
+    let out = c.recover(d, &report, &mut ch, &RecoveryConfig::default()).unwrap();
+    assert!(out.retry.converged, "reliable channel must converge");
+
+    let dep = &out.deployment;
+    let view = || TableView::of_switches(&dep.switches);
+    let intent = || Intent::of_projection(&dep.projection, &dep.topology, dep.topology.name());
+    let plain = Verifier::check_plain_threads(c.cluster(), view(), intent(), 2);
+    let fast = Verifier::check_threads(c.cluster(), view(), intent(), 2);
+    assert_identical(&fast, &plain, "post-recovery live tables");
+    let warm = Verifier::check_cached(c.cluster(), view(), intent(), 2, &mut cache);
+    assert_identical(&warm, &plain, "post-recovery warm through stale cache");
+}
+
+/// Decode a random match over tiny field domains so entries collide and
+/// shadow constantly — and regularly break the symmetry preconditions
+/// (header-matching classify rules, port-matching route rules), forcing
+/// the fast path through its fallback as well as its collapsed walk.
+fn decode_match(r: u32) -> FlowMatch {
+    let mut m = FlowMatch::any();
+    if r & 1 != 0 {
+        m.in_port = Some(PortNo(((r >> 8) & 3) as u16));
+    }
+    if r & 2 != 0 {
+        m.metadata = Some((r >> 10) & 3);
+    }
+    if r & 4 != 0 {
+        m.src = Some(HostAddr(((r >> 12) & 7) % 6));
+    }
+    if r & 8 != 0 {
+        m.dst = Some(HostAddr(((r >> 15) & 7) % 6));
+    }
+    if r & 16 != 0 {
+        m.l4_dst = Some(((r >> 18) & 3) as u16);
+    }
+    m
+}
+
+fn decode_mod((kind, r, priority, action): (u8, u32, u16, u8)) -> FlowMod {
+    match kind % 4 {
+        0 => FlowMod::Clear,
+        1 => FlowMod::Delete(decode_match(r), priority),
+        _ => FlowMod::Add(FlowEntry {
+            m: decode_match(r),
+            priority,
+            action: match action % 3 {
+                0 => Action::Drop,
+                1 => Action::WriteMetadataGoto((r >> 21) & 3),
+                _ => Action::Output(PortNo(((r >> 21) & 7) as u16)),
+            },
+        }),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Interleave random flow-mod batches with verification passes: after
+    /// every batch, the plain delta chain, the fast delta chain and the
+    /// cached delta chain must render byte-identical reports. Random
+    /// batches routinely violate the pipeline shape, so this exercises
+    /// collapsed walks, fallbacks, and cache invalidation in one run.
+    #[test]
+    fn interleaved_flow_mods_and_verifies_agree(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(
+                (any::<u8>(), any::<u32>(), 0u16..8, any::<u8>()),
+                1..4,
+            ),
+            1..5,
+        ),
+        sw_seed in any::<u32>(),
+    ) {
+        let topo = chain(4);
+        let (cluster, proj) = project(&topo);
+        let intent = || Intent::of_projection(&proj, &topo, topo.name());
+        let view = || TableView::of_synthesis(&proj.synthesis);
+        let num_switches = cluster.num_switches();
+        let mut plain = Verifier::check_plain_threads(&cluster, view(), intent(), 2);
+        let mut fast = Verifier::check_threads(&cluster, view(), intent(), 2);
+        let mut cache = WalkCache::new();
+        let mut cached = Verifier::check_cached(&cluster, view(), intent(), 2, &mut cache);
+        assert_identical(&fast, &plain, "proptest initial");
+        assert_identical(&cached, &plain, "proptest initial cached");
+        for (bi, raw) in batches.iter().enumerate() {
+            let batch: Vec<(u32, u8, FlowMod)> = raw
+                .iter()
+                .enumerate()
+                .map(|(mi, &op)| {
+                    let sw = (sw_seed.wrapping_add((bi * 4 + mi) as u32)) % num_switches;
+                    let table = (op.1 >> 5) as u8 & 1;
+                    (sw, table, decode_mod(op))
+                })
+                .collect();
+            plain = Verifier::check_delta_plain_threads(&plain, &batch, intent(), 2);
+            fast = Verifier::check_delta_threads(&fast, &batch, intent(), 2);
+            cached = Verifier::check_delta_cached(&cached, &batch, intent(), 2, &mut cache);
+            assert_identical(&fast, &plain, &format!("proptest batch {bi}"));
+            assert_identical(&cached, &plain, &format!("proptest batch {bi} cached"));
+        }
+    }
+}
