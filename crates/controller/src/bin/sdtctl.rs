@@ -13,6 +13,17 @@
 //! sdtctl slices <config.toml>...   admit every config as a slice of ONE
 //!                                  shared cluster (first config wires it),
 //!                                  print occupancy + cross-slice audit
+//! sdtctl reconfigure [--scheduled] [--drop <p>] [--reorder <p>] [--seed <n>]
+//!                    <from.toml> <to.toml>
+//!                                  admit the first config as a slice, then
+//!                                  migrate it to the second topology. With
+//!                                  `--scheduled` the epoch is compiled into
+//!                                  dependency-ordered rounds, each
+//!                                  intermediate state statically proven
+//!                                  before its round installs, over a
+//!                                  control channel that drops/reorders
+//!                                  flow-mods with the given probabilities
+//!                                  (`--json` adds the per-round report).
 //! sdtctl verify <config.toml>...   statically verify the installed flow
 //!                                  tables (no packets injected): loops,
 //!                                  blackholes, leaks, shadowed rules.
@@ -46,7 +57,9 @@ fn main() -> ExitCode {
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.as_str(), r),
         None => {
-            eprintln!("usage: sdtctl [--json] <check|deploy|plan|tables|slices|verify> ...");
+            eprintln!(
+                "usage: sdtctl [--json] <check|deploy|plan|tables|slices|reconfigure|verify> ..."
+            );
             return ExitCode::from(2);
         }
     };
@@ -56,6 +69,7 @@ fn main() -> ExitCode {
         "plan" => cmd_plan(rest),
         "tables" => cmd_tables(rest),
         "slices" => cmd_slices(rest, json),
+        "reconfigure" => cmd_reconfigure(rest, json),
         "verify" => cmd_verify(rest, json),
         other => Err(format!("unknown command `{other}`")),
     };
@@ -368,6 +382,171 @@ fn cmd_slices(paths: &[String], json: bool) -> Result<(), String> {
     }
     if !audit.clean() {
         return Err("cross-slice audit found violations".into());
+    }
+    Ok(())
+}
+
+/// Admit the first config's topology as a slice of its own cluster, then
+/// migrate it to the second config's topology. Plain mode uses the
+/// one-shot make-before-break epoch; `--scheduled` compiles the epoch into
+/// dependency-ordered rounds with every intermediate state statically
+/// proven before its round installs, over a control channel whose loss and
+/// reordering probabilities come from `--drop` / `--reorder` / `--seed`.
+fn cmd_reconfigure(args: &[String], json: bool) -> Result<(), String> {
+    let mut scheduled = false;
+    let mut drop_prob = 0.0f64;
+    let mut reorder_prob = 0.0f64;
+    let mut seed = 0u64;
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scheduled" => scheduled = true,
+            "--drop" => {
+                drop_prob = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("reconfigure: --drop needs a probability")?;
+            }
+            "--reorder" => {
+                reorder_prob = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("reconfigure: --reorder needs a probability")?;
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("reconfigure: --seed needs an integer")?;
+            }
+            _ => paths.push(a.clone()),
+        }
+    }
+    let [from_path, to_path] = paths.as_slice() else {
+        return Err("reconfigure: usage: sdtctl reconfigure [--scheduled] [--drop <p>] \
+                    [--reorder <p>] [--seed <n>] <from.toml> <to.toml>"
+            .into());
+    };
+    let from = load(from_path)?;
+    let to = load(to_path)?;
+    let mut ctl = SliceController::from_config(&from);
+    let id = ctl
+        .create(from.topology.name(), &from.topology, &from.strategy)
+        .map_err(|e| format!("{from_path}: admission failed: {e}"))?;
+    let (report, sched) = if scheduled {
+        let mut ch = sdt_openflow::ControlChannel::new(sdt_openflow::ControlConfig {
+            drop_prob,
+            reorder_prob,
+            seed,
+            ..sdt_openflow::ControlConfig::reliable()
+        });
+        let (r, s) = ctl
+            .reconfigure_scheduled(id, &to.topology, &to.strategy, &mut ch)
+            .map_err(|e| e.to_string())?;
+        (r, Some(s))
+    } else {
+        (ctl.reconfigure(id, &to.topology, &to.strategy).map_err(|e| e.to_string())?, None)
+    };
+    let audit = ctl.audit();
+    if json {
+        let schedule = match &sched {
+            Some(s) => {
+                let rounds = jlist(&s.rounds, |r| {
+                    format!(
+                        "{{\"round\":{},\"phase\":{},\"mods\":{},\"units\":{},\
+                         \"merged_from\":{},\"proof_wall_ms\":{:.3},\"pairs_walked\":{},\
+                         \"install_ms\":{:.3},\"sends\":{},\"retries\":{},\
+                         \"converged\":{},\"reverified\":{}}}",
+                        r.round,
+                        jstr(&r.phase.to_string()),
+                        r.mods,
+                        r.units,
+                        r.merged_from,
+                        r.proof_wall_ns as f64 / 1e6,
+                        r.pairs_walked,
+                        r.install_ns as f64 / 1e6,
+                        r.sends,
+                        r.retries,
+                        r.converged,
+                        r.reverified,
+                    )
+                });
+                format!(
+                    ",\"schedule\":{{\"rounds\":{rounds},\"total_mods\":{},\"merges\":{},\
+                     \"reverifications\":{},\"violations\":{},\"converged\":{},\
+                     \"proof_wall_ms_total\":{:.3},\"install_ms_total\":{:.3},\
+                     \"pipelined_ms\":{:.3}}}",
+                    s.total_mods,
+                    s.merges,
+                    s.reverifications,
+                    s.violations,
+                    s.converged,
+                    s.proof_wall_ns_total as f64 / 1e6,
+                    s.install_ns_total as f64 / 1e6,
+                    s.pipelined_ns as f64 / 1e6,
+                )
+            }
+            None => String::new(),
+        };
+        println!(
+            "{{\"from\":{},\"to\":{},\"scheduled\":{scheduled},\
+             \"epoch\":{{\"adds\":{},\"deletes\":{},\"flow_mods\":{},\
+             \"install_time_ms\":{:.3}}}{schedule},\"audit_clean\":{}}}",
+            jstr(from.topology.name()),
+            jstr(to.topology.name()),
+            report.adds,
+            report.deletes,
+            report.flow_mods(),
+            report.install_time_ns as f64 / 1e6,
+            audit.clean(),
+        );
+    } else {
+        println!(
+            "reconfigured {} -> {} ({} adds, {} deletes, {:.1} ms modeled install)",
+            from.topology.name(),
+            to.topology.name(),
+            report.adds,
+            report.deletes,
+            report.install_time_ns as f64 / 1e6,
+        );
+        if let Some(s) = &sched {
+            println!(
+                "schedule: {} rounds, {} merges, {} re-verifications, {} violations, \
+                 pipelined {:.1} ms{}",
+                s.rounds.len(),
+                s.merges,
+                s.reverifications,
+                s.violations,
+                s.pipelined_ns as f64 / 1e6,
+                if s.converged { "" } else { " (NOT converged)" },
+            );
+            for r in &s.rounds {
+                println!(
+                    "  round {} [{}] {} mods in {} units — proof {:.2} ms ({} pairs), \
+                     install {:.2} ms, {} sends, {} retries{}{}",
+                    r.round,
+                    r.phase,
+                    r.mods,
+                    r.units,
+                    r.proof_wall_ns as f64 / 1e6,
+                    r.pairs_walked,
+                    r.install_ns as f64 / 1e6,
+                    r.sends,
+                    r.retries,
+                    if r.reverified { ", re-verified live state" } else { "" },
+                    if r.converged { "" } else { ", NOT converged" },
+                );
+            }
+        }
+        println!("audit: {}", if audit.clean() { "CLEAN" } else { "VIOLATIONS" });
+    }
+    let diverged = sched.as_ref().is_some_and(|s| !s.converged);
+    if !audit.clean() {
+        return Err("post-reconfiguration audit found violations".into());
+    }
+    if diverged {
+        return Err("scheduled migration did not converge".into());
     }
     Ok(())
 }

@@ -448,8 +448,30 @@ impl SdtController {
         // The intent is built from the surviving topology, so pairs the
         // faults severed count as expected drops, not blackholes.
         self.static_gate(&topology, &projection)?;
-        let retry =
-            install_with_retry(channel, &mut switches, &projection.synthesis, cfg, &self.timing);
+        let (retry, schedule) = if cfg.scheduled {
+            match self.scheduled_reconcile(&topology, &projection, &mut switches, channel, cfg) {
+                Some((retry, rep)) => (retry, Some(rep)),
+                // The scheduler refused (boundary unprovable even fully
+                // merged, or the channel diverged into an unsafe state):
+                // fall back to the plain retry loop, which the epoch-level
+                // static gate above still covers.
+                None => (
+                    install_with_retry(
+                        channel,
+                        &mut switches,
+                        &projection.synthesis,
+                        cfg,
+                        &self.timing,
+                    ),
+                    None,
+                ),
+            }
+        } else {
+            (
+                install_with_retry(channel, &mut switches, &projection.synthesis, cfg, &self.timing),
+                None,
+            )
+        };
         let recovery_time_ns = cfg.detection_ns() + retry.elapsed_ns;
         let deploy_time_ns = projection.deploy_time_ns(&self.timing);
         self.reconfigurations += 1;
@@ -464,9 +486,92 @@ impl SdtController {
                 deploy_time_ns,
             },
             retry,
+            schedule,
             recovery_time_ns,
             statically_verified: self.static_verify,
         })
+    }
+
+    /// Transient-safe recovery path: compile the repair diff (live tables →
+    /// intended synthesis) into an [`sdt_tenancy::Epoch`], schedule it into
+    /// dependency-ordered rounds, and install them with every round
+    /// boundary statically proven to introduce *no new* findings over the
+    /// wounded base state ([`sdt_tenancy::no_new_findings`] — recovery
+    /// starts from tables that may already blackhole, so the bar is
+    /// monotone improvement, not perfection). Returns `None` when the
+    /// scheduler gives up, letting the caller fall back to
+    /// [`install_with_retry`].
+    fn scheduled_reconcile(
+        &self,
+        topology: &Topology,
+        projection: &SdtProjection,
+        switches: &mut [OpenFlowSwitch],
+        channel: &mut ControlChannel,
+        cfg: &RecoveryConfig,
+    ) -> Option<(RetryStats, sdt_tenancy::ScheduleReport)> {
+        use sdt_tenancy::{Epoch, EpochAdd, EpochDelete};
+        let mut epoch = Epoch::default();
+        for (sw, s) in switches.iter().enumerate() {
+            for t in [0u8, 1u8] {
+                let intended = if t == 0 {
+                    &projection.synthesis.table0[sw]
+                } else {
+                    &projection.synthesis.table1[sw]
+                };
+                for m in sdt_openflow::diff_tables(s.table(t).entries(), intended) {
+                    match m {
+                        sdt_openflow::FlowMod::Add(entry) => {
+                            epoch.adds.push(EpochAdd { switch: sw as u32, table: t, entry });
+                        }
+                        sdt_openflow::FlowMod::Delete(m, priority) => {
+                            epoch.deletes.push(EpochDelete {
+                                switch: sw as u32,
+                                table: t,
+                                m,
+                                priority,
+                            });
+                        }
+                        sdt_openflow::FlowMod::Clear => return None,
+                    }
+                }
+            }
+        }
+        let before = TableView::of_switches(switches);
+        let rounds = sdt_tenancy::compile_rounds(&epoch, &before);
+        let intent = Intent::of_projection(projection, topology, topology.name());
+        let threads = sdt_verify::verify_threads();
+        let mut cache =
+            self.verify_cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let base =
+            Verifier::check_cached(&self.cluster, before, intent.clone(), threads, &mut cache);
+        let policy = sdt_tenancy::RetryPolicy {
+            max_retries: cfg.max_retries,
+            backoff_base_ns: cfg.backoff_base_ns,
+            backoff_factor: cfg.backoff_factor,
+        };
+        let (_proof, rep) = sdt_tenancy::install_scheduled(
+            &self.cluster,
+            switches,
+            channel,
+            rounds,
+            base,
+            &intent,
+            &intent,
+            &self.timing,
+            threads,
+            &mut cache,
+            &policy,
+        )
+        .ok()?;
+        let retry = RetryStats {
+            rounds: rep.rounds.len() as u32,
+            retries: rep.rounds.iter().map(|r| r.retries).sum(),
+            flow_mods_sent: rep.rounds.iter().map(|r| r.sends).sum(),
+            backoff_ns_total: rep.rounds.iter().map(|r| r.backoff_ns).sum(),
+            elapsed_ns: rep.pipelined_ns,
+            converged: rep.converged,
+        };
+        Some((retry, rep))
     }
 }
 
@@ -481,6 +586,10 @@ pub struct RecoveryOutcome {
     pub unreachable_pairs: Vec<(HostId, HostId)>,
     /// Retry counters from the reconciliation loop.
     pub retry: RetryStats,
+    /// Per-round report when the transient-safe scheduler carried the
+    /// reconciliation ([`RecoveryConfig::scheduled`]); `None` on the
+    /// one-shot path or when the scheduler refused and recovery fell back.
+    pub schedule: Option<sdt_tenancy::ScheduleReport>,
     /// Modeled end-to-end recovery time: detection + installs + backoff.
     pub recovery_time_ns: u64,
     /// True when any logical link was actually lost.

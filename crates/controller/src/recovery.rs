@@ -37,6 +37,13 @@ pub struct RecoveryConfig {
     pub backoff_base_ns: u64,
     /// Multiplier per further retry (exponential backoff).
     pub backoff_factor: u32,
+    /// Reconcile through the transient-safe epoch scheduler
+    /// ([`sdt_tenancy::schedule`]) instead of the one-shot retry loop:
+    /// the repair batch is compiled into dependency-ordered rounds and
+    /// every intermediate state is statically proven before its round
+    /// installs. Falls back to [`install_with_retry`] if the live state is
+    /// too wounded for the scheduler to accept.
+    pub scheduled: bool,
 }
 
 impl Default for RecoveryConfig {
@@ -47,6 +54,7 @@ impl Default for RecoveryConfig {
             max_retries: 5,
             backoff_base_ns: 2_000_000,
             backoff_factor: 2,
+            scheduled: false,
         }
     }
 }

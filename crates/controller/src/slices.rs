@@ -122,6 +122,24 @@ impl SliceController {
             .map_err(SliceOpError::Admission)
     }
 
+    /// Transient-safe reconfiguration: the epoch is compiled into
+    /// dependency-ordered rounds, every intermediate table state is proven
+    /// before its round installs, and the rounds go out over `channel`
+    /// (which may drop and reorder flow-mods). Returns both the epoch
+    /// report and the per-round [`sdt_tenancy::ScheduleReport`].
+    pub fn reconfigure_scheduled(
+        &mut self,
+        id: SliceId,
+        topo: &Topology,
+        strategy: &str,
+        channel: &mut sdt_openflow::ControlChannel,
+    ) -> Result<(EpochReport, sdt_tenancy::ScheduleReport), SliceOpError> {
+        let routes = self.routes_for(topo, strategy)?;
+        self.mgr
+            .reconfigure_scheduled_with_routes(id, topo, routes, channel)
+            .map_err(SliceOpError::Admission)
+    }
+
     /// Tear a slice down and reclaim its resources.
     pub fn destroy(&mut self, id: SliceId) -> Result<ReclaimedResources, SliceOpError> {
         self.mgr.destroy(id).map_err(SliceOpError::Admission)
@@ -177,6 +195,25 @@ mod tests {
         let reclaimed = c.destroy(a).unwrap();
         assert_eq!(reclaimed.host_ports, 16);
         assert_eq!(c.status().slices.len(), 1);
+        assert!(c.audit().clean());
+    }
+
+    #[test]
+    fn scheduled_reconfigure_over_lossy_channel_converges_clean() {
+        let mut c = controller();
+        c.create("a", &fat_tree(4), "default").unwrap();
+        let b = c.create("b", &chain(4), "default").unwrap();
+        let mut ch = sdt_openflow::ControlChannel::new(sdt_openflow::ControlConfig {
+            drop_prob: 0.2,
+            reorder_prob: 0.2,
+            seed: 11,
+            ..sdt_openflow::ControlConfig::reliable()
+        });
+        let (report, sched) = c.reconfigure_scheduled(b, &ring(4), "updown", &mut ch).unwrap();
+        assert!(report.flow_mods() > 0);
+        assert!(sched.rounds.len() > 1, "migration must span multiple rounds");
+        assert_eq!(sched.violations, 0);
+        assert!(sched.converged, "lossy channel must still converge: {sched:?}");
         assert!(c.audit().clean());
     }
 

@@ -27,7 +27,7 @@ pub mod overlap;
 pub mod switch;
 pub mod table;
 
-pub use control::{table_divergence, BarrierReport, ControlChannel, ControlConfig};
+pub use control::{table_divergence, BarrierReport, ControlChannel, ControlConfig, RoundBatch};
 pub use fp::{entry_fp, table_fp, TableFp};
 pub use index::EntryIndex;
 pub use overlap::{table_warnings_indexed, OverlapHit, OverlapIndex};

@@ -150,6 +150,36 @@ impl MultiSliceSim {
         self.sim.now_ns()
     }
 
+    /// Run until simulated time `t_ns` (or completion/deadlock, whichever
+    /// comes first), leaving the engine resumable. The
+    /// live-traffic-during-migration harness interleaves this with
+    /// [`cutover`](Self::cutover): advance to mid-flight, flip the slice,
+    /// keep running — in-flight cells drain on the old component.
+    pub fn run_until(&mut self, t_ns: Time) -> SimOutcome {
+        self.sim.set_time_limit(t_ns);
+        let out = self.sim.run();
+        self.sim.set_time_limit(0);
+        out
+    }
+
+    /// One slice's packet-loss accounting: `(unfinished, delivered)` flow
+    /// counts over everything the slice ever started. Combined with
+    /// [`Simulator::stats`]'s `drops` counter (cells dropped engine-wide),
+    /// `unfinished == 0 && drops == 0` is the zero-packet-loss claim the
+    /// transient bench gates on.
+    pub fn slice_loss(&self, slice: usize) -> (usize, usize) {
+        let mut unfinished = 0;
+        let mut delivered = 0;
+        for &(id, _) in &self.flows[slice] {
+            if self.sim.flow_stats(id).finish.is_some() {
+                delivered += 1;
+            } else {
+                unfinished += 1;
+            }
+        }
+        (unfinished, delivered)
+    }
+
     /// FCT summary over one slice's finished flows (nearest-rank
     /// percentiles).
     pub fn slice_fct_summary(&self, slice: usize) -> FctSummary {

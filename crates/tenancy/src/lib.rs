@@ -35,10 +35,15 @@
 pub mod audit;
 pub mod epoch;
 pub mod manager;
+pub mod schedule;
 
 pub use audit::{SliceAudit, SliceAuditEntry};
 pub use epoch::{Epoch, EpochAdd, EpochDelete, EpochReport, EpochViolation, OwnedSpace};
 pub use manager::{
-    AdmissionError, ManagerStatus, ReclaimedResources, Slice, SliceId, SliceManager, SliceStatus,
-    SwitchOccupancy,
+    AdmissionError, ManagerStatus, MigrationPlan, ReclaimedResources, Slice, SliceId,
+    SliceManager, SliceStatus, SwitchOccupancy,
+};
+pub use schedule::{
+    compile_rounds, install_scheduled, no_new_findings, RetryPolicy, Round, RoundPhase,
+    RoundReport, ScheduleError, ScheduleReport,
 };

@@ -85,6 +85,12 @@ pub enum AdmissionError {
     /// blackhole or cross-slice leak; nothing was installed. The string is
     /// the verifier's summary naming the offending rule(s).
     StaticViolation(String),
+    /// A scheduled migration stopped mid-flight: a round boundary could
+    /// not be proven safe, or the control channel diverged and the live
+    /// state failed re-verification. Unlike every other variant, flow-mods
+    /// up to the failing round may already be applied — each state
+    /// actually reached was individually proven safe.
+    ScheduleFailed(String),
 }
 
 impl fmt::Display for AdmissionError {
@@ -99,6 +105,9 @@ impl fmt::Display for AdmissionError {
             AdmissionError::EpochViolation(v) => write!(f, "epoch verification failed: {v}"),
             AdmissionError::StaticViolation(v) => {
                 write!(f, "static verification rejected the epoch: {v}")
+            }
+            AdmissionError::ScheduleFailed(v) => {
+                write!(f, "scheduled migration failed: {v}")
             }
         }
     }
@@ -116,6 +125,45 @@ pub struct ReclaimedResources {
     pub cables: usize,
     /// Flow-table entries removed across the cluster.
     pub flow_entries: usize,
+}
+
+/// A compiled, not-yet-applied scheduled reconfiguration: the epoch, its
+/// dependency-ordered rounds, and the intents each round boundary is
+/// proven against. Produced by [`SliceManager::plan_scheduled`]; consumed
+/// by [`SliceManager::commit_scheduled`]. Planning is pure — nothing is
+/// installed and no bookkeeping moves until commit.
+#[derive(Clone, Debug)]
+pub struct MigrationPlan {
+    epoch: Epoch,
+    rounds: Vec<crate::schedule::Round>,
+    pre_intent: Intent,
+    post_intent: Intent,
+    new_slice: Slice,
+    fits: bool,
+}
+
+impl MigrationPlan {
+    /// The flow-mod batch this plan installs.
+    pub fn epoch(&self) -> &Epoch {
+        &self.epoch
+    }
+
+    /// The dependency-ordered rounds the epoch was compiled into.
+    pub fn rounds(&self) -> &[crate::schedule::Round] {
+        &self.rounds
+    }
+
+    /// Reachability intent the pre-cutover boundaries are proven against
+    /// (the fleet as admitted today, old slice included).
+    pub fn pre_intent(&self) -> &Intent {
+        &self.pre_intent
+    }
+
+    /// Reachability intent from the cutover round on (old slice replaced
+    /// by the reconfigured one).
+    pub fn post_intent(&self) -> &Intent {
+        &self.post_intent
+    }
 }
 
 /// An admitted slice: its logical topology, projection, namespace, and the
@@ -256,6 +304,12 @@ pub struct SliceManager {
     /// re-verifies). Entries are fingerprint-validated, so they survive the
     /// escape hatch and direct table edits: a stale entry simply misses.
     cache: WalkCache,
+    /// Per-round reconciliation budget for scheduled installs. The default
+    /// suits epochs of a few hundred flow-mods; the expected number of
+    /// stragglers after `r` retries is `mods * drop_prob^(r+1)`, so large
+    /// fabrics over very lossy channels need more retries to converge —
+    /// see [`SliceManager::set_retry_policy`].
+    retry: crate::schedule::RetryPolicy,
 }
 
 impl SliceManager {
@@ -284,6 +338,7 @@ impl SliceManager {
             static_verify: true,
             verifier: None,
             cache: WalkCache::new(),
+            retry: crate::schedule::RetryPolicy::default(),
         }
     }
 
@@ -295,6 +350,15 @@ impl SliceManager {
         if !on {
             self.verifier = None;
         }
+    }
+
+    /// Per-round reconciliation budget for scheduled installs
+    /// ([`SliceManager::commit_scheduled`]). Convergence over a channel
+    /// dropping a fraction `p` of flow-mods needs roughly
+    /// `log(mods) / log(1/p)` retries; raise `max_retries` accordingly for
+    /// large fabrics over very lossy channels.
+    pub fn set_retry_policy(&mut self, retry: crate::schedule::RetryPolicy) {
+        self.retry = retry;
     }
 
     /// The shared cluster.
@@ -611,6 +675,30 @@ impl SliceManager {
         topo: &Topology,
         routes: RouteTable,
     ) -> Result<EpochReport, AdmissionError> {
+        let (epoch, new_slice, fits) = self.plan_reconfigure(id, topo, routes)?;
+        let proof = self.static_gate(&epoch, self.intent_with(Some(id), Some(&new_slice)))?;
+
+        let report = self.apply_epoch(&epoch);
+        self.verifier = proof;
+        if !fits {
+            self.next_metadata += new_slice.metadata_reserved;
+            self.next_addr += new_slice.addr_reserved;
+        }
+        self.slices.insert(id.0, new_slice);
+        Ok(report)
+    }
+
+    /// The planning half of a reconfiguration, shared by the one-shot and
+    /// the scheduled paths: project the new topology around co-tenants
+    /// (preferring the slice's current cables), resolve the namespace,
+    /// diff the pipelines into an epoch, and verify headroom and namespace
+    /// ownership. Pure — nothing is installed, no manager state moves.
+    fn plan_reconfigure(
+        &self,
+        id: SliceId,
+        topo: &Topology,
+        routes: RouteTable,
+    ) -> Result<(Epoch, Slice, bool), AdmissionError> {
         let old = self.slices.get(&id.0).ok_or(AdmissionError::UnknownSlice(id))?;
 
         // Keep healthy cables where they are when logical pairs coincide:
@@ -669,16 +757,136 @@ impl SliceManager {
         epoch
             .verify(&own, &self.owned_by_others(id))
             .map_err(|v| AdmissionError::EpochViolation(v.to_string()))?;
-        let proof = self.static_gate(&epoch, self.intent_with(Some(id), Some(&new_slice)))?;
+        Ok((epoch, new_slice, fits))
+    }
 
-        let report = self.apply_epoch(&epoch);
-        self.verifier = proof;
-        if !fits {
-            self.next_metadata += metadata_reserved;
-            self.next_addr += addr_reserved;
+    /// Plan a *scheduled* reconfiguration with the topology's default
+    /// routing: compile the epoch into dependency-ordered rounds without
+    /// applying anything. See [`SliceManager::reconfigure_scheduled`].
+    pub fn plan_scheduled(
+        &self,
+        id: SliceId,
+        topo: &Topology,
+    ) -> Result<MigrationPlan, AdmissionError> {
+        let strategy = default_strategy(topo);
+        let routes = RouteTable::build_for_hosts(topo, strategy.as_ref());
+        self.plan_scheduled_with_routes(id, topo, routes)
+    }
+
+    /// Plan a scheduled reconfiguration with explicit routes. Pure: the
+    /// live tables and the manager's bookkeeping are untouched; the plan
+    /// can be inspected (rounds, intents) or handed to
+    /// [`SliceManager::commit_scheduled`].
+    pub fn plan_scheduled_with_routes(
+        &self,
+        id: SliceId,
+        topo: &Topology,
+        routes: RouteTable,
+    ) -> Result<MigrationPlan, AdmissionError> {
+        let (epoch, new_slice, fits) = self.plan_reconfigure(id, topo, routes)?;
+        let before = TableView::of_switches(&self.switches);
+        let rounds = crate::schedule::compile_rounds(&epoch, &before);
+        let pre_intent = self.intent();
+        let post_intent = self.intent_with(Some(id), Some(&new_slice));
+        Ok(MigrationPlan { epoch, rounds, pre_intent, post_intent, new_slice, fits })
+    }
+
+    /// Transient-safe reconfiguration: like
+    /// [`SliceManager::reconfigure`], but the epoch is partitioned into
+    /// dependency-ordered rounds, every intermediate table state is
+    /// statically proven before its round installs, and the rounds go out
+    /// over `channel` — which may drop and reorder flow-mods — with
+    /// per-round read-back reconciliation (see [`crate::schedule`]).
+    ///
+    /// The whole epoch's end state is gated first, exactly as the one-shot
+    /// path does; the per-round proofs come on top. On
+    /// [`AdmissionError::ScheduleFailed`] the live switches hold the last
+    /// individually-proven boundary state and the manager's bookkeeping
+    /// still describes the *old* slice; the cached live-state proof is
+    /// dropped either way.
+    pub fn reconfigure_scheduled(
+        &mut self,
+        id: SliceId,
+        topo: &Topology,
+        channel: &mut sdt_openflow::ControlChannel,
+    ) -> Result<(EpochReport, crate::schedule::ScheduleReport), AdmissionError> {
+        let plan = self.plan_scheduled(id, topo)?;
+        self.commit_scheduled(plan, channel)
+    }
+
+    /// Scheduled reconfiguration with explicit routes.
+    pub fn reconfigure_scheduled_with_routes(
+        &mut self,
+        id: SliceId,
+        topo: &Topology,
+        routes: RouteTable,
+        channel: &mut sdt_openflow::ControlChannel,
+    ) -> Result<(EpochReport, crate::schedule::ScheduleReport), AdmissionError> {
+        let plan = self.plan_scheduled_with_routes(id, topo, routes)?;
+        self.commit_scheduled(plan, channel)
+    }
+
+    /// Execute a [`MigrationPlan`]: gate the epoch's end state, then prove
+    /// and install the rounds pipelined over `channel`. The scheduled path
+    /// always proves its boundaries — the
+    /// [`SliceManager::set_static_verify`] escape hatch only governs the
+    /// one-shot path.
+    pub fn commit_scheduled(
+        &mut self,
+        plan: MigrationPlan,
+        channel: &mut sdt_openflow::ControlChannel,
+    ) -> Result<(EpochReport, crate::schedule::ScheduleReport), AdmissionError> {
+        let MigrationPlan { epoch, rounds, pre_intent, post_intent, new_slice, fits } = plan;
+        let threads = sdt_verify::verify_threads();
+        let retry = self.retry;
+
+        // Whole-epoch gate first. Beyond matching the one-shot contract,
+        // this is what guarantees the scheduler's merge-on-failure
+        // fallback terminates: the fully-merged round *is* this epoch.
+        let current = self.current_verifier();
+        let pending = Verifier::check_delta_cached(
+            &current,
+            &epoch.ordered_mods(),
+            post_intent.clone(),
+            threads,
+            &mut self.cache,
+        );
+        if !pending.holds() {
+            let summary = pending.report().summary();
+            self.verifier = Some(current);
+            return Err(AdmissionError::StaticViolation(summary));
         }
-        self.slices.insert(id.0, new_slice);
-        Ok(report)
+
+        match crate::schedule::install_scheduled(
+            &self.cluster,
+            &mut self.switches,
+            channel,
+            rounds,
+            current,
+            &pre_intent,
+            &post_intent,
+            &self.timing,
+            threads,
+            &mut self.cache,
+            &retry,
+        ) {
+            Ok((proof, sreport)) => {
+                // A proof of the intended end state only describes the
+                // live tables if they actually converged there.
+                self.verifier = if sreport.converged { Some(proof) } else { None };
+                if !fits {
+                    self.next_metadata += new_slice.metadata_reserved;
+                    self.next_addr += new_slice.addr_reserved;
+                }
+                let report = epoch.report(self.switches.len(), &self.timing);
+                self.slices.insert(new_slice.id.0, new_slice);
+                Ok((report, sreport))
+            }
+            Err(e) => {
+                self.verifier = None;
+                Err(AdmissionError::ScheduleFailed(e.to_string()))
+            }
+        }
     }
 
     /// Tear a slice down: delete exactly its entries (table 0 first, so its
