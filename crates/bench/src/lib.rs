@@ -8,6 +8,7 @@
 
 pub mod experiments;
 pub mod par;
+pub mod stats;
 
 pub use experiments::*;
 pub use par::{bench_threads, par_map, par_map_threads};

@@ -36,15 +36,24 @@
 //!                                  walks, worker count and wall time.
 //! ```
 //!
+//! With `--daemon <socket>`, `slices`, `reconfigure` and `verify` are
+//! routed to a running `sdtd` instead of building a throwaway cluster:
+//! the daemon admits/migrates/verifies against its persistent state and
+//! ships back the finished report, which this client prints verbatim —
+//! the output is byte-for-byte what local mode prints, because the daemon
+//! renders through the same `sdt_controller::output` functions.
+//!
 //! Every command accepts `--json` for machine-readable output on stdout;
 //! any failure (non-deployable config, admission rejection, audit
 //! violation) exits non-zero either way, so scripts and CI can gate on it.
 
-use sdt_controller::{plan_wiring, Deployment, SdtController, SliceController, TestbedConfig};
+use sdt_controller::output::{
+    self, jlist, jstr, AdmitInfo, AdmitRow, StatsBlock,
+};
+use sdt_controller::{plan_wiring, Deployment, Json, SdtController, SliceController, TestbedConfig};
 use sdt_core::walk::IsolationReport;
 use sdt_openflow::{Action, FlowEntry, FlowMod};
-use sdt_verify::{Intent, TableView, Verifier, VerifyReport, WalkCache};
-use std::fmt::Write as _;
+use sdt_verify::{Intent, TableView, Verifier, WalkCache};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -54,24 +63,47 @@ fn main() -> ExitCode {
         args.retain(|a| a != "--json");
         args.len() != before
     };
+    let daemon = {
+        let mut sock = None;
+        let mut i = 0;
+        while i < args.len() {
+            if args[i] == "--daemon" {
+                args.remove(i);
+                if i < args.len() {
+                    sock = Some(args.remove(i));
+                } else {
+                    eprintln!("sdtctl: --daemon needs a socket path");
+                    return ExitCode::from(2);
+                }
+            } else {
+                i += 1;
+            }
+        }
+        sock
+    };
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.as_str(), r),
         None => {
             eprintln!(
-                "usage: sdtctl [--json] <check|deploy|plan|tables|slices|reconfigure|verify> ..."
+                "usage: sdtctl [--json] [--daemon <socket>] \
+                 <check|deploy|plan|tables|slices|reconfigure|verify> ..."
             );
             return ExitCode::from(2);
         }
     };
-    let result = match cmd {
-        "check" => cmd_check(rest, json),
-        "deploy" => cmd_deploy(rest, json),
-        "plan" => cmd_plan(rest),
-        "tables" => cmd_tables(rest),
-        "slices" => cmd_slices(rest, json),
-        "reconfigure" => cmd_reconfigure(rest, json),
-        "verify" => cmd_verify(rest, json),
-        other => Err(format!("unknown command `{other}`")),
+    let result = match (cmd, &daemon) {
+        ("check", None) => cmd_check(rest, json),
+        ("deploy", None) => cmd_deploy(rest, json),
+        ("plan", None) => cmd_plan(rest),
+        ("tables", None) => cmd_tables(rest),
+        ("slices", None) => cmd_slices(rest, json),
+        ("slices", Some(sock)) => daemon_slices(sock, rest, json),
+        ("reconfigure", None) => cmd_reconfigure(rest, json),
+        ("reconfigure", Some(sock)) => daemon_reconfigure(sock, rest, json),
+        ("verify", None) => cmd_verify(rest, json),
+        ("verify", Some(sock)) => daemon_verify(sock, rest, json),
+        (other, Some(_)) => Err(format!("`{other}` does not support --daemon")),
+        (other, None) => Err(format!("unknown command `{other}`")),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -82,35 +114,126 @@ fn main() -> ExitCode {
     }
 }
 
-/// JSON string literal with the escapes the emitted data can contain.
-fn jstr(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-fn jlist<T, F: FnMut(&T) -> String>(items: &[T], f: F) -> String {
-    let inner: Vec<String> = items.iter().map(f).collect();
-    format!("[{}]", inner.join(","))
-}
-
 fn load(path: &str) -> Result<TestbedConfig, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     TestbedConfig::parse(&text).map_err(|e| format!("{path}: {e}"))
 }
+
+/// Read a config file and validate it locally, returning its text for the
+/// wire — config errors surface on this side with the path named, before
+/// anything reaches the daemon.
+fn load_text(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    TestbedConfig::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    Ok(text)
+}
+
+// ---------------------------------------------------------------- daemon
+
+/// One JSON-RPC round trip over the daemon's Unix socket.
+fn daemon_call(socket: &str, method: &str, params: Json) -> Result<Json, String> {
+    use std::io::{BufRead, BufReader, Write as _};
+    let mut stream = std::os::unix::net::UnixStream::connect(socket)
+        .map_err(|e| format!("cannot connect to daemon at {socket}: {e}"))?;
+    let req = Json::Obj(vec![
+        ("id".into(), Json::u64(1)),
+        ("method".into(), Json::str(method)),
+        ("params".into(), params),
+    ]);
+    let mut line = req.emit();
+    line.push('\n');
+    stream.write_all(line.as_bytes()).map_err(|e| format!("daemon write: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut resp = String::new();
+    reader.read_line(&mut resp).map_err(|e| format!("daemon read: {e}"))?;
+    if resp.is_empty() {
+        return Err("daemon closed the connection".into());
+    }
+    Json::parse(resp.trim_end_matches('\n')).map_err(|e| format!("daemon sent bad JSON: {e}"))
+}
+
+/// Print the daemon's pre-rendered report verbatim, then map its named
+/// error (if any) onto this command's exit status — same split as local
+/// mode: report on stdout, failure reason on stderr + non-zero exit.
+fn daemon_finish(resp: Json) -> Result<(), String> {
+    if let Some(out) = resp.get("output").and_then(Json::as_str) {
+        if !out.is_empty() {
+            println!("{out}");
+        }
+    }
+    if resp.get("ok").and_then(Json::as_bool) == Some(true) {
+        Ok(())
+    } else {
+        Err(resp
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("daemon returned an unnamed error")
+            .to_string())
+    }
+}
+
+fn daemon_slices(socket: &str, paths: &[String], json: bool) -> Result<(), String> {
+    if paths.is_empty() {
+        return Err("slices: need at least one config file".into());
+    }
+    let mut configs = Vec::new();
+    for path in paths {
+        configs.push(Json::Obj(vec![
+            ("path".into(), Json::str(path.as_str())),
+            ("text".into(), Json::str(load_text(path)?)),
+        ]));
+    }
+    let params = Json::Obj(vec![
+        ("json".into(), Json::Bool(json)),
+        ("configs".into(), Json::Arr(configs)),
+    ]);
+    daemon_finish(daemon_call(socket, "slices", params)?)
+}
+
+fn daemon_verify(socket: &str, args: &[String], json: bool) -> Result<(), String> {
+    let mut stats = false;
+    for a in args {
+        match a.as_str() {
+            "--stats" => stats = true,
+            "--corrupt" => {
+                return Err("verify: --corrupt is local-only (it edits a throwaway \
+                            deployment, not the daemon's live slices)"
+                    .into())
+            }
+            other => {
+                return Err(format!(
+                    "verify --daemon checks the daemon's live slices; unexpected `{other}`"
+                ))
+            }
+        }
+    }
+    let params = Json::Obj(vec![
+        ("json".into(), Json::Bool(json)),
+        ("stats".into(), Json::Bool(stats)),
+    ]);
+    daemon_finish(daemon_call(socket, "verify", params)?)
+}
+
+fn daemon_reconfigure(socket: &str, args: &[String], json: bool) -> Result<(), String> {
+    let f = parse_reconfigure_flags(args)?;
+    let [from_path, to_path] = f.paths.as_slice() else {
+        return Err(RECONFIGURE_USAGE.into());
+    };
+    let params = Json::Obj(vec![
+        ("json".into(), Json::Bool(json)),
+        ("scheduled".into(), Json::Bool(f.scheduled)),
+        ("drop".into(), Json::f64(f.drop_prob)),
+        ("reorder".into(), Json::f64(f.reorder_prob)),
+        ("seed".into(), Json::u64(f.seed)),
+        ("from_path".into(), Json::str(from_path.as_str())),
+        ("from_text".into(), Json::str(load_text(from_path)?)),
+        ("to_path".into(), Json::str(to_path.as_str())),
+        ("to_text".into(), Json::str(load_text(to_path)?)),
+    ]);
+    daemon_finish(daemon_call(socket, "reconfigure", params)?)
+}
+
+// ----------------------------------------------------------------- local
 
 fn cmd_check(paths: &[String], json: bool) -> Result<(), String> {
     if paths.is_empty() {
@@ -269,113 +392,33 @@ fn cmd_slices(paths: &[String], json: bool) -> Result<(), String> {
     for path in paths {
         let cfg = load(path)?;
         let name = cfg.topology.name().to_string();
-        match ctl.create(&name, &cfg.topology, &cfg.strategy) {
+        let result = match ctl.create(&name, &cfg.topology, &cfg.strategy) {
             Ok(id) => {
                 let s = match ctl.manager().slice(id) {
                     Some(s) => s,
                     None => unreachable!("create returned a live slice id"),
                 };
-                if json {
-                    rows.push(format!(
-                        "{{\"path\":{},\"slice\":{},\"admitted\":true,\"id\":{},\
-                         \"host_ports\":{},\"cables\":{},\"entries\":{}}}",
-                        jstr(path),
-                        jstr(&name),
-                        id.0,
-                        s.projection.host_port.len(),
-                        s.projection.link_real.len(),
-                        s.entries(),
-                    ));
-                } else {
-                    println!(
-                        "{path}: admitted {name} as {id} ({} host ports, {} cables, {} entries)",
-                        s.projection.host_port.len(),
-                        s.projection.link_real.len(),
-                        s.entries(),
-                    );
-                }
+                Ok(AdmitInfo {
+                    id: id.0,
+                    host_ports: s.projection.host_port.len(),
+                    cables: s.projection.link_real.len(),
+                    entries: s.entries(),
+                })
             }
             Err(e) => {
                 rejected += 1;
-                if json {
-                    rows.push(format!(
-                        "{{\"path\":{},\"slice\":{},\"admitted\":false,\"error\":{}}}",
-                        jstr(path),
-                        jstr(&name),
-                        jstr(&e.to_string())
-                    ));
-                } else {
-                    println!("{path}: REJECTED {name} — {e}");
-                }
+                Err(e.to_string())
             }
-        }
+        };
+        rows.push(AdmitRow { path: path.clone(), slice: name, result });
     }
 
     let status = ctl.status();
     let audit = ctl.audit();
     if json {
-        let switches = jlist(&status.switches, |s| {
-            format!(
-                "{{\"switch\":{},\"capacity\":{},\"used\":{},\"free\":{}}}",
-                s.switch, s.capacity, s.used, s.free
-            )
-        });
-        let per_slice = jlist(&audit.per_slice, |s| {
-            format!(
-                "{{\"slice\":{},\"delivered\":{},\"isolated\":{},\"violations\":{},\"shadowed\":{}}}",
-                jstr(&s.name),
-                s.delivered,
-                s.isolated,
-                s.violations.len(),
-                s.shadowed
-            )
-        });
-        println!(
-            "{{\"admissions\":[{}],\"status\":{{\"switches\":{},\
-             \"host_ports_used\":{},\"host_ports_total\":{},\
-             \"cables_used\":{},\"cables_total\":{}}},\
-             \"audit\":{{\"clean\":{},\"cross_isolated\":{},\"cross_leaks\":{},\
-             \"orphan_entries\":{},\"per_slice\":{}}}}}",
-            rows.join(","),
-            switches,
-            status.host_ports_used,
-            status.host_ports_total,
-            status.cables_used,
-            status.cables_total,
-            audit.clean(),
-            audit.cross_isolated,
-            audit.cross_leaks.len(),
-            audit.orphan_entries,
-            per_slice,
-        );
+        println!("{}", output::slices_json(&rows, &status, &audit));
     } else {
-        println!(
-            "cluster: {}/{} host ports, {}/{} cables in use",
-            status.host_ports_used,
-            status.host_ports_total,
-            status.cables_used,
-            status.cables_total
-        );
-        for s in &status.switches {
-            println!("  switch {}: {}/{} table entries", s.switch, s.used, s.capacity);
-        }
-        println!(
-            "audit: {} — {} cross-slice probes isolated, {} leaks, {} orphan entries",
-            if audit.clean() { "CLEAN" } else { "VIOLATIONS" },
-            audit.cross_isolated,
-            audit.cross_leaks.len(),
-            audit.orphan_entries,
-        );
-        for s in &audit.per_slice {
-            println!(
-                "  {}: {} delivered, {} isolated, {} violations, {} shadowed entries",
-                s.name,
-                s.delivered,
-                s.isolated,
-                s.violations.len(),
-                s.shadowed
-            );
-        }
+        println!("{}", output::slices_human(&rows, &status, &audit));
     }
     if rejected > 0 {
         return Err(format!("{rejected} slice(s) rejected"));
@@ -386,6 +429,53 @@ fn cmd_slices(paths: &[String], json: bool) -> Result<(), String> {
     Ok(())
 }
 
+const RECONFIGURE_USAGE: &str = "reconfigure: usage: sdtctl reconfigure [--scheduled] \
+                                 [--drop <p>] [--reorder <p>] [--seed <n>] <from.toml> <to.toml>";
+
+struct ReconfigureFlags {
+    scheduled: bool,
+    drop_prob: f64,
+    reorder_prob: f64,
+    seed: u64,
+    paths: Vec<String>,
+}
+
+fn parse_reconfigure_flags(args: &[String]) -> Result<ReconfigureFlags, String> {
+    let mut f = ReconfigureFlags {
+        scheduled: false,
+        drop_prob: 0.0,
+        reorder_prob: 0.0,
+        seed: 0,
+        paths: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scheduled" => f.scheduled = true,
+            "--drop" => {
+                f.drop_prob = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("reconfigure: --drop needs a probability")?;
+            }
+            "--reorder" => {
+                f.reorder_prob = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("reconfigure: --reorder needs a probability")?;
+            }
+            "--seed" => {
+                f.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("reconfigure: --seed needs an integer")?;
+            }
+            _ => f.paths.push(a.clone()),
+        }
+    }
+    Ok(f)
+}
+
 /// Admit the first config's topology as a slice of its own cluster, then
 /// migrate it to the second config's topology. Plain mode uses the
 /// one-shot make-before-break epoch; `--scheduled` compiles the epoch into
@@ -393,40 +483,9 @@ fn cmd_slices(paths: &[String], json: bool) -> Result<(), String> {
 /// proven before its round installs, over a control channel whose loss and
 /// reordering probabilities come from `--drop` / `--reorder` / `--seed`.
 fn cmd_reconfigure(args: &[String], json: bool) -> Result<(), String> {
-    let mut scheduled = false;
-    let mut drop_prob = 0.0f64;
-    let mut reorder_prob = 0.0f64;
-    let mut seed = 0u64;
-    let mut paths: Vec<String> = Vec::new();
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--scheduled" => scheduled = true,
-            "--drop" => {
-                drop_prob = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or("reconfigure: --drop needs a probability")?;
-            }
-            "--reorder" => {
-                reorder_prob = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or("reconfigure: --reorder needs a probability")?;
-            }
-            "--seed" => {
-                seed = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or("reconfigure: --seed needs an integer")?;
-            }
-            _ => paths.push(a.clone()),
-        }
-    }
-    let [from_path, to_path] = paths.as_slice() else {
-        return Err("reconfigure: usage: sdtctl reconfigure [--scheduled] [--drop <p>] \
-                    [--reorder <p>] [--seed <n>] <from.toml> <to.toml>"
-            .into());
+    let f = parse_reconfigure_flags(args)?;
+    let [from_path, to_path] = f.paths.as_slice() else {
+        return Err(RECONFIGURE_USAGE.into());
     };
     let from = load(from_path)?;
     let to = load(to_path)?;
@@ -434,11 +493,11 @@ fn cmd_reconfigure(args: &[String], json: bool) -> Result<(), String> {
     let id = ctl
         .create(from.topology.name(), &from.topology, &from.strategy)
         .map_err(|e| format!("{from_path}: admission failed: {e}"))?;
-    let (report, sched) = if scheduled {
+    let (report, sched) = if f.scheduled {
         let mut ch = sdt_openflow::ControlChannel::new(sdt_openflow::ControlConfig {
-            drop_prob,
-            reorder_prob,
-            seed,
+            drop_prob: f.drop_prob,
+            reorder_prob: f.reorder_prob,
+            seed: f.seed,
             ..sdt_openflow::ControlConfig::reliable()
         });
         let (r, s) = ctl
@@ -450,96 +509,28 @@ fn cmd_reconfigure(args: &[String], json: bool) -> Result<(), String> {
     };
     let audit = ctl.audit();
     if json {
-        let schedule = match &sched {
-            Some(s) => {
-                let rounds = jlist(&s.rounds, |r| {
-                    format!(
-                        "{{\"round\":{},\"phase\":{},\"mods\":{},\"units\":{},\
-                         \"merged_from\":{},\"proof_wall_ms\":{:.3},\"pairs_walked\":{},\
-                         \"install_ms\":{:.3},\"sends\":{},\"retries\":{},\
-                         \"converged\":{},\"reverified\":{}}}",
-                        r.round,
-                        jstr(&r.phase.to_string()),
-                        r.mods,
-                        r.units,
-                        r.merged_from,
-                        r.proof_wall_ns as f64 / 1e6,
-                        r.pairs_walked,
-                        r.install_ns as f64 / 1e6,
-                        r.sends,
-                        r.retries,
-                        r.converged,
-                        r.reverified,
-                    )
-                });
-                format!(
-                    ",\"schedule\":{{\"rounds\":{rounds},\"total_mods\":{},\"merges\":{},\
-                     \"reverifications\":{},\"violations\":{},\"converged\":{},\
-                     \"proof_wall_ms_total\":{:.3},\"install_ms_total\":{:.3},\
-                     \"pipelined_ms\":{:.3}}}",
-                    s.total_mods,
-                    s.merges,
-                    s.reverifications,
-                    s.violations,
-                    s.converged,
-                    s.proof_wall_ns_total as f64 / 1e6,
-                    s.install_ns_total as f64 / 1e6,
-                    s.pipelined_ns as f64 / 1e6,
-                )
-            }
-            None => String::new(),
-        };
         println!(
-            "{{\"from\":{},\"to\":{},\"scheduled\":{scheduled},\
-             \"epoch\":{{\"adds\":{},\"deletes\":{},\"flow_mods\":{},\
-             \"install_time_ms\":{:.3}}}{schedule},\"audit_clean\":{}}}",
-            jstr(from.topology.name()),
-            jstr(to.topology.name()),
-            report.adds,
-            report.deletes,
-            report.flow_mods(),
-            report.install_time_ns as f64 / 1e6,
-            audit.clean(),
+            "{}",
+            output::reconfigure_json(
+                from.topology.name(),
+                to.topology.name(),
+                f.scheduled,
+                &report,
+                sched.as_ref(),
+                audit.clean(),
+            )
         );
     } else {
         println!(
-            "reconfigured {} -> {} ({} adds, {} deletes, {:.1} ms modeled install)",
-            from.topology.name(),
-            to.topology.name(),
-            report.adds,
-            report.deletes,
-            report.install_time_ns as f64 / 1e6,
+            "{}",
+            output::reconfigure_human(
+                from.topology.name(),
+                to.topology.name(),
+                &report,
+                sched.as_ref(),
+                audit.clean(),
+            )
         );
-        if let Some(s) = &sched {
-            println!(
-                "schedule: {} rounds, {} merges, {} re-verifications, {} violations, \
-                 pipelined {:.1} ms{}",
-                s.rounds.len(),
-                s.merges,
-                s.reverifications,
-                s.violations,
-                s.pipelined_ns as f64 / 1e6,
-                if s.converged { "" } else { " (NOT converged)" },
-            );
-            for r in &s.rounds {
-                println!(
-                    "  round {} [{}] {} mods in {} units — proof {:.2} ms ({} pairs), \
-                     install {:.2} ms, {} sends, {} retries{}{}",
-                    r.round,
-                    r.phase,
-                    r.mods,
-                    r.units,
-                    r.proof_wall_ns as f64 / 1e6,
-                    r.pairs_walked,
-                    r.install_ns as f64 / 1e6,
-                    r.sends,
-                    r.retries,
-                    if r.reverified { ", re-verified live state" } else { "" },
-                    if r.converged { "" } else { ", NOT converged" },
-                );
-            }
-        }
-        println!("audit: {}", if audit.clean() { "CLEAN" } else { "VIOLATIONS" });
     }
     let diverged = sched.as_ref().is_some_and(|s| !s.converged);
     if !audit.clean() {
@@ -617,7 +608,12 @@ fn cmd_verify(args: &[String], json: bool) -> Result<(), String> {
             } else {
                 None
             };
-            print_verify(d.topology.name(), v.report(), json, block.as_ref());
+            let text = if json {
+                output::verify_json(d.topology.name(), v.report(), block.as_ref())
+            } else {
+                output::verify_human(d.topology.name(), v.report(), block.as_ref())
+            };
+            println!("{text}");
             if v.holds() {
                 Ok(())
             } else {
@@ -636,7 +632,7 @@ fn cmd_verify(args: &[String], json: bool) -> Result<(), String> {
                 ctl.create(&name, &cfg.topology, &cfg.strategy)
                     .map_err(|e| format!("{path}: admission failed: {e}"))?;
             }
-            let r = if stats {
+            let (r, block) = if stats {
                 // A full memoized pass over the live tables: the manager's
                 // walk cache is already warm from the admission-time proofs,
                 // so the hit counters show how much of the proof replayed.
@@ -644,15 +640,16 @@ fn cmd_verify(args: &[String], json: bool) -> Result<(), String> {
                 let t0 = std::time::Instant::now();
                 let (r, vstats, cache_entries) = mgr.verify_report_with_stats();
                 let wall_s = t0.elapsed().as_secs_f64();
-                let block =
-                    StatsBlock { wall_s, warm_s: None, stats: vstats, cache_entries };
-                print_verify("slices", &r, json, Some(&block));
-                r
+                (r, Some(StatsBlock { wall_s, warm_s: None, stats: vstats, cache_entries }))
             } else {
-                let r = ctl.manager_mut().verify_report();
-                print_verify("slices", &r, json, None);
-                r
+                (ctl.manager_mut().verify_report(), None)
             };
+            let text = if json {
+                output::verify_json("slices", &r, block.as_ref())
+            } else {
+                output::verify_human("slices", &r, block.as_ref())
+            };
+            println!("{text}");
             if r.holds() {
                 Ok(())
             } else {
@@ -760,121 +757,4 @@ fn corrupt(d: &mut Deployment, kind: &str) -> Result<(), String> {
         }
     }
     Ok(())
-}
-
-/// The `--stats` sidecar of one verification: wall clocks plus the fast
-/// path's collapse/memoization counters.
-struct StatsBlock {
-    /// Wall-clock of the (cold or memoized) full pass, seconds.
-    wall_s: f64,
-    /// Wall-clock of a warm empty-delta re-verify, when one was run.
-    warm_s: Option<f64>,
-    /// Fast-path statistics of the full pass.
-    stats: sdt_verify::VerifyStats,
-    /// Walk-cache entries retained after the pass.
-    cache_entries: usize,
-}
-
-/// Report printer. `block` carries the `--stats` numbers; when set, an
-/// extra stats block (equivalence classes, collapsed vs full walks, memo
-/// hits/misses, wall times, worker count) is emitted in both output modes.
-fn print_verify(scope: &str, r: &VerifyReport, json: bool, block: Option<&StatsBlock>) {
-    let threads = sdt_verify::verify_threads();
-    if json {
-        let stats = match block {
-            Some(b) => {
-                let warm = match b.warm_s {
-                    Some(w) => format!(",\"warm_reverify_s\":{w:.6}"),
-                    None => String::new(),
-                };
-                format!(
-                    ",\"stats\":{{\"header_classes\":{},\"pairs_walked\":{},\
-                     \"pairs_walked_full\":{},\"pairs_replayed\":{},\
-                     \"cache_hits\":{},\"cache_misses\":{},\"cache_entries\":{},\
-                     \"symmetric\":{},\"wall_s\":{:.6}{warm},\"threads\":{threads}}}",
-                    r.header_classes,
-                    r.pairs_walked,
-                    b.stats.pairs_walked_full,
-                    b.stats.pairs_replayed,
-                    b.stats.cache_hits,
-                    b.stats.cache_misses,
-                    b.cache_entries,
-                    b.stats.symmetric,
-                    b.wall_s,
-                )
-            }
-            None => String::new(),
-        };
-        println!(
-            "{{\"scope\":{},\"holds\":{},\"delivered_pairs\":{},\"isolated_pairs\":{},\
-             \"pairs_checked\":{},\"pairs_walked\":{},\"switches_scanned\":{},\
-             \"loops\":{},\"blackholes\":{},\"leaks\":{},\"shadowed\":{},\
-             \"nondeterminism\":{}{stats}}}",
-            jstr(scope),
-            r.holds(),
-            r.delivered_pairs,
-            r.isolated_pairs,
-            r.pairs_checked,
-            r.pairs_walked,
-            r.switches_scanned,
-            jlist(&r.loops, |l| jstr(&l.to_string())),
-            jlist(&r.blackholes, |b| jstr(&b.to_string())),
-            jlist(&r.leaks, |l| jstr(&l.to_string())),
-            jlist(&r.shadowed, |s| jstr(&s.to_string())),
-            jlist(&r.nondeterminism, |n| jstr(&n.to_string())),
-        );
-    } else {
-        println!("static verification ({scope}): {}", r.summary());
-        println!(
-            "  closure: {} delivered, {} isolated ({} pairs checked, {} walked, {} switches scanned)",
-            r.delivered_pairs,
-            r.isolated_pairs,
-            r.pairs_checked,
-            r.pairs_walked,
-            r.switches_scanned
-        );
-        if let Some(b) = block {
-            println!(
-                "  stats: {} header classes, {} symbolic walks ({} full, {} replayed), {threads} worker(s), {:.1} ms wall",
-                r.header_classes,
-                r.pairs_walked,
-                b.stats.pairs_walked_full,
-                b.stats.pairs_replayed,
-                b.wall_s * 1e3
-            );
-            println!(
-                "  memo: {} cache hits, {} misses, {} entries retained{}",
-                b.stats.cache_hits,
-                b.stats.cache_misses,
-                b.cache_entries,
-                match b.warm_s {
-                    Some(w) => format!(", warm re-verify {:.2} ms", w * 1e3),
-                    None => String::new(),
-                }
-            );
-        }
-        dump_findings(&r.loops);
-        dump_findings(&r.blackholes);
-        dump_findings(&r.leaks);
-        if !r.shadowed.is_empty() || !r.nondeterminism.is_empty() {
-            println!(
-                "  warnings: {} shadowed entries, {} equal-priority overlaps",
-                r.shadowed.len(),
-                r.nondeterminism.len()
-            );
-            dump_findings(&r.shadowed);
-            dump_findings(&r.nondeterminism);
-        }
-    }
-}
-
-/// Print findings indented, capped so a badly broken table stays readable.
-fn dump_findings<T: std::fmt::Display>(items: &[T]) {
-    const CAP: usize = 8;
-    for item in items.iter().take(CAP) {
-        println!("  {item}");
-    }
-    if items.len() > CAP {
-        println!("  ... and {} more", items.len() - CAP);
-    }
 }

@@ -176,6 +176,28 @@ impl Raw {
     }
 }
 
+/// Resolve a `[cluster] model` name to its switch model. Shared with the
+/// daemon's snapshot format, which persists the model by this name.
+pub fn model_by_name(name: &str) -> Option<SwitchModel> {
+    match name {
+        "openflow-64x100g" => Some(SwitchModel::openflow_64x100g()),
+        "openflow-128x100g" => Some(SwitchModel::openflow_128x100g()),
+        "p4-64x100g" => Some(SwitchModel::p4_64x100g()),
+        "p4-128x100g" => Some(SwitchModel::p4_128x100g()),
+        "h3c-64x10g" => Some(SwitchModel::h3c_64x10g()),
+        _ => None,
+    }
+}
+
+/// The `[cluster] model` key naming `model` — the inverse of
+/// [`model_by_name`]. `None` for a hand-built model the config grammar
+/// cannot express (such a cluster cannot be snapshotted by name).
+pub fn model_config_name(model: &SwitchModel) -> Option<&'static str> {
+    ["openflow-64x100g", "openflow-128x100g", "p4-64x100g", "p4-128x100g", "h3c-64x10g"]
+        .into_iter()
+        .find(|n| model_by_name(n).is_some_and(|m| m.name == model.name))
+}
+
 /// A fully parsed testbed configuration.
 #[derive(Clone, Debug)]
 pub struct TestbedConfig {
@@ -242,14 +264,9 @@ impl TestbedConfig {
                 return Err(ConfigError::BadValue("topology.kind".into(), other.into()))
             }
         };
-        let model = match raw.string_or("cluster.model", "openflow-128x100g")?.as_str() {
-            "openflow-64x100g" => SwitchModel::openflow_64x100g(),
-            "openflow-128x100g" => SwitchModel::openflow_128x100g(),
-            "p4-64x100g" => SwitchModel::p4_64x100g(),
-            "p4-128x100g" => SwitchModel::p4_128x100g(),
-            "h3c-64x10g" => SwitchModel::h3c_64x10g(),
-            other => return Err(ConfigError::BadValue("cluster.model".into(), other.into())),
-        };
+        let model_name = raw.string_or("cluster.model", "openflow-128x100g")?;
+        let model = model_by_name(&model_name)
+            .ok_or_else(|| ConfigError::BadValue("cluster.model".into(), model_name))?;
         Ok(TestbedConfig {
             topology,
             switches: raw.int_or("cluster.switches", 1)? as u32,
@@ -354,6 +371,17 @@ require_deadlock_free = true
         )
         .unwrap_err();
         assert!(matches!(e, ConfigError::BadValue(..)));
+    }
+
+    #[test]
+    fn model_names_round_trip() {
+        for name in
+            ["openflow-64x100g", "openflow-128x100g", "p4-64x100g", "p4-128x100g", "h3c-64x10g"]
+        {
+            let m = model_by_name(name).unwrap();
+            assert_eq!(model_config_name(&m), Some(name));
+        }
+        assert_eq!(model_by_name("abacus-9000"), None);
     }
 
     #[test]

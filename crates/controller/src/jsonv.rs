@@ -1,0 +1,405 @@
+//! A minimal JSON document model: parse, build, emit.
+//!
+//! The workspace is registry-offline and the serde stand-in under
+//! `compat/` is a no-op (derives expand to nothing, there is no
+//! serializer), so anything that needs real JSON — the daemon's wire
+//! protocol and snapshot format, `sdtctl --daemon`'s responses — hand-rolls
+//! it on this module. It lives in the controller crate because both ends
+//! of the wire need it: `sdtctl` builds requests and picks fields out of
+//! responses, `sdt-sdtd` parses requests and renders responses/snapshots.
+//!
+//! Properties the daemon relies on:
+//!
+//! * **Deterministic emission** — [`Json::emit`] is compact (no
+//!   whitespace), preserves object key order and array order, and escapes
+//!   strings canonically, so equal documents emit equal bytes. The
+//!   snapshot round-trip proof (encode → parse → re-encode is
+//!   byte-identical) rests on this.
+//! * **Number fidelity** — numbers keep their lexeme: parsing `18446744`
+//!   and re-emitting yields `18446744`, never `1.8446744e7`. Accessors
+//!   parse the lexeme on demand.
+
+use std::fmt::Write as _;
+
+/// One JSON value. Objects preserve insertion order.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its literal text (see module docs).
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Parse error: byte offset + message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct JsonError {
+    /// Byte offset the parser stopped at.
+    pub at: usize,
+    /// What it expected.
+    pub msg: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An unsigned integer value.
+    pub fn u64(n: u64) -> Json {
+        Json::Num(n.to_string())
+    }
+
+    /// A signed integer value.
+    pub fn i64(n: i64) -> Json {
+        Json::Num(n.to_string())
+    }
+
+    /// A float value (finite; NaN/inf emit as `null` — JSON has no
+    /// spelling for them).
+    pub fn f64(x: f64) -> Json {
+        if x.is_finite() {
+            Json::Num(format!("{x}"))
+        } else {
+            Json::Null
+        }
+    }
+
+    /// Object member by key (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string behind a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The bool behind a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number behind a `Num`, as u64.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number behind a `Num`, as f64.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The elements behind an `Arr`.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Compact, deterministic serialization.
+    pub fn emit(&self) -> String {
+        let mut out = String::new();
+        self.emit_into(&mut out);
+        out
+    }
+
+    fn emit_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(s) => out.push_str(s),
+            Json::Str(s) => escape_into(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.emit_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(k, out);
+                    out.push(':');
+                    v.emit_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage is an error).
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError { at: pos, msg: "trailing characters".into() });
+        }
+        Ok(v)
+    }
+}
+
+/// Canonical string escaping: `"` `\` as pairs, `\n` `\t` `\r` by name,
+/// other control characters as `\u00XX`, everything else verbatim.
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), JsonError> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(JsonError { at: *pos, msg: format!("expected `{lit}`") })
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(JsonError { at: *pos, msg: "unexpected end of input".into() }),
+        Some(b'n') => expect(b, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect(b, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(JsonError { at: *pos, msg: "expected `,` or `]`".into() }),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                let value = parse_value(b, pos)?;
+                members.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(JsonError { at: *pos, msg: "expected `,` or `}`".into() }),
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *pos;
+            if b[*pos] == b'-' {
+                *pos += 1;
+            }
+            while *pos < b.len()
+                && (b[*pos].is_ascii_digit()
+                    || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+            {
+                *pos += 1;
+            }
+            let lexeme = std::str::from_utf8(&b[start..*pos])
+                .map_err(|_| JsonError { at: start, msg: "bad number".into() })?;
+            // Validate by parsing; keep the lexeme.
+            lexeme
+                .parse::<f64>()
+                .map_err(|_| JsonError { at: start, msg: format!("bad number `{lexeme}`") })?;
+            Ok(Json::Num(lexeme.to_string()))
+        }
+        Some(c) => Err(JsonError { at: *pos, msg: format!("unexpected byte 0x{c:02x}") }),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(JsonError { at: *pos, msg: "expected string".into() });
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(JsonError { at: *pos, msg: "unterminated string".into() }),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or(JsonError { at: *pos, msg: "bad \\u escape".into() })?;
+                        let cp = u32::from_str_radix(hex, 16)
+                            .map_err(|_| JsonError { at: *pos, msg: "bad \\u escape".into() })?;
+                        // Surrogate pairs are not emitted by our encoder;
+                        // map lone surrogates to the replacement character.
+                        out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(JsonError { at: *pos, msg: "bad escape".into() }),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte safe).
+                let s = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| JsonError { at: *pos, msg: "invalid utf-8".into() })?;
+                let c = match s.chars().next() {
+                    Some(c) => c,
+                    None => unreachable!("non-empty slice has a first char"),
+                };
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_documents() {
+        let doc = Json::Obj(vec![
+            ("version".into(), Json::u64(1)),
+            ("name".into(), Json::str("a \"quoted\"\nname\twith\u{7}ctl")),
+            ("ok".into(), Json::Bool(true)),
+            ("nothing".into(), Json::Null),
+            (
+                "nums".into(),
+                Json::Arr(vec![Json::u64(u64::MAX / 2), Json::i64(-3), Json::f64(1.5)]),
+            ),
+            ("nested".into(), Json::Obj(vec![("k".into(), Json::Arr(vec![]))])),
+        ]);
+        let text = doc.emit();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back, doc);
+        // Emitter-produced text re-encodes byte-identically.
+        assert_eq!(back.emit(), text);
+    }
+
+    #[test]
+    fn number_lexemes_survive() {
+        let t = "{\"n\":9223372036854775807,\"f\":0.001}";
+        assert_eq!(Json::parse(t).unwrap().emit(), t);
+    }
+
+    #[test]
+    fn accessors() {
+        let d = Json::parse("{\"a\":1,\"b\":\"x\",\"c\":[true,null],\"f\":2.5}").unwrap();
+        assert_eq!(d.get("a").and_then(Json::as_u64), Some(1));
+        assert_eq!(d.get("b").and_then(Json::as_str), Some("x"));
+        assert_eq!(d.get("c").and_then(Json::as_arr).map(<[Json]>::len), Some(2));
+        assert_eq!(d.get("f").and_then(Json::as_f64), Some(2.5));
+        assert_eq!(d.get("zzz"), None);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in ["", "{", "[1,", "\"", "{\"a\" 1}", "12x", "[1] extra", "nul"] {
+            assert!(Json::parse(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn whitespace_tolerated_on_parse() {
+        let d = Json::parse(" { \"a\" : [ 1 , 2 ] } \n").unwrap();
+        assert_eq!(d.emit(), "{\"a\":[1,2]}");
+    }
+}

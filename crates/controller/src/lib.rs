@@ -22,13 +22,16 @@
 
 pub mod config;
 pub mod controller;
+pub mod jsonv;
 pub mod monitor;
+pub mod output;
 pub mod presets;
 pub mod recovery;
 pub mod slices;
 pub mod wiring;
 
-pub use config::{ConfigError, TestbedConfig};
+pub use config::{model_by_name, model_config_name, ConfigError, TestbedConfig};
+pub use jsonv::{Json, JsonError};
 pub use controller::{
     resolve_strategy, CheckReport, Deployment, DeployError, RecoveryOutcome, SdtController,
 };

@@ -70,9 +70,28 @@ impl SliceController {
         c
     }
 
+    /// Wrap an already-populated manager — the daemon's restore path,
+    /// where the manager comes back from a snapshot rather than from a
+    /// sequence of `create` calls.
+    pub fn from_manager(mgr: SliceManager, require_deadlock_free: bool) -> Self {
+        SliceController { mgr, require_deadlock_free }
+    }
+
     /// Allow slices whose routing has a cyclic CDG (deadlock demos).
     pub fn allow_deadlock_risk(&mut self) {
         self.require_deadlock_free = false;
+    }
+
+    /// Resolve a named strategy and run the deadlock gate — the
+    /// admission-independent half of `create`/`reconfigure`. The daemon
+    /// calls this per request *before* queueing, so a batch handed to
+    /// [`SliceManager::apply_batch`] is pure admission work.
+    pub fn resolve_routes(
+        &self,
+        topo: &Topology,
+        strategy: &str,
+    ) -> Result<RouteTable, SliceOpError> {
+        self.routes_for(topo, strategy)
     }
 
     fn routes_for(

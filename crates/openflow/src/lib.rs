@@ -24,6 +24,7 @@ pub mod control;
 pub mod fp;
 pub mod index;
 pub mod overlap;
+pub mod snap;
 pub mod switch;
 pub mod table;
 

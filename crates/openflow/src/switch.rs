@@ -13,7 +13,7 @@
 //! either table drops the packet, which is what guarantees hardware
 //! isolation between co-deployed topologies (§VI-B).
 
-use crate::table::{Action, FlowMod, FlowTable, PacketMeta, TableError};
+use crate::table::{Action, FlowEntry, FlowMod, FlowTable, PacketMeta, TableError};
 use crate::PortNo;
 
 /// Static description of a switch model (used by SDT's cost/feasibility
@@ -140,6 +140,28 @@ impl OpenFlowSwitch {
                 unreachable!("clear cannot fail: {e}");
             }
         }
+    }
+
+    /// Rebuild the pipeline from a snapshot: wipe both tables, then
+    /// re-install `t0`/`t1` in the given order — which must be the live
+    /// first-match order the dump was taken in
+    /// ([`crate::snap::encode_entries`] preserves it), so equal-priority
+    /// insertion-order tie-breaks reproduce exactly. Clearing resets the
+    /// sequence counters, so the restored tables carry *fresh* sequence
+    /// numbers and freshly derived fingerprints over the same entries; a
+    /// fingerprint-validated walk cache treats them as new tables (a miss,
+    /// never a lie). Fails with [`TableError::TableFull`] — leaving the
+    /// pipeline cleared — if the dump exceeds this switch's capacity, i.e.
+    /// the snapshot belongs to a bigger switch model.
+    pub fn restore_tables(
+        &mut self,
+        t0: &[FlowEntry],
+        t1: &[FlowEntry],
+    ) -> Result<(), TableError> {
+        self.clear_tables();
+        self.apply_batch(0, t0.iter().map(|&e| FlowMod::Add(e)))?;
+        self.apply_batch(1, t1.iter().map(|&e| FlowMod::Add(e)))?;
+        Ok(())
     }
 
     /// Dataplane forwarding: count the packet in, run the pipeline, count it
@@ -285,6 +307,37 @@ mod tests {
         });
         assert_eq!(sw.apply_batch(1, mods).unwrap(), 10);
         assert_eq!(sw.table(1).len(), 10);
+    }
+
+    #[test]
+    fn restore_reproduces_entries_and_refingerprints() {
+        let mut sw = OpenFlowSwitch::new(0, SwitchConfig::x64_100g());
+        // Two equal-priority entries whose relative order is the tie-break.
+        add(&mut sw, 0, FlowMatch::on_port(PortNo(0)), 5, Action::WriteMetadataGoto(1));
+        add(&mut sw, 1, FlowMatch::to_dst(HostAddr(7)), 3, Action::Output(PortNo(2)));
+        add(&mut sw, 1, FlowMatch::to_dst(HostAddr(8)), 3, Action::Drop);
+        let t0 = sw.table(0).entries().to_vec();
+        let t1 = sw.table(1).entries().to_vec();
+        let fp = [sw.table(0).fingerprint(), sw.table(1).fingerprint()];
+
+        let mut fresh = OpenFlowSwitch::new(0, SwitchConfig::x64_100g());
+        fresh.restore_tables(&t0, &t1).unwrap();
+        assert_eq!(fresh.table(0).entries(), &t0[..]);
+        assert_eq!(fresh.table(1).entries(), &t1[..]);
+        // Fresh sequences → fresh fingerprints over the same entries; a
+        // restore starting from sequence 0 reproduces the original's.
+        assert_eq!(
+            [fresh.table(0).fingerprint(), fresh.table(1).fingerprint()],
+            fp,
+            "restore must re-derive the fingerprints of a fresh table"
+        );
+
+        // A dump too big for the model fails cleanly.
+        let mut tiny = OpenFlowSwitch::new(
+            0,
+            SwitchConfig { num_ports: 8, port_gbps: 10, table_capacity: 2 },
+        );
+        assert!(tiny.restore_tables(&t0, &t1).is_err());
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! results are the same bytes either way, so callers cannot observe which
 //! path ran except through wall-clock time.
 
+pub mod stats;
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 

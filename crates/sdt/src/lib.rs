@@ -54,6 +54,7 @@ pub use sdt_core as core;
 pub use sdt_openflow as openflow;
 pub use sdt_partition as partition;
 pub use sdt_routing as routing;
+pub use sdt_sdtd as sdtd;
 pub use sdt_sim as sim;
 pub use sdt_tenancy as tenancy;
 pub use sdt_topology as topology;

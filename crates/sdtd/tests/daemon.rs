@@ -1,0 +1,207 @@
+//! Integration tests for the daemon engine over a live Unix socket:
+//! batched admission must be outcome-equivalent to sequential admission
+//! (same accept/reject multiset, same *named* rejection reasons), replies
+//! on one connection must come back in request order (FCFS), and
+//! daemon-rendered reports must be byte-identical to local `sdtctl`
+//! rendering of the same state.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+mod util;
+
+use sdt_controller::output::{self, AdmitInfo, AdmitRow};
+use sdt_controller::{Json, SliceController, TestbedConfig};
+use sdt_sdtd::{run, DaemonOptions, DaemonState};
+use std::path::{Path, PathBuf};
+use util::{cfg, outcome, output as reply_output, wait_for_socket, Client};
+
+/// Start an in-process daemon; returns its socket and the join handle the
+/// caller uses to collect metrics after sending `shutdown`.
+fn start(
+    tag: &str,
+    batch_max: usize,
+) -> (PathBuf, std::thread::JoinHandle<Result<sdt_sdtd::DaemonMetrics, String>>) {
+    let dir = util::scratch(tag);
+    let socket = dir.join("sdtd.sock");
+    let state = DaemonState::fresh(&cfg("kind = \"chain\"\nn = 3")).unwrap();
+    let opts = DaemonOptions { socket: socket.clone(), snapshot: None, batch_max };
+    let handle = std::thread::spawn(move || run(state, opts));
+    wait_for_socket(&socket);
+    (socket, handle)
+}
+
+fn stop(socket: &Path) {
+    let mut c = Client::connect(socket);
+    let (ok, _) = outcome(&c.call("shutdown", vec![]));
+    assert!(ok);
+}
+
+/// The equivalence workload: requests whose verdicts do not depend on
+/// admission order — the cluster has ample room for every valid config,
+/// and the invalid ones are *intrinsically* invalid (deadlock-vetoed
+/// routing, unknown strategy), rejected by gates that never look at
+/// cluster state.
+fn workload() -> Vec<String> {
+    let mut w = Vec::new();
+    for _ in 0..6 {
+        w.push(cfg("kind = \"chain\"\nn = 3"));
+        w.push(cfg("kind = \"ring\"\nn = 4"));
+    }
+    // BFS on an odd ring has a cyclic channel-dependency graph.
+    w.push(util::cfg_routed("kind = \"ring\"\nn = 5", "bfs"));
+    w.push(util::cfg_routed("kind = \"chain\"\nn = 3", "warp-drive"));
+    w
+}
+
+/// Fire every request from its own thread over its own connection, so the
+/// engine actually sees a concurrent backlog to coalesce.
+fn run_concurrent(socket: &Path, reqs: &[String]) -> Vec<(bool, String)> {
+    let workers: Vec<_> = reqs
+        .iter()
+        .cloned()
+        .map(|text| {
+            let socket = socket.to_path_buf();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&socket);
+                outcome(&c.call("admit", vec![("config".into(), Json::str(text.as_str()))]))
+            })
+        })
+        .collect();
+    workers.into_iter().map(|w| w.join().unwrap()).collect()
+}
+
+#[test]
+fn concurrent_batched_admission_matches_sequential_with_named_reasons() {
+    let reqs = workload();
+
+    // The reference verdicts: a plain sequential controller.
+    let first = TestbedConfig::parse(&reqs[0]).unwrap();
+    let mut ctl = SliceController::from_config(&first);
+    let mut expected: Vec<(bool, String)> = Vec::new();
+    for text in &reqs {
+        let c = TestbedConfig::parse(text).unwrap();
+        expected.push(match ctl.create(c.topology.name(), &c.topology, &c.strategy) {
+            Ok(_) => (true, String::new()),
+            Err(e) => (false, e.to_string()),
+        });
+    }
+
+    for batch_max in [64, 1] {
+        let (socket, handle) = start(&format!("equiv-{batch_max}"), batch_max);
+        let mut got = run_concurrent(&socket, &reqs);
+        stop(&socket);
+        let metrics = handle.join().unwrap().unwrap();
+
+        // Concurrent arrival order is arbitrary; the workload is built so
+        // the outcome MULTISET is order-independent.
+        let mut want = expected.clone();
+        got.sort();
+        want.sort();
+        assert_eq!(got, want, "batch_max={batch_max}");
+        assert!(
+            got.iter().any(|(_, e)| e.contains("channel dependency cycle")),
+            "deadlock veto must keep its named reason through the wire"
+        );
+        assert!(
+            got.iter().any(|(_, e)| e.contains("unknown routing strategy `warp-drive`")),
+            "strategy errors must keep their named reason through the wire"
+        );
+        if batch_max == 1 {
+            assert_eq!(metrics.batches, 0, "batch_max=1 must never coalesce");
+        }
+    }
+}
+
+#[test]
+fn replies_on_one_connection_are_fcfs() {
+    let (socket, handle) = start("fcfs", 8);
+    let mut c = Client::connect(&socket);
+    // Pipeline a burst mixing batchable ops, reports, and a parse error —
+    // replies must still come back in exact request order.
+    let mut sent = Vec::new();
+    for i in 0..20u32 {
+        let id = match i % 4 {
+            0 => c.send("ping", vec![]),
+            1 => c.send(
+                "admit",
+                vec![("config".into(), Json::str(cfg("kind = \"chain\"\nn = 2").as_str()))],
+            ),
+            2 => c.send("destroy", vec![("id".into(), Json::u64(9999))]),
+            _ => c.send("no-such-method", vec![]),
+        }
+        .unwrap();
+        sent.push(id);
+    }
+    for want in sent {
+        let reply = c.read_reply().expect("daemon closed mid-burst");
+        assert_eq!(
+            reply.get("id").and_then(Json::as_u64),
+            Some(want),
+            "replies must be FCFS per connection"
+        );
+    }
+    stop(&socket);
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn daemon_reports_are_byte_identical_to_local_rendering() {
+    let configs =
+        [("a.toml", cfg("kind = \"fat-tree\"\nk = 4")), ("b.toml", cfg("kind = \"chain\"\nn = 4"))];
+
+    // Local mode: what `sdtctl slices a.toml b.toml` renders.
+    let first = TestbedConfig::parse(&configs[0].1).unwrap();
+    let mut ctl = SliceController::from_config(&first);
+    let mut rows = Vec::new();
+    for (path, text) in &configs {
+        let c = TestbedConfig::parse(text).unwrap();
+        let name = c.topology.name().to_string();
+        let result = match ctl.create(&name, &c.topology, &c.strategy) {
+            Ok(id) => {
+                let s = ctl.manager().slice(id).unwrap();
+                Ok(AdmitInfo {
+                    id: id.0,
+                    host_ports: s.projection.host_port.len(),
+                    cables: s.projection.link_real.len(),
+                    entries: s.entries(),
+                })
+            }
+            Err(e) => Err(e.to_string()),
+        };
+        rows.push(AdmitRow { path: path.to_string(), slice: name, result });
+    }
+    let status = ctl.status();
+    let audit = ctl.audit();
+    let local_human = output::slices_human(&rows, &status, &audit);
+    let local_json = output::slices_json(&rows, &status, &audit);
+    let local_verify = output::verify_json("slices", &ctl.manager_mut().verify_report(), None);
+
+    // Daemon mode: same configs through the wire, fresh daemon.
+    for (json, want) in [(false, &local_human), (true, &local_json)] {
+        let (socket, handle) = start(&format!("bytes-{json}"), 64);
+        let mut c = Client::connect(&socket);
+        let items = configs
+            .iter()
+            .map(|(path, text)| {
+                Json::Obj(vec![
+                    ("path".into(), Json::str(*path)),
+                    ("text".into(), Json::str(text.as_str())),
+                ])
+            })
+            .collect();
+        let reply = c.call(
+            "slices",
+            vec![("json".into(), Json::Bool(json)), ("configs".into(), Json::Arr(items))],
+        );
+        let (ok, err) = outcome(&reply);
+        assert!(ok, "slices failed: {err}");
+        assert_eq!(&reply_output(&reply), want, "json={json}");
+
+        if json {
+            let verify = c.call("verify", vec![("json".into(), Json::Bool(true))]);
+            assert_eq!(reply_output(&verify), local_verify);
+        }
+        stop(&socket);
+        handle.join().unwrap().unwrap();
+    }
+}

@@ -28,22 +28,18 @@ pub struct FctSummary {
 }
 
 impl FctSummary {
-    /// Summarize a set of completion times (ns). Order irrelevant.
-    pub fn from_durations(mut fcts: Vec<u64>) -> FctSummary {
-        if fcts.is_empty() {
-            return FctSummary::default();
-        }
-        fcts.sort_unstable();
-        let n = fcts.len();
-        // Nearest rank: 1-based rank ceil(p·n), clamped into [1, n].
-        let pct = |p: f64| fcts[((p * n as f64).ceil() as usize).clamp(1, n) - 1];
+    /// Summarize a set of completion times (ns). Order irrelevant. The
+    /// percentile arithmetic is [`sdt_par::stats`] — the one nearest-rank
+    /// implementation shared with the benchmark artifacts.
+    pub fn from_durations(fcts: Vec<u64>) -> FctSummary {
+        let s = sdt_par::stats::LatencySummary::from_ns(fcts);
         FctSummary {
-            count: n,
-            mean_ns: fcts.iter().sum::<u64>() as f64 / n as f64,
-            p50_ns: pct(0.50),
-            p99_ns: pct(0.99),
-            p999_ns: pct(0.999),
-            max_ns: fcts[n - 1],
+            count: s.count,
+            mean_ns: s.mean_ns,
+            p50_ns: s.p50_ns,
+            p99_ns: s.p99_ns,
+            p999_ns: s.p999_ns,
+            max_ns: s.max_ns,
         }
     }
 }

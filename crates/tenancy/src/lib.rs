@@ -40,8 +40,9 @@ pub mod schedule;
 pub use audit::{SliceAudit, SliceAuditEntry};
 pub use epoch::{Epoch, EpochAdd, EpochDelete, EpochReport, EpochViolation, OwnedSpace};
 pub use manager::{
-    AdmissionError, ManagerStatus, MigrationPlan, ReclaimedResources, Slice, SliceId,
-    SliceManager, SliceStatus, SwitchOccupancy,
+    AdmissionError, ManagerExport, ManagerStatus, MigrationPlan, OpOutcome,
+    ReclaimedResources, RestoreError, Slice, SliceId, SliceManager, SliceOp, SliceStatus,
+    SwitchOccupancy,
 };
 pub use schedule::{
     compile_rounds, install_scheduled, no_new_findings, RetryPolicy, Round, RoundPhase,

@@ -115,6 +115,94 @@ impl fmt::Display for AdmissionError {
 
 impl std::error::Error for AdmissionError {}
 
+/// One queued lifecycle operation, as consumed by
+/// [`SliceManager::apply_batch`]. Routes are resolved by the caller (the
+/// controller's strategy/deadlock gates run *before* queueing) so a batch
+/// is pure admission work.
+#[derive(Clone, Debug)]
+pub enum SliceOp {
+    /// Admit a new slice.
+    Create {
+        /// Operator-facing name.
+        name: String,
+        /// Logical topology to realize.
+        topo: Topology,
+        /// Resolved routing.
+        routes: RouteTable,
+    },
+    /// Make-before-break reconfiguration of an admitted slice.
+    Reconfigure {
+        /// Slice to migrate.
+        id: SliceId,
+        /// New logical topology.
+        topo: Topology,
+        /// Resolved routing for the new topology.
+        routes: RouteTable,
+    },
+    /// Tear a slice down.
+    Destroy {
+        /// Slice to remove.
+        id: SliceId,
+    },
+}
+
+impl SliceOp {
+    /// The already-admitted slice this operation touches (`None` for a
+    /// create — fresh ids cannot collide). Used to split batches at
+    /// repeated ids, where the disjoint-match-space argument behind the
+    /// combined proof would not hold.
+    fn slice_id(&self) -> Option<u32> {
+        match self {
+            SliceOp::Create { .. } => None,
+            SliceOp::Reconfigure { id, .. } | SliceOp::Destroy { id } => Some(id.0),
+        }
+    }
+}
+
+/// What a successful [`SliceOp`] produced.
+#[derive(Clone, Debug)]
+pub enum OpOutcome {
+    /// A create: the new slice's id.
+    Created(SliceId),
+    /// A reconfiguration: the applied epoch's report.
+    Reconfigured(EpochReport),
+    /// A teardown: the reclaimed resources.
+    Destroyed(ReclaimedResources),
+}
+
+/// The manager's mutable state, dumped by [`SliceManager::export`] and
+/// consumed by [`SliceManager::restore`]. Serialization lives with the
+/// daemon (`sdt-sdtd`), which owns the on-disk format; this struct is the
+/// typed contract between the two.
+#[derive(Clone, Debug)]
+pub struct ManagerExport {
+    /// Admitted slices, in id order.
+    pub slices: Vec<Slice>,
+    /// Next slice id (ids are never reused, so this is not derivable from
+    /// `slices` once something was destroyed).
+    pub next_id: u32,
+    /// Next free metadata namespace base.
+    pub next_metadata: u32,
+    /// Next free host-address namespace base.
+    pub next_addr: u32,
+    /// Per switch: live `(table 0, table 1)` entries in first-match order.
+    pub tables: Vec<(Vec<sdt_openflow::FlowEntry>, Vec<sdt_openflow::FlowEntry>)>,
+}
+
+/// Why [`SliceManager::restore`] refused a dump. Restores are all-or-
+/// nothing: any inconsistency between the dump and the cluster leaves
+/// nothing constructed.
+#[derive(Clone, Debug)]
+pub struct RestoreError(pub String);
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "restore rejected: {}", self.0)
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
 /// Resources handed back by [`SliceManager::destroy`] — exactly what the
 /// slice had reserved, by construction of the teardown epoch.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -911,6 +999,182 @@ impl SliceManager {
         Ok(reclaimed)
     }
 
+    /// Apply one queued lifecycle operation. Exactly the semantics of the
+    /// underlying `create_with_routes` / `reconfigure_with_routes` /
+    /// `destroy` call, shaped for queue processing.
+    pub fn apply_one(&mut self, op: SliceOp) -> Result<OpOutcome, AdmissionError> {
+        match op {
+            SliceOp::Create { name, topo, routes } => self
+                .create_with_routes(&name, &topo, routes)
+                .map(OpOutcome::Created),
+            SliceOp::Reconfigure { id, topo, routes } => self
+                .reconfigure_with_routes(id, &topo, routes)
+                .map(OpOutcome::Reconfigured),
+            SliceOp::Destroy { id } => self.destroy(id).map(OpOutcome::Destroyed),
+        }
+    }
+
+    /// Apply a batch of lifecycle operations with **one** static proof for
+    /// the whole batch instead of one per operation, preserving exactly the
+    /// accept/reject decisions and named errors sequential submission would
+    /// produce.
+    ///
+    /// How: resource projection, headroom and namespace-ownership checks
+    /// still run per operation, in order, against the evolving state — they
+    /// are cheap and their rejections are position-dependent either way.
+    /// The static proof, the expensive part, is deferred: epochs apply
+    /// unproven, then a single memoized full pass
+    /// ([`Verifier::check_cached`]) proves the batch's end state. That is
+    /// sound because distinct slices occupy disjoint match-spaces (disjoint
+    /// ingress ports in table 0, disjoint metadata in table 1 — enforced by
+    /// [`Epoch::verify`] before anything installs), so one operation's
+    /// violation cannot be masked or repaired by another slice's entries:
+    /// it survives verbatim into the end state. Two operations on the
+    /// *same* slice could mask each other, so a batch is split into
+    /// segments at any repeated slice id and each segment proven
+    /// separately.
+    ///
+    /// If the combined proof fails, the segment is rolled back exactly
+    /// (switch banks are cloned up front — sequence numbers and
+    /// fingerprints included) and re-run sequentially with per-operation
+    /// proofs, which attributes the named [`AdmissionError`] to the
+    /// culprit(s) and admits the innocent. The slow path costs more than
+    /// plain sequential submission, but only fires when a batch actually
+    /// contains a statically invalid operation.
+    pub fn apply_batch(
+        &mut self,
+        ops: Vec<SliceOp>,
+    ) -> Vec<Result<OpOutcome, AdmissionError>> {
+        if !self.static_verify || ops.len() <= 1 {
+            return ops.into_iter().map(|op| self.apply_one(op)).collect();
+        }
+        let mut results = Vec::with_capacity(ops.len());
+        let mut segment: Vec<SliceOp> = Vec::new();
+        let mut touched: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        for op in ops {
+            if let Some(id) = op.slice_id() {
+                if !touched.insert(id) {
+                    results.extend(self.apply_segment(std::mem::take(&mut segment)));
+                    touched.clear();
+                    touched.insert(id);
+                }
+            }
+            segment.push(op);
+        }
+        results.extend(self.apply_segment(segment));
+        results
+    }
+
+    /// One same-slice-free segment of [`SliceManager::apply_batch`].
+    fn apply_segment(
+        &mut self,
+        ops: Vec<SliceOp>,
+    ) -> Vec<Result<OpOutcome, AdmissionError>> {
+        if ops.len() <= 1 {
+            return ops.into_iter().map(|op| self.apply_one(op)).collect();
+        }
+        // Proof of the pre-batch live tables (cached from the previous
+        // epoch in the steady state) — restored verbatim on rollback.
+        let current = self.current_verifier();
+        let saved_switches = self.switches.clone();
+        let saved_slices = self.slices.clone();
+        let saved_counters = (self.next_id, self.next_metadata, self.next_addr);
+
+        // Fast path: everything but the proof, in order.
+        self.static_verify = false;
+        let fast: Vec<Result<OpOutcome, AdmissionError>> =
+            ops.iter().cloned().map(|op| self.apply_one(op)).collect();
+        self.static_verify = true;
+
+        if fast.iter().all(|r| r.is_err()) {
+            // Nothing installed; the pre-batch proof still describes the
+            // live tables.
+            self.verifier = Some(current);
+            return fast;
+        }
+        let pending = Verifier::check_cached(
+            &self.cluster,
+            TableView::of_switches(&self.switches),
+            self.intent(),
+            sdt_verify::verify_threads(),
+            &mut self.cache,
+        );
+        if pending.holds() {
+            self.verifier = Some(pending);
+            return fast;
+        }
+
+        // Slow path: exact rollback (clones preserve sequence numbers and
+        // fingerprints, so the restored bank is bit-identical), then
+        // sequential re-run with per-operation proofs to name the
+        // culprit(s).
+        self.switches = saved_switches;
+        self.slices = saved_slices;
+        (self.next_id, self.next_metadata, self.next_addr) = saved_counters;
+        self.verifier = Some(current);
+        ops.into_iter().map(|op| self.apply_one(op)).collect()
+    }
+
+    /// Dump the manager's mutable state for persistence: admitted slices,
+    /// namespace counters, and the live per-switch tables in first-match
+    /// order. The physical cluster itself is wiring, not state — the caller
+    /// persists its build parameters and hands an identically wired cluster
+    /// back to [`SliceManager::restore`].
+    pub fn export(&self) -> ManagerExport {
+        ManagerExport {
+            slices: self.slices.values().cloned().collect(),
+            next_id: self.next_id,
+            next_metadata: self.next_metadata,
+            next_addr: self.next_addr,
+            tables: self
+                .switches
+                .iter()
+                .map(|sw| {
+                    (sw.table(0).entries().to_vec(), sw.table(1).entries().to_vec())
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuild a manager from an [`ManagerExport`] over a freshly wired
+    /// cluster. The live tables are re-installed entry by entry in dump
+    /// order (reproducing equal-priority tie-breaks exactly), which
+    /// re-derives fresh sequence numbers and table fingerprints; the walk
+    /// cache starts cold and the first proof after a restore is a full
+    /// memoized [`Verifier::check_cached`] pass. The restored manager's
+    /// verifiable behavior — admission decisions, verify findings, audit
+    /// results — is byte-identical to the exporter's.
+    pub fn restore(
+        cluster: PhysicalCluster,
+        export: ManagerExport,
+    ) -> Result<SliceManager, RestoreError> {
+        let mut mgr = SliceManager::new(cluster);
+        if export.tables.len() != mgr.switches.len() {
+            return Err(RestoreError(format!(
+                "dump has {} switch table(s), cluster has {} switch(es)",
+                export.tables.len(),
+                mgr.switches.len()
+            )));
+        }
+        for (sw, (t0, t1)) in export.tables.iter().enumerate() {
+            mgr.switches[sw]
+                .restore_tables(t0, t1)
+                .map_err(|e| RestoreError(format!("switch {sw}: {e}")))?;
+        }
+        let live: usize = mgr.switches.iter().map(|s| s.total_entries()).sum();
+        let owned: usize = export.slices.iter().map(|s| s.entries()).sum();
+        if live != owned {
+            return Err(RestoreError(format!(
+                "live tables hold {live} entries but the slices own {owned}"
+            )));
+        }
+        mgr.slices = export.slices.into_iter().map(|s| (s.id.0, s)).collect();
+        mgr.next_id = export.next_id;
+        mgr.next_metadata = export.next_metadata;
+        mgr.next_addr = export.next_addr;
+        Ok(mgr)
+    }
+
     /// Resource accounting snapshot: per-switch table occupancy, port and
     /// cable pools, and every slice's reservations.
     pub fn status(&self) -> ManagerStatus {
@@ -1142,6 +1406,174 @@ mod tests {
                 assert!(md >= s.metadata_base && md < s.metadata_base + s.metadata_reserved);
             }
         }
+    }
+
+    /// Drive the same op list through `apply_one` on one manager and
+    /// `apply_batch` on another; the decisions, named errors, bookkeeping
+    /// and live tables must be indistinguishable.
+    fn assert_batch_matches_sequential(ops: Vec<SliceOp>) {
+        let mut seq = SliceManager::new(small_cluster());
+        let mut bat = SliceManager::new(small_cluster());
+        let seq_results: Vec<_> =
+            ops.iter().cloned().map(|op| seq.apply_one(op)).collect();
+        let bat_results = bat.apply_batch(ops);
+        assert_eq!(seq_results.len(), bat_results.len());
+        for (i, (s, b)) in seq_results.iter().zip(&bat_results).enumerate() {
+            match (s, b) {
+                (Ok(OpOutcome::Created(x)), Ok(OpOutcome::Created(y))) => {
+                    assert_eq!(x, y, "op {i}")
+                }
+                (Ok(OpOutcome::Reconfigured(x)), Ok(OpOutcome::Reconfigured(y))) => {
+                    assert_eq!(x.flow_mods(), y.flow_mods(), "op {i}")
+                }
+                (Ok(OpOutcome::Destroyed(x)), Ok(OpOutcome::Destroyed(y))) => {
+                    assert_eq!(x, y, "op {i}")
+                }
+                (Err(x), Err(y)) => assert_eq!(x.to_string(), y.to_string(), "op {i}"),
+                other => panic!("op {i}: sequential vs batched diverged: {other:?}"),
+            }
+        }
+        assert_eq!(format!("{:?}", seq.status()), format!("{:?}", bat.status()));
+        for (a, b) in seq.switches().iter().zip(bat.switches()) {
+            assert_eq!(a.table(0).entries(), b.table(0).entries());
+            assert_eq!(a.table(1).entries(), b.table(1).entries());
+        }
+        assert!(seq.verify_report().holds() == bat.verify_report().holds());
+    }
+
+    #[test]
+    fn batch_admission_matches_sequential_accepts_and_rejects() {
+        // Mix of accepts and position-dependent rejects: the second
+        // fat-tree no longer fits next to the first, the unknown-slice
+        // destroy fails by name, the last chain still fits.
+        let op = |t: &Topology, n: &str| SliceOp::Create {
+            name: n.to_string(),
+            topo: t.clone(),
+            routes: RouteTable::build_for_hosts(t, default_strategy(t).as_ref()),
+        };
+        assert_batch_matches_sequential(vec![
+            op(&fat_tree(4), "a"),
+            op(&fat_tree(4), "b"),
+            SliceOp::Destroy { id: SliceId(99) },
+            op(&chain(3), "c"),
+        ]);
+    }
+
+    #[test]
+    fn batch_splits_same_slice_segments() {
+        // Two reconfigurations of the same slice in one batch: the segment
+        // split keeps the combined-proof argument sound, and the end state
+        // must equal sequential submission's.
+        let mut setup = SliceManager::new(small_cluster());
+        let a = setup.create("a", &ring(4)).unwrap();
+        drop(setup);
+        let re = |t: &Topology| SliceOp::Reconfigure {
+            id: a,
+            topo: t.clone(),
+            routes: RouteTable::build_for_hosts(t, default_strategy(t).as_ref()),
+        };
+        let mk = |t: &Topology, n: &str| SliceOp::Create {
+            name: n.to_string(),
+            topo: t.clone(),
+            routes: RouteTable::build_for_hosts(t, default_strategy(t).as_ref()),
+        };
+        assert_batch_matches_sequential(vec![
+            mk(&ring(4), "a"),
+            re(&chain(5)),
+            re(&ring(6)),
+            SliceOp::Destroy { id: a },
+        ]);
+    }
+
+    #[test]
+    fn batch_fallback_names_static_violations() {
+        // Corrupt the live tables behind the manager's back, so every
+        // subsequent proof fails: the batch's combined proof fails, the
+        // rollback path re-runs per-op, and both ops come back with the
+        // named StaticViolation — exactly like sequential submission.
+        fn corrupted() -> SliceManager {
+            let mut mgr = SliceManager::new(small_cluster());
+            mgr.create("a", &chain(4)).unwrap();
+            let e = *mgr.switches()[0].table(1).entries().first().unwrap();
+            mgr.switches_mut()[0]
+                .apply(1, sdt_openflow::FlowMod::Delete(e.m, e.priority))
+                .unwrap();
+            mgr
+        }
+        let op = |t: &Topology, n: &str| SliceOp::Create {
+            name: n.to_string(),
+            topo: t.clone(),
+            routes: RouteTable::build_for_hosts(t, default_strategy(t).as_ref()),
+        };
+        let mut seq = corrupted();
+        let mut bat = corrupted();
+        let ops = vec![op(&chain(3), "b"), op(&ring(3), "c")];
+        let seq_r: Vec<_> = ops.iter().cloned().map(|o| seq.apply_one(o)).collect();
+        let bat_r = bat.apply_batch(ops);
+        for (s, b) in seq_r.iter().zip(&bat_r) {
+            let (Err(se), Err(be)) = (s, b) else {
+                panic!("corrupted fabric must reject: {s:?} vs {b:?}")
+            };
+            assert!(matches!(se, AdmissionError::StaticViolation(_)), "{se}");
+            assert_eq!(se.to_string(), be.to_string());
+        }
+        // Rollback was exact: nothing new installed on either manager.
+        assert_eq!(seq.num_slices(), 1);
+        assert_eq!(bat.num_slices(), 1);
+        for (a, b) in seq.switches().iter().zip(bat.switches()) {
+            assert_eq!(a.table(1).entries(), b.table(1).entries());
+        }
+    }
+
+    #[test]
+    fn export_restore_round_trips_state_and_decisions() {
+        let mut mgr = SliceManager::new(small_cluster());
+        let a = mgr.create("a", &chain(4)).unwrap();
+        let b = mgr.create("b", &ring(5)).unwrap();
+        mgr.reconfigure(b, &ring(6)).unwrap();
+        mgr.destroy(a).unwrap();
+        let report_before = mgr.verify_report();
+
+        let export = mgr.export();
+        let mut back = SliceManager::restore(small_cluster(), export).unwrap();
+
+        // Bookkeeping, live tables and verifier findings are identical.
+        assert_eq!(format!("{:?}", mgr.status()), format!("{:?}", back.status()));
+        for (x, y) in mgr.switches().iter().zip(back.switches()) {
+            assert_eq!(x.table(0).entries(), y.table(0).entries());
+            assert_eq!(x.table(1).entries(), y.table(1).entries());
+        }
+        let report_after = back.verify_report();
+        assert_eq!(format!("{report_before:?}"), format!("{report_after:?}"));
+
+        // Ids are never reused: the restored manager continues the id
+        // sequence instead of resurrecting slice a's.
+        let c1 = mgr.create("c", &chain(3)).unwrap();
+        let c2 = back.create("c", &chain(3)).unwrap();
+        assert_eq!(c1, c2);
+        assert!(c1.0 > b.0);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_cluster_or_orphans() {
+        let mut mgr = SliceManager::new(small_cluster());
+        mgr.create("a", &chain(4)).unwrap();
+        let export = mgr.export();
+
+        // Wrong switch count.
+        let one = ClusterBuilder::new(SwitchModel::openflow_128x100g(), 1)
+            .hosts_per_switch(16)
+            .build();
+        assert!(SliceManager::restore(one, export.clone()).is_err());
+
+        // Orphan entries: a dump whose tables hold more than the slices own.
+        let mut orphaned = export.clone();
+        orphaned.slices.clear();
+        let err = match SliceManager::restore(small_cluster(), orphaned) {
+            Err(e) => e,
+            Ok(_) => panic!("orphaned dump must be rejected"),
+        };
+        assert!(err.to_string().contains("entries"), "{err}");
     }
 
     #[test]
