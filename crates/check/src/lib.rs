@@ -1,0 +1,67 @@
+//! Deterministic concurrency model checking for the SDT control plane.
+//!
+//! The stochastic tests elsewhere in this workspace (the chaos kill-9
+//! suite, the thread-count-invariant property tests) run real threads and
+//! *sample* interleavings: they catch a racy bug only if the OS scheduler
+//! happens to produce the bad schedule. This crate takes the same stance
+//! the static verifier takes toward flow tables — enumerate the state
+//! space instead of probing it — and applies it to our own schedulers.
+//!
+//! # Usage
+//!
+//! Write the concurrent protocol against the primitives in [`sync`] and
+//! [`thread`] (or against `sdt-sync`, which re-exports them under
+//! `--cfg sdt_check`), create all shared state **inside** the closure, and
+//! hand it to [`model`]:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use sdt_check::sync::atomic::{AtomicU64, Ordering};
+//!
+//! sdt_check::model(|| {
+//!     let counter = Arc::new(AtomicU64::new(0));
+//!     let worker = {
+//!         let counter = Arc::clone(&counter);
+//!         sdt_check::thread::spawn(move || {
+//!             counter.fetch_add(1, Ordering::Relaxed);
+//!         })
+//!     };
+//!     counter.fetch_add(1, Ordering::Relaxed);
+//!     worker.join().ok();
+//!     assert_eq!(counter.load(Ordering::Relaxed), 2);
+//! });
+//! ```
+//!
+//! [`model`] re-runs the closure under every schedule a bounded DFS with
+//! sleep-set pruning reaches. The assertion therefore holds on *every*
+//! interleaving of the instrumented operations, not just the ones this
+//! machine's scheduler produced today. [`Config::random`] swaps the DFS
+//! for a seeded random walk when the exact space is too deep, and
+//! [`Config::replay`] re-executes one recorded decision trace — the
+//! message a [`Failure`] prints contains the exact `Config::replay("…")`
+//! call that reproduces it.
+//!
+//! Besides assertion failures, the runtime reports deadlocks (no runnable
+//! thread while some are live), lock-order cycles (ABBA acquisition
+//! patterns, even on schedules where the deadlock does not manifest),
+//! nondeterministic models (the enabled set diverged under an identical
+//! decision prefix — usually a branch on wall-clock time), and leaked
+//! threads.
+//!
+//! # Model rules
+//!
+//! - Create every shared object (mutexes, channels, atomics) inside the
+//!   model closure; objects created outside silently opt out of checking.
+//! - Join every spawned thread before the closure returns.
+//! - Model code must be deterministic given the schedule: no wall-clock
+//!   reads, no OS randomness, no uninstrumented blocking. Production code
+//!   with such branches gates them on [`is_modeling`].
+//!
+//! See `DESIGN.md` §3.11 for the workspace's thread inventory, the
+//! invariants checked by the model-test suite, and the replay workflow.
+
+mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use rt::{is_modeling, model, seed_from_env, Config, Exploration, Failure};

@@ -1,0 +1,489 @@
+//! Checked synchronization primitives: `Mutex`, mpsc channel, atomics.
+//!
+//! Each primitive wraps its `std` counterpart and inserts a scheduler
+//! yield point before every operation. Construction decides
+//! whether an object participates in checking: an object created **inside**
+//! a [`crate::model`] closure registers with the runtime and its operations
+//! become exploration decision points; one created outside behaves exactly
+//! like `std` (so a whole test binary can be compiled with `--cfg
+//! sdt_check` and only the model tests pay the instrumentation).
+//!
+//! Because model objects are registered in creation order and model code
+//! must be deterministic, the same schedule prefix always assigns the same
+//! ids — which is what makes decision traces replayable. Consequence:
+//! **create shared state inside the model closure**, not outside it; an
+//! outside object silently opts out of checking.
+
+use std::collections::VecDeque;
+use std::mem::ManuallyDrop;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+use crate::rt::{maybe_current, Op, Outcome};
+
+// ----------------------------------------------------------------- mutex
+
+/// A mutual-exclusion lock whose acquire and release are schedule decision
+/// points when created inside a model.
+pub struct Mutex<T: ?Sized> {
+    /// Model object id; `None` when created outside a model (std behavior).
+    id: Option<usize>,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Mutex<T> {
+        let id = maybe_current().map(|(rt, _)| rt.register_mutex());
+        Mutex { id, inner: std::sync::Mutex::new(value) }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire. Poison-transparent: a model thread that panicked has
+    /// already failed the whole execution, so poison carries no extra
+    /// information here (and the production shim recovers likewise).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        if let (Some(id), Some((rt, me))) = (self.id, maybe_current()) {
+            // Schedulable only while free, so the std lock below never
+            // contends: the model state *is* the lock discipline.
+            let _ = rt.yield_point(me, Op::Lock(id));
+        }
+        let g = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        MutexGuard { lock: self, inner: ManuallyDrop::new(g) }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+/// RAII guard; releasing it is itself a decision point (the model decides
+/// who runs between the release and whatever follows).
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    inner: ManuallyDrop<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock *before* yielding: once parked we no
+        // longer hold any OS-level resource, so whichever thread the
+        // explorer schedules next can make progress. The model still
+        // counts the mutex as held until the Unlock effect applies, so no
+        // waiter is schedulable in between — the early std unlock is
+        // invisible to the exploration.
+        unsafe { ManuallyDrop::drop(&mut self.inner) };
+        if let (Some(id), Some((rt, me))) = (self.lock.id, maybe_current()) {
+            if std::thread::panicking() {
+                // Unwinding (assertion failure or execution abort): keep
+                // the model state consistent but never schedule — a panic
+                // inside a Drop during unwind would abort the process.
+                rt.effect_during_unwind(me, Op::Unlock(id));
+            } else {
+                let _ = rt.yield_point(me, Op::Unlock(id));
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------- channel
+
+/// Multi-producer single-consumer FIFO, mirroring `std::sync::mpsc`.
+pub mod mpsc {
+    use super::{maybe_current, Arc, Op, Outcome, VecDeque};
+
+    struct ChanInner<T> {
+        queue: VecDeque<T>,
+        /// Live `Sender` clones. The model path tracks enabledness in the
+        /// runtime's own counters; this field is what gives the
+        /// *unregistered* path (production code in a `--cfg sdt_check`
+        /// build, outside any model run) real disconnect semantics.
+        senders: usize,
+        /// Whether the `Receiver` is still alive (unregistered sends fail
+        /// once it is gone, like `std::sync::mpsc`).
+        rx_alive: bool,
+    }
+
+    struct ChanData<T> {
+        inner: std::sync::Mutex<ChanInner<T>>,
+        /// Wakes an unregistered blocking `recv` on push or disconnect.
+        cv: std::sync::Condvar,
+    }
+
+    impl<T> ChanData<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, ChanInner<T>> {
+            match self.inner.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            }
+        }
+
+        fn push(&self, value: T) {
+            self.lock().queue.push_back(value);
+            self.cv.notify_one();
+        }
+
+        fn pop(&self) -> Option<T> {
+            self.lock().queue.pop_front()
+        }
+    }
+
+    /// Sending half. Cloning adds a producer; dropping the last sender
+    /// disconnects the channel.
+    pub struct Sender<T> {
+        id: Option<usize>,
+        data: Arc<ChanData<T>>,
+    }
+
+    /// Receiving half (single consumer, not cloneable).
+    pub struct Receiver<T> {
+        id: Option<usize>,
+        data: Arc<ChanData<T>>,
+    }
+
+    /// The receiver disconnected before this value could be delivered.
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    pub struct SendError<T>(pub T);
+
+    /// All senders disconnected and the queue is drained.
+    #[derive(PartialEq, Eq, Clone, Copy, Debug)]
+    pub struct RecvError;
+
+    /// Outcome of a non-blocking receive attempt.
+    #[derive(PartialEq, Eq, Clone, Copy, Debug)]
+    pub enum TryRecvError {
+        /// Nothing queued, but senders are still alive.
+        Empty,
+        /// Nothing queued and every sender is gone.
+        Disconnected,
+    }
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("sending on a closed channel")
+        }
+    }
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("receiving on an empty and closed channel")
+        }
+    }
+
+    impl std::fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+                TryRecvError::Disconnected => {
+                    f.write_str("receiving on an empty and closed channel")
+                }
+            }
+        }
+    }
+
+    impl<T> std::error::Error for SendError<T> {}
+    impl std::error::Error for RecvError {}
+    impl std::error::Error for TryRecvError {}
+
+    /// Create a connected sender/receiver pair.
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let id = maybe_current().map(|(rt, _)| rt.register_channel());
+        let data = Arc::new(ChanData {
+            inner: std::sync::Mutex::new(ChanInner {
+                queue: VecDeque::new(),
+                senders: 1,
+                rx_alive: true,
+            }),
+            cv: std::sync::Condvar::new(),
+        });
+        (Sender { id, data: Arc::clone(&data) }, Receiver { id, data })
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if let (Some(id), Some((rt, me))) = (self.id, maybe_current()) {
+                return match rt.yield_point(me, Op::Send(id)) {
+                    Outcome::Item => {
+                        self.data.push(value);
+                        Ok(())
+                    }
+                    _ => Err(SendError(value)),
+                };
+            }
+            // Unregistered (production code in a `--cfg sdt_check` build,
+            // outside any model run): full std semantics — fail once the
+            // receiver is gone, wake a blocked `recv` otherwise.
+            let mut inner = self.data.lock();
+            if !inner.rx_alive {
+                return Err(SendError(value));
+            }
+            inner.queue.push_back(value);
+            drop(inner);
+            self.data.cv.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.data.lock().senders += 1;
+            if let (Some(id), Some((rt, _))) = (self.id, maybe_current()) {
+                // Not a yield point: adding a sender while at least one is
+                // alive cannot change any thread's enabledness.
+                rt.sender_cloned(id);
+            }
+            Sender { id: self.id, data: Arc::clone(&self.data) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            {
+                let mut inner = self.data.lock();
+                inner.senders -= 1;
+                if inner.senders == 0 {
+                    // Unregistered blocking `recv`s must wake to observe
+                    // the disconnect.
+                    self.data.cv.notify_all();
+                }
+            }
+            if let (Some(id), Some((rt, me))) = (self.id, maybe_current()) {
+                if std::thread::panicking() {
+                    rt.effect_during_unwind(me, Op::CloseTx(id));
+                } else {
+                    // The last sender dropping enables a parked `recv` to
+                    // resolve as disconnected — a real decision point.
+                    let _ = rt.yield_point(me, Op::CloseTx(id));
+                }
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocking receive: schedulable once a value is queued or all
+        /// senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            if let (Some(id), Some((rt, me))) = (self.id, maybe_current()) {
+                return match rt.yield_point(me, Op::Recv(id)) {
+                    Outcome::Item => match self.data.pop() {
+                        Some(v) => Ok(v),
+                        None => unreachable!("model queue length said non-empty"),
+                    },
+                    _ => Err(RecvError),
+                };
+            }
+            if maybe_current().is_some() {
+                // A model thread on a channel created outside the model:
+                // never block for real while holding the baton — that
+                // would wedge the whole exploration.
+                return self.data.pop().ok_or(RecvError);
+            }
+            // Unregistered, outside any model: real blocking semantics,
+            // woken by `send` and by the last `Sender` dropping.
+            let mut inner = self.data.lock();
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = match self.data.cv.wait(inner) {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            if let (Some(id), Some((rt, me))) = (self.id, maybe_current()) {
+                return match rt.yield_point(me, Op::TryRecv(id)) {
+                    Outcome::Item => match self.data.pop() {
+                        Some(v) => Ok(v),
+                        None => unreachable!("model queue length said non-empty"),
+                    },
+                    Outcome::Empty => Err(TryRecvError::Empty),
+                    _ => Err(TryRecvError::Disconnected),
+                };
+            }
+            let mut inner = self.data.lock();
+            match inner.queue.pop_front() {
+                Some(v) => Ok(v),
+                None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.data.lock().rx_alive = false;
+            if let (Some(id), Some((rt, me))) = (self.id, maybe_current()) {
+                if std::thread::panicking() {
+                    rt.effect_during_unwind(me, Op::CloseRx(id));
+                } else {
+                    let _ = rt.yield_point(me, Op::CloseRx(id));
+                }
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------- atomics
+
+/// Checked atomics. Inside a model every load/store/RMW is a decision
+/// point; the values themselves live in real `std` atomics so the data
+/// path is identical to production. The `Ordering` argument is accepted
+/// for API fidelity but the model serializes everything (sequentially
+/// consistent by construction) — see the crate docs for why that is the
+/// right coverage for schedule invariants.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use super::maybe_current;
+    use crate::rt::Op;
+
+    macro_rules! checked_int_atomic {
+        ($name:ident, $std:ident, $prim:ty) => {
+            pub struct $name {
+                id: Option<usize>,
+                v: std::sync::atomic::$std,
+            }
+
+            impl $name {
+                pub fn new(value: $prim) -> $name {
+                    let id = maybe_current().map(|(rt, _)| rt.register_atomic());
+                    $name { id, v: std::sync::atomic::$std::new(value) }
+                }
+
+                fn hit(&self, write: bool) {
+                    if let (Some(id), Some((rt, me))) = (self.id, maybe_current()) {
+                        let op = if write { Op::AtomicWrite(id) } else { Op::AtomicLoad(id) };
+                        let _ = rt.yield_point(me, op);
+                    }
+                }
+
+                pub fn load(&self, order: Ordering) -> $prim {
+                    self.hit(false);
+                    self.v.load(order)
+                }
+
+                pub fn store(&self, value: $prim, order: Ordering) {
+                    self.hit(true);
+                    self.v.store(value, order);
+                }
+
+                pub fn fetch_add(&self, value: $prim, order: Ordering) -> $prim {
+                    self.hit(true);
+                    self.v.fetch_add(value, order)
+                }
+
+                pub fn fetch_sub(&self, value: $prim, order: Ordering) -> $prim {
+                    self.hit(true);
+                    self.v.fetch_sub(value, order)
+                }
+
+                pub fn fetch_max(&self, value: $prim, order: Ordering) -> $prim {
+                    self.hit(true);
+                    self.v.fetch_max(value, order)
+                }
+
+                pub fn swap(&self, value: $prim, order: Ordering) -> $prim {
+                    self.hit(true);
+                    self.v.swap(value, order)
+                }
+            }
+
+            impl Default for $name {
+                fn default() -> $name {
+                    $name::new(0)
+                }
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    write!(f, "{}({})", stringify!($name), self.v.load(Ordering::Relaxed))
+                }
+            }
+        };
+    }
+
+    checked_int_atomic!(AtomicU64, AtomicU64, u64);
+    checked_int_atomic!(AtomicUsize, AtomicUsize, usize);
+
+    pub struct AtomicBool {
+        id: Option<usize>,
+        v: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        pub fn new(value: bool) -> AtomicBool {
+            let id = maybe_current().map(|(rt, _)| rt.register_atomic());
+            AtomicBool { id, v: std::sync::atomic::AtomicBool::new(value) }
+        }
+
+        fn hit(&self, write: bool) {
+            if let (Some(id), Some((rt, me))) = (self.id, maybe_current()) {
+                let op = if write { Op::AtomicWrite(id) } else { Op::AtomicLoad(id) };
+                let _ = rt.yield_point(me, op);
+            }
+        }
+
+        pub fn load(&self, order: Ordering) -> bool {
+            self.hit(false);
+            self.v.load(order)
+        }
+
+        pub fn store(&self, value: bool, order: Ordering) {
+            self.hit(true);
+            self.v.store(value, order);
+        }
+
+        pub fn swap(&self, value: bool, order: Ordering) -> bool {
+            self.hit(true);
+            self.v.swap(value, order)
+        }
+    }
+
+    impl Default for AtomicBool {
+        fn default() -> AtomicBool {
+            AtomicBool::new(false)
+        }
+    }
+
+    impl std::fmt::Debug for AtomicBool {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "AtomicBool({})", self.v.load(Ordering::Relaxed))
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! Exercises the exploration runtime itself: exhaustive search visits
+//! multiple schedules, violations come back with deterministic replayable
+//! traces, and the failure detectors (deadlock, lock-order cycle, leaked
+//! threads) fire.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::sync::Arc;
+
+use sdt_check::sync::atomic::{AtomicU64, Ordering};
+use sdt_check::sync::{mpsc, Mutex};
+use sdt_check::{thread, Config};
+
+/// Two threads doing atomic RMW increments: the total is schedule
+/// invariant, and the DFS actually explores more than one interleaving.
+#[test]
+fn atomic_rmw_total_is_schedule_invariant() {
+    let exploration = Config::dfs()
+        .explore(|| {
+            let counter = Arc::new(AtomicU64::new(0));
+            let workers: Vec<_> = (0..2)
+                .map(|_| {
+                    let counter = Arc::clone(&counter);
+                    thread::spawn(move || {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            for w in workers {
+                w.join().unwrap();
+            }
+            assert_eq!(counter.load(Ordering::Relaxed), 4);
+        })
+        .unwrap();
+    assert!(
+        exploration.schedules > 1,
+        "two racing threads must yield multiple schedules, got {}",
+        exploration.schedules
+    );
+}
+
+/// The classic lost update — load, compute, store without atomicity — must
+/// be found by exhaustive search, and the reported trace must replay to
+/// the same failure deterministically.
+#[test]
+fn lost_update_is_found_and_replays() {
+    let broken = || {
+        let counter = Arc::new(AtomicU64::new(0));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                thread::spawn(move || {
+                    let v = counter.load(Ordering::SeqCst);
+                    counter.store(v + 1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 2, "lost update");
+    };
+
+    let failure = Config::dfs().explore(broken).expect_err("the race must be found");
+    assert!(failure.message.contains("lost update"), "unexpected: {}", failure.message);
+    assert!(!failure.trace.is_empty());
+
+    // The trace pins the exact interleaving: replaying it reproduces the
+    // identical failure, twice.
+    for _ in 0..2 {
+        let replayed = Config::replay(&failure.trace)
+            .explore(broken)
+            .expect_err("replay must reproduce the violation");
+        assert_eq!(replayed.trace, failure.trace);
+        assert!(replayed.message.contains("lost update"));
+        assert_eq!(replayed.schedules, 1, "replay runs exactly one schedule");
+    }
+
+    // And exhaustive search itself is deterministic: same model, same
+    // first failing schedule.
+    let again = Config::dfs().explore(broken).expect_err("still broken");
+    assert_eq!(again.trace, failure.trace);
+    assert_eq!(again.schedules, failure.schedules);
+}
+
+/// Mutex-protected increments never lose updates, on any schedule.
+#[test]
+fn mutex_protects_read_modify_write() {
+    Config::dfs().check(|| {
+        let shared = Arc::new(Mutex::new(0u64));
+        let workers: Vec<_> = (0..3)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || {
+                    let mut g = shared.lock();
+                    *g += 1;
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(*shared.lock(), 3);
+    });
+}
+
+/// ABBA lock acquisition is reported — either as a manifest deadlock or,
+/// on schedules where the race does not land, as a lock-order cycle.
+#[test]
+fn abba_locking_is_reported() {
+    let failure = Config::dfs()
+        .explore(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let t = {
+                let a = Arc::clone(&a);
+                let b = Arc::clone(&b);
+                thread::spawn(move || {
+                    let _ga = a.lock();
+                    let _gb = b.lock();
+                })
+            };
+            {
+                let _gb = b.lock();
+                let _ga = a.lock();
+            }
+            t.join().unwrap();
+        })
+        .expect_err("ABBA must be reported");
+    assert!(
+        failure.message.contains("deadlock") || failure.message.contains("lock-order cycle"),
+        "unexpected message: {}",
+        failure.message
+    );
+}
+
+/// Channels preserve FIFO per sender and report disconnection exactly
+/// once the queue drains after the last sender drops.
+#[test]
+fn channel_is_fifo_and_reports_disconnect() {
+    Config::dfs().check(|| {
+        let (tx, rx) = mpsc::channel::<u32>();
+        let producer = thread::spawn(move || {
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+        });
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(mpsc::RecvError));
+        producer.join().unwrap();
+    });
+}
+
+/// A blocking recv parks until a send enables it — the scheduler must
+/// never pick a disabled thread.
+#[test]
+fn recv_waits_for_send() {
+    Config::dfs().check(|| {
+        let (tx, rx) = mpsc::channel::<&'static str>();
+        let producer = thread::spawn(move || {
+            tx.send("ready").unwrap();
+        });
+        // On schedules where the main thread runs first this recv is not
+        // yet enabled; the explorer must schedule the producer.
+        assert_eq!(rx.recv(), Ok("ready"));
+        producer.join().unwrap();
+    });
+}
+
+/// try_recv distinguishes empty-but-connected from disconnected.
+#[test]
+fn try_recv_reports_empty_vs_disconnected() {
+    Config::dfs().check(|| {
+        let (tx, rx) = mpsc::channel::<u32>();
+        match rx.try_recv() {
+            Err(mpsc::TryRecvError::Empty) => {}
+            other => panic!("connected+empty must be Empty, got {other:?}"),
+        }
+        drop(tx);
+        match rx.try_recv() {
+            Err(mpsc::TryRecvError::Disconnected) => {}
+            other => panic!("disconnected must be Disconnected, got {other:?}"),
+        }
+    });
+}
+
+/// A model that returns with an unjoined thread is an error, not UB.
+#[test]
+fn leaked_thread_is_reported() {
+    let failure = Config::dfs()
+        .explore(|| {
+            let h = thread::spawn(|| {});
+            std::mem::forget(h);
+        })
+        .expect_err("leak must be reported");
+    assert!(failure.message.contains("live threads"), "unexpected: {}", failure.message);
+}
+
+/// Scoped threads may borrow the environment; all joined at scope end.
+#[test]
+fn scope_borrows_and_joins() {
+    Config::dfs().check(|| {
+        let data = [10u64, 20, 30];
+        let total = Arc::new(AtomicU64::new(0));
+        thread::scope(|s| {
+            for chunk in data.chunks(1) {
+                let total = Arc::clone(&total);
+                s.spawn(move || {
+                    total.fetch_add(chunk[0], Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 60);
+    });
+}
+
+/// The random-walk strategy runs the requested number of schedules and
+/// also finds this shallow race with a pinned seed.
+#[test]
+fn random_walk_runs_and_finds_races() {
+    let ok = Config::random(11, 50)
+        .explore(|| {
+            let counter = Arc::new(AtomicU64::new(0));
+            let t = {
+                let counter = Arc::clone(&counter);
+                thread::spawn(move || counter.fetch_add(1, Ordering::Relaxed))
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            t.join().unwrap();
+            assert_eq!(counter.load(Ordering::Relaxed), 2);
+        })
+        .unwrap();
+    assert_eq!(ok.schedules, 50);
+
+    let failure = Config::random(11, 200)
+        .explore(|| {
+            let counter = Arc::new(AtomicU64::new(0));
+            let t = {
+                let counter = Arc::clone(&counter);
+                thread::spawn(move || {
+                    let v = counter.load(Ordering::SeqCst);
+                    counter.store(v + 1, Ordering::SeqCst);
+                })
+            };
+            let v = counter.load(Ordering::SeqCst);
+            counter.store(v + 1, Ordering::SeqCst);
+            t.join().unwrap();
+            assert_eq!(counter.load(Ordering::SeqCst), 2, "lost update");
+        })
+        .expect_err("a 200-walk with this seed must hit the race");
+    // Random-walk failures replay through the same trace mechanism.
+    let replayed = Config::replay(&failure.trace)
+        .explore(|| {
+            let counter = Arc::new(AtomicU64::new(0));
+            let t = {
+                let counter = Arc::clone(&counter);
+                thread::spawn(move || {
+                    let v = counter.load(Ordering::SeqCst);
+                    counter.store(v + 1, Ordering::SeqCst);
+                })
+            };
+            let v = counter.load(Ordering::SeqCst);
+            counter.store(v + 1, Ordering::SeqCst);
+            t.join().unwrap();
+            assert_eq!(counter.load(Ordering::SeqCst), 2, "lost update");
+        })
+        .expect_err("replayed trace must reproduce");
+    assert!(replayed.message.contains("lost update"));
+}
+
+/// Checked primitives created outside a model behave as plain std types.
+#[test]
+fn primitives_fall_back_to_std_outside_models() {
+    let m = Mutex::new(5u32);
+    *m.lock() += 1;
+    assert_eq!(*m.lock(), 6);
+
+    let a = AtomicU64::new(7);
+    a.fetch_add(1, Ordering::SeqCst);
+    assert_eq!(a.load(Ordering::SeqCst), 8);
+
+    let (tx, rx) = mpsc::channel::<u8>();
+    tx.send(42).unwrap();
+    assert_eq!(rx.try_recv(), Ok(42));
+
+    let h = thread::spawn(|| 9u8);
+    assert_eq!(h.join().unwrap(), 9);
+
+    thread::scope(|s| {
+        let h = s.spawn(|| 3u8);
+        assert_eq!(h.join().unwrap(), 3);
+    });
+}
+
+/// Exceeding max_schedules surfaces as a bound error, not a hang.
+#[test]
+fn schedule_budget_is_enforced() {
+    let failure = Config::dfs()
+        .max_schedules(3)
+        .explore(|| {
+            let counter = Arc::new(AtomicU64::new(0));
+            let workers: Vec<_> = (0..3)
+                .map(|_| {
+                    let counter = Arc::clone(&counter);
+                    thread::spawn(move || {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            for w in workers {
+                w.join().unwrap();
+            }
+        })
+        .expect_err("3 schedules cannot cover 3 racing threads");
+    assert!(failure.message.contains("max_schedules"), "unexpected: {}", failure.message);
+}

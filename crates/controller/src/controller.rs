@@ -15,9 +15,8 @@ use sdt_openflow::{ControlChannel, InstallTiming, OpenFlowSwitch};
 use sdt_routing::cdg::{analyze, DeadlockAnalysis};
 use sdt_routing::{default_strategy, RouteTable, RoutingStrategy};
 use sdt_topology::{HostId, SwitchId, Topology, TopologyKind};
-use sdt_verify::{Intent, TableView, Verifier, WalkCache};
+use sdt_verify::{Intent, SharedWalkCache, TableView, Verifier, WalkCache};
 use std::collections::HashMap;
-use std::sync::Mutex;
 
 /// Outcome of the checking function (§V-1): what the wiring supports and
 /// what would have to change.
@@ -125,8 +124,10 @@ pub struct SdtController {
     /// controller runs (deploy gates, recovery gates, explicit
     /// [`SdtController::verify_projection`] calls). Entries are
     /// fingerprint-validated per class and switch, so repeated verifies of
-    /// similar table states only pay for what actually changed.
-    verify_cache: Mutex<WalkCache>,
+    /// similar table states only pay for what actually changed. Held as a
+    /// [`SharedWalkCache`]: each pass leases the cache, and a concurrent
+    /// invalidation discards the pass's harvest instead of racing it.
+    verify_cache: SharedWalkCache,
     /// Count of reconfigurations performed (reporting).
     pub reconfigurations: u32,
 }
@@ -142,7 +143,7 @@ impl SdtController {
             timing: InstallTiming::default(),
             require_deadlock_free: true,
             static_verify: true,
-            verify_cache: Mutex::new(WalkCache::new()),
+            verify_cache: SharedWalkCache::new(),
             reconfigurations: 0,
         }
     }
@@ -195,7 +196,7 @@ impl SdtController {
     /// recovery or reconfiguration only pays for the classes whose table
     /// fingerprints changed.
     pub fn verify_projection(&self, topo: &Topology, projection: &SdtProjection) -> Verifier {
-        let mut cache = self.verify_cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut cache = self.verify_cache.lease();
         Verifier::check_cached(
             &self.cluster,
             TableView::of_synthesis(&projection.synthesis),
@@ -203,12 +204,14 @@ impl SdtController {
             sdt_verify::verify_threads(),
             &mut cache,
         )
+        // The lease drop restores the warmed cache (unless an invalidation
+        // raced this pass, in which case the harvest is discarded).
     }
 
     /// Number of memoized walk-cache entries held by this controller's
     /// verifier (observability: `sdtctl verify --stats` and benches).
     pub fn verify_cache_entries(&self) -> usize {
-        self.verify_cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner).entries()
+        self.verify_cache.with(WalkCache::entries)
     }
 
     /// The deploy/recovery gate: error out with the report summary when the
@@ -540,8 +543,7 @@ impl SdtController {
         let rounds = sdt_tenancy::compile_rounds(&epoch, &before);
         let intent = Intent::of_projection(projection, topology, topology.name());
         let threads = sdt_verify::verify_threads();
-        let mut cache =
-            self.verify_cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut cache = self.verify_cache.lease();
         let base =
             Verifier::check_cached(&self.cluster, before, intent.clone(), threads, &mut cache);
         let policy = sdt_tenancy::RetryPolicy {

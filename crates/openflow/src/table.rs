@@ -5,7 +5,7 @@ use crate::index::{entry_key, query_key, tier_of, TierKey, TIER_COUNT, TIER_META
 use crate::{HostAddr, PortNo};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use sdt_sync::atomic::{AtomicU64, Ordering};
 
 /// Wildcard-able match over the fields SDT programs: ingress port, pipeline
 /// metadata (OpenFlow 1.3 multi-table), plus an IPv4-style 5-tuple subset.
@@ -310,6 +310,18 @@ pub struct FlowTable {
     capacity: usize,
     /// Tier index over `entries`, patched in lock-step by `apply`.
     index: TierIndex,
+    /// Lookup/miss tallies, bumped from `&self` lookups that may run on
+    /// many verifier/audit threads at once.
+    ///
+    /// **Ordering contract**: every access is `Relaxed`, and that is
+    /// sufficient — each counter is a single memory location touched only
+    /// by `fetch_add` (an atomic read-modify-write, so no increment can be
+    /// lost regardless of ordering) and standalone `load`s that feed
+    /// stats reports. Nothing is *published* through these counters: no
+    /// other memory access is ordered against them, so no release/acquire
+    /// edge is needed. The totals are schedule-invariant (the model test
+    /// `tests/counter_model.rs` explores every interleaving); only the
+    /// momentary values seen by a concurrent `stats()` depend on timing.
     lookups: AtomicU64,
     misses: AtomicU64,
 }
@@ -323,6 +335,11 @@ impl Clone for FlowTable {
             fp: self.fp,
             capacity: self.capacity,
             index: self.index.clone(),
+            // Relaxed: a clone takes a point-in-time sample of each
+            // counter independently. Cloning a table that is concurrently
+            // being probed may catch `lookups` and `misses` from slightly
+            // different instants, which is fine — snapshots (and the
+            // restore path built on them) carry entries, not tallies.
             lookups: AtomicU64::new(self.lookups.load(Ordering::Relaxed)),
             misses: AtomicU64::new(self.misses.load(Ordering::Relaxed)),
         }
@@ -433,6 +450,9 @@ impl FlowTable {
     /// move the lookup/miss counters identically (one lookup per call, one
     /// miss per `None`).
     pub fn lookup_with(&self, meta: &PacketMeta, metadata: Option<u32>) -> Option<Action> {
+        // Relaxed RMW: a pure tally. No memory is published through this
+        // counter and atomic read-modify-writes on one location never lose
+        // increments, so the total is exact under any interleaving.
         self.lookups.fetch_add(1, Ordering::Relaxed);
         let hit = if self.entries.len() <= LINEAR_CUTOFF {
             self.entries.iter().find(|e| e.m.matches(meta, metadata)).map(|e| e.action)
@@ -440,6 +460,11 @@ impl FlowTable {
             self.index.lookup(meta, metadata)
         };
         if hit.is_none() {
+            // Relaxed RMW: same tally-only contract as `lookups` above.
+            // `misses` is not ordered against `lookups` either — a
+            // concurrent `stats()` may observe the lookup bump without
+            // the miss bump, but never a miss without its lookup being
+            // eventually counted.
             self.misses.fetch_add(1, Ordering::Relaxed);
         }
         hit
@@ -450,6 +475,9 @@ impl FlowTable {
     /// [`FlowTable::lookup_with`] against it entry-for-entry and
     /// counter-for-counter (same single lookup bump, same miss bump).
     pub fn linear_lookup_with(&self, meta: &PacketMeta, metadata: Option<u32>) -> Option<Action> {
+        // Relaxed RMWs, same contract (and same bump pattern) as
+        // `lookup_with` — the differential tests depend on the two paths
+        // moving the counters identically.
         self.lookups.fetch_add(1, Ordering::Relaxed);
         for e in &self.entries {
             if e.m.matches(meta, metadata) {
@@ -461,6 +489,15 @@ impl FlowTable {
     }
 
     /// Occupancy and lookup statistics.
+    ///
+    /// Counter reads are `Relaxed` point-in-time samples: exact once the
+    /// probing threads have quiesced (joined), momentary while they run.
+    /// The two counters are sampled independently with no ordering between
+    /// them, so a report taken concurrently with probing can even show
+    /// `misses` ahead of `lookups` (the model test in
+    /// `tests/counter_model.rs` exhibits such a schedule). Each sample is
+    /// still bounded by its true total — counts are never invented, and
+    /// quiesced totals are exact.
     pub fn stats(&self) -> TableStats {
         TableStats {
             entries: self.entries.len(),

@@ -19,8 +19,10 @@
 
 pub mod stats;
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
+
+use sdt_sync::atomic::{AtomicUsize, Ordering};
+use sdt_sync::thread;
 
 /// Remaining-work threshold (ns) below which the pool is not worth waking:
 /// roughly ten thread spawns. Sweeps whose probe projects less total work
@@ -62,17 +64,19 @@ where
     }
     // Probe: run the first item inline and project the remaining work. A
     // sweep this small never wins from thread spawns, so finish it here.
+    // Skipped under the model checker: the branch reads the wall clock,
+    // which would make the explored schedule space nondeterministic.
     let t0 = Instant::now();
     let first = f(&items[0]);
     let probe_ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
-    if probe_ns.saturating_mul((n - 1) as u64) < SEQ_FALLBACK_NS {
+    if !sdt_sync::modeling() && probe_ns.saturating_mul((n - 1) as u64) < SEQ_FALLBACK_NS {
         let mut out = Vec::with_capacity(n);
         out.push(first);
         out.extend(items[1..].iter().map(&f));
         return out;
     }
     let next = AtomicUsize::new(1); // index 0 already done by the probe
-    let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
+    let mut tagged: Vec<(usize, R)> = thread::scope(|s| {
         let workers: Vec<_> = (0..threads)
             .map(|_| {
                 s.spawn(|| {
@@ -135,12 +139,13 @@ where
     order.sort_by_key(|&i| (std::cmp::Reverse(weight(&items[i])), i));
 
     // Probe on the heaviest item: if even the projected total for the rest
-    // is below the spawn budget, stay sequential.
+    // is below the spawn budget, stay sequential. Clock-gated like the
+    // unweighted probe, so skipped under the model checker.
     let head = order[0];
     let t0 = Instant::now();
     let head_result = f(&items[head]);
     let probe_ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
-    if probe_ns.saturating_mul((n - 1) as u64) < SEQ_FALLBACK_NS {
+    if !sdt_sync::modeling() && probe_ns.saturating_mul((n - 1) as u64) < SEQ_FALLBACK_NS {
         let mut tagged: Vec<(usize, R)> = Vec::with_capacity(n);
         tagged.push((head, head_result));
         tagged.extend(order[1..].iter().map(|&i| (i, f(&items[i]))));
@@ -148,7 +153,7 @@ where
         return tagged.into_iter().map(|(_, r)| r).collect();
     }
     let next = AtomicUsize::new(1); // order[0] already done by the probe
-    let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
+    let mut tagged: Vec<(usize, R)> = thread::scope(|s| {
         let order = &order;
         let workers: Vec<_> = (0..threads.min(n))
             .map(|_| {

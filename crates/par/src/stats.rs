@@ -104,6 +104,28 @@ mod tests {
         let v = [1u64, 2, 3];
         assert_eq!(percentile_sorted(&v, -1.0), Some(1));
         assert_eq!(percentile_sorted(&v, 2.0), Some(3));
+        // NaN propagates through `p·n` and `ceil`, then `as usize` maps it
+        // to 0, which the rank clamp pins to 1: the minimum, not a panic.
+        assert_eq!(percentile_sorted(&v, f64::NAN), Some(1));
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        // With one sample every rank clamps to 1, so every percentile —
+        // including p0 (rank ceil(0)=0, clamped up) and p100 — reports the
+        // sample itself. Tail percentiles of a one-shot measurement must
+        // be that measurement, never a synthetic value.
+        for p in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(percentile_sorted(&[42u64], p), Some(42));
+        }
+        let s = LatencySummary::from_ns(vec![42]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean_ns, 42.0);
+        assert_eq!(
+            (s.min_ns, s.p50_ns, s.p99_ns, s.p999_ns, s.max_ns),
+            (42, 42, 42, 42, 42),
+            "all order statistics of one sample are that sample"
+        );
     }
 
     #[test]

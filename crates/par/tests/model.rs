@@ -1,0 +1,78 @@
+//! Model-checked invariants of the real `par_map` fan-out, compiled only
+//! under `--cfg sdt_check` (the CI `check` job): the production claim
+//! loop — `fetch_add` steals over a shared counter — runs under every
+//! schedule the bounded DFS reaches, not just the ones the OS produces.
+//!
+//! Invariants proven on every explored schedule:
+//! - output is in input order and byte-identical to the sequential map
+//!   (so no claim is lost, duplicated, or misfiled under steal races);
+//! - the weighted variant's LPT claiming changes only the schedule, never
+//!   the result.
+
+#![cfg(sdt_check)]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use sdt_par::{par_map_threads, par_map_weighted_threads};
+
+/// Three workers racing over four items: every interleaving of the claim
+/// counter must produce the exact sequential result. Duplicated claims
+/// would lengthen the output, lost claims would shorten it, misordered
+/// merges would permute it — all caught by exact equality.
+#[test]
+fn par_map_is_order_preserving_on_every_schedule() {
+    let exploration = sdt_check::Config::dfs()
+        .explore(|| {
+            let items: Vec<u64> = vec![3, 1, 4, 1];
+            let out = par_map_threads(3, &items, |&x| x * 10 + 1);
+            assert_eq!(out, vec![31, 11, 41, 11]);
+        })
+        .expect("no schedule may violate order preservation");
+    assert!(
+        exploration.schedules > 10,
+        "steal races must fan out into many schedules, got {}",
+        exploration.schedules
+    );
+}
+
+/// Weighted claiming (heaviest first) under every schedule: the indirect
+/// `order[slot]` lookup must still route every result to its input slot.
+#[test]
+fn weighted_par_map_is_order_preserving_on_every_schedule() {
+    sdt_check::model(|| {
+        let items: Vec<u64> = vec![2, 9, 4];
+        let out = par_map_weighted_threads(2, &items, |&w| w, |&x| x + 100);
+        assert_eq!(out, vec![102, 109, 104]);
+    });
+}
+
+/// Two workers, two items after the probe: small enough to visit the full
+/// unpruned interleaving set, proving no lost work when both workers race
+/// the counter to the last item.
+#[test]
+fn steal_race_on_last_item_never_loses_work() {
+    sdt_check::model(|| {
+        let items: Vec<u64> = vec![7, 8, 9];
+        let out = par_map_threads(2, &items, |&x| x * 2);
+        assert_eq!(out, vec![14, 16, 18]);
+    });
+}
+
+/// Seeded random walk over an instance too wide to exhaust in CI time:
+/// four workers racing over eight items. The CI `check` job runs this
+/// under three pinned seeds plus one fresh seed per run (printed below,
+/// so a red run is reproducible); a violated schedule's decision trace
+/// lands in the failure report for `Config::replay`.
+#[test]
+fn random_walk_preserves_order_on_sampled_schedules() {
+    let seed = sdt_check::seed_from_env("SDT_CHECK_SEED", 11);
+    eprintln!("random_walk_preserves_order: SDT_CHECK_SEED={seed}");
+    let exploration = sdt_check::Config::random(seed, 256)
+        .explore(|| {
+            let items: Vec<u64> = (0..8).collect();
+            let out = par_map_threads(4, &items, |&x| x * 3 + 1);
+            let want: Vec<u64> = (0..8).map(|x| x * 3 + 1).collect();
+            assert_eq!(out, want);
+        })
+        .expect("no sampled schedule may violate order preservation");
+    assert_eq!(exploration.schedules, 256, "random mode runs every sampled walk");
+}

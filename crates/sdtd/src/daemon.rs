@@ -31,17 +31,20 @@
 //! client that has seen an `ok` therefore knows the state that produced
 //! it survives `kill -9`.
 
+use crate::engine::{engine_loop, EngineHost};
 use crate::snapshot::{write_atomic, ClusterSpec, Snapshot};
 use sdt_controller::output::{self, AdmitInfo, AdmitRow, StatsBlock};
 use sdt_controller::{Json, SliceController, SliceOpError, TestbedConfig};
+use sdt_sync::atomic::{AtomicBool, Ordering};
+use sdt_sync::sync::mpsc::Sender;
+use sdt_sync::sync::{Arc, Mutex};
+use sdt_sync::thread;
 use sdt_tenancy::{OpOutcome, SliceId, SliceOp};
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write as _};
+use std::net::Shutdown;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, Sender, TryRecvError};
-use std::sync::{Arc, Mutex};
 
 /// How the daemon runs: where it listens, where it persists, how greedy
 /// a batch may get.
@@ -174,11 +177,9 @@ struct ConnWriter {
 
 impl ConnWriter {
     fn send_line(&self, line: &str) {
-        let mut guard = match self.stream.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        };
-        // A vanished client is its own problem; the engine keeps serving.
+        // The facade lock is poison-recovering; a vanished client is its
+        // own problem; the engine keeps serving either way.
+        let mut guard = self.stream.lock();
         let _ = guard.write_all(line.as_bytes());
         let _ = guard.write_all(b"\n");
     }
@@ -306,6 +307,62 @@ fn parse_request(line: &str) -> (u64, Request) {
 
 // --------------------------------------------------------------- server
 
+/// Live connections, tracked so shutdown can close them under their
+/// parked reader threads. Without this a client that pipelined requests
+/// and got every reply would hang forever waiting for EOF: its daemon-side
+/// reader is parked in `read_line` and only notices the engine is gone on
+/// the *next* request. Closing the socket is the wake-up.
+#[derive(Default)]
+struct ConnRegistry {
+    conns: Mutex<ConnSet>,
+}
+
+#[derive(Default)]
+struct ConnSet {
+    /// Shutdown has happened; connections arriving late are closed on the
+    /// spot instead of being tracked.
+    closed: bool,
+    next_token: u64,
+    streams: Vec<(u64, UnixStream)>,
+}
+
+impl ConnRegistry {
+    /// Track a connection for shutdown teardown. `None` if the daemon is
+    /// already shutting down — the stream has then been closed already.
+    fn track(&self, stream: &UnixStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let mut set = self.conns.lock();
+        if set.closed {
+            let _ = clone.shutdown(Shutdown::Both);
+            return None;
+        }
+        set.next_token += 1;
+        let token = set.next_token;
+        set.streams.push((token, clone));
+        Some(token)
+    }
+
+    /// Drop a finished connection so a long-lived daemon does not
+    /// accumulate dead file descriptors.
+    fn untrack(&self, token: u64) {
+        let mut set = self.conns.lock();
+        if let Some(i) = set.streams.iter().position(|(t, _)| *t == token) {
+            set.streams.swap_remove(i);
+        }
+    }
+
+    /// Close every live connection and refuse to track new ones. Called
+    /// after the engine loop has returned, i.e. after every terminal
+    /// reply (including shutdown rejections) has been written.
+    fn close_all(&self) {
+        let mut set = self.conns.lock();
+        set.closed = true;
+        for (_, stream) in set.streams.drain(..) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
 /// Serve until a `shutdown` request arrives. Binds the socket (replacing
 /// a stale file), spawns the acceptor, and runs the engine loop on the
 /// calling thread. Returns the final metrics.
@@ -318,12 +375,14 @@ pub fn run(state: DaemonState, opts: DaemonOptions) -> Result<DaemonMetrics, Str
     let _ = std::fs::remove_file(&opts.socket);
     let listener = UnixListener::bind(&opts.socket)
         .map_err(|e| format!("bind {}: {e}", opts.socket.display()))?;
-    let (tx, rx) = std::sync::mpsc::channel::<WorkItem>();
+    let (tx, rx) = sdt_sync::sync::mpsc::channel::<WorkItem>();
     let stop = Arc::new(AtomicBool::new(false));
+    let registry = Arc::new(ConnRegistry::default());
 
     let acceptor = {
         let stop = Arc::clone(&stop);
-        std::thread::spawn(move || accept_loop(listener, tx, stop))
+        let registry = Arc::clone(&registry);
+        thread::spawn(move || accept_loop(listener, tx, stop, registry))
     };
 
     let mut engine = Engine {
@@ -332,17 +391,28 @@ pub fn run(state: DaemonState, opts: DaemonOptions) -> Result<DaemonMetrics, Str
         metrics: DaemonMetrics::default(),
         dirty: false,
     };
-    let metrics = engine.serve(rx);
+    engine_loop(&mut engine, &rx, opts.batch_max, DRAIN_CAP);
+    let metrics = engine.metrics;
+    drop(rx); // remaining readers see a closed channel and exit
 
-    // Wake the acceptor out of `accept()` so it can observe the stop flag.
+    // Every terminal reply is on the wire (the engine loop wrote them all
+    // before returning); now close the connections so parked readers and
+    // pipelining clients waiting for EOF unblock, then wake the acceptor
+    // out of `accept()` so it can observe the stop flag.
     stop.store(true, Ordering::SeqCst);
+    registry.close_all();
     let _ = UnixStream::connect(&opts.socket);
     let _ = acceptor.join();
     let _ = std::fs::remove_file(&opts.socket);
     Ok(metrics)
 }
 
-fn accept_loop(listener: UnixListener, tx: Sender<WorkItem>, stop: Arc<AtomicBool>) {
+fn accept_loop(
+    listener: UnixListener,
+    tx: Sender<WorkItem>,
+    stop: Arc<AtomicBool>,
+    registry: Arc<ConnRegistry>,
+) {
     loop {
         let Ok((stream, _)) = listener.accept() else {
             if stop.load(Ordering::SeqCst) {
@@ -354,11 +424,23 @@ fn accept_loop(listener: UnixListener, tx: Sender<WorkItem>, stop: Arc<AtomicBoo
             return;
         }
         let tx = tx.clone();
-        std::thread::spawn(move || conn_loop(stream, tx));
+        let registry = Arc::clone(&registry);
+        thread::spawn(move || conn_loop(stream, tx, registry));
     }
 }
 
-fn conn_loop(stream: UnixStream, tx: Sender<WorkItem>) {
+fn conn_loop(stream: UnixStream, tx: Sender<WorkItem>, registry: Arc<ConnRegistry>) {
+    // `track` clones the stream for shutdown teardown; `None` means the
+    // daemon is already closing and the socket was shut under us — the
+    // read loop below then sees instant EOF, which is the point.
+    let token = registry.track(&stream);
+    serve_conn(stream, tx);
+    if let Some(token) = token {
+        registry.untrack(token);
+    }
+}
+
+fn serve_conn(stream: UnixStream, tx: Sender<WorkItem>) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -397,59 +479,56 @@ struct Engine {
     dirty: bool,
 }
 
-impl Engine {
-    fn serve(&mut self, rx: Receiver<WorkItem>) -> DaemonMetrics {
-        let mut pending: std::collections::VecDeque<WorkItem> = Default::default();
-        'serve: loop {
-            if pending.is_empty() {
-                match rx.recv() {
-                    Ok(item) => pending.push_back(item),
-                    Err(_) => break, // every sender hung up
-                }
-            }
-            while pending.len() < DRAIN_CAP {
-                match rx.try_recv() {
-                    Ok(item) => pending.push_back(item),
-                    Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
-                }
-            }
-            self.metrics.drain_cycles += 1;
-            while let Some(item) = pending.pop_front() {
-                if item.req.batchable() {
-                    let mut group = vec![item];
-                    while group.len() < self.opts.batch_max
-                        && pending.front().is_some_and(|n| n.req.batchable())
-                    {
-                        let Some(next) = pending.pop_front() else { break };
-                        group.push(next);
-                    }
-                    let replies = self.lifecycle_group(&group);
-                    self.finish(&group, replies);
-                } else {
-                    let shutdown = matches!(item.req, Request::Shutdown);
-                    let reply = self.one_request(&item);
-                    self.finish(std::slice::from_ref(&item), vec![reply]);
-                    if shutdown {
-                        break 'serve;
-                    }
-                }
-            }
-        }
-        self.metrics
+/// The daemon side of the [`engine_loop`] contract: classification
+/// delegates to the request parser, application to the slice controller,
+/// durability to the snapshot writer, delivery to the per-connection
+/// writers. The loop itself (drain, batch coalescing, persist-then-reply,
+/// shutdown drain) lives in [`crate::engine`] where the model tests can
+/// explore it under every schedule.
+impl EngineHost for Engine {
+    type Item = WorkItem;
+    type Reply = Reply;
+
+    fn batchable(&self, item: &WorkItem) -> bool {
+        item.req.batchable()
     }
 
-    /// Persist-then-respond: snapshot first if the group mutated state, so
-    /// every `ok` a client sees is already durable.
-    fn finish(&mut self, items: &[WorkItem], replies: Vec<Reply>) {
+    fn is_shutdown(&self, item: &WorkItem) -> bool {
+        matches!(item.req, Request::Shutdown)
+    }
+
+    fn apply_run(&mut self, run: &[WorkItem]) -> Vec<Reply> {
+        self.lifecycle_group(run)
+    }
+
+    fn apply_one(&mut self, item: &WorkItem) -> Reply {
+        self.one_request(item)
+    }
+
+    /// Snapshot first if anything mutated, so every `ok` a client sees is
+    /// already durable.
+    fn persist_if_dirty(&mut self) {
         if self.dirty {
             self.persist();
         }
-        for (item, reply) in items.iter().zip(&replies) {
-            item.writer.send_line(&reply.emit());
-            self.metrics.requests += 1;
-        }
     }
 
+    fn deliver(&mut self, item: &WorkItem, reply: Reply) {
+        item.writer.send_line(&reply.emit());
+        self.metrics.requests += 1;
+    }
+
+    fn reject_undelivered(&mut self, item: WorkItem) {
+        item.writer.send_line(&Reply::err(item.id, "daemon is shutting down").emit());
+        self.metrics.requests += 1;
+    }
+
+    fn note_drain_cycle(&mut self) {
+        self.metrics.drain_cycles += 1;
+    }
+}
+
+impl Engine {
     fn persist(&mut self) {
         let Some(path) = self.opts.snapshot.clone() else {
             self.dirty = false;

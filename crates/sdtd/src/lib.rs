@@ -31,6 +31,7 @@
 //! output is byte-for-byte local-mode output.
 
 pub mod daemon;
+pub mod engine;
 pub mod snapshot;
 
 pub use daemon::{run, DaemonMetrics, DaemonOptions, DaemonState};

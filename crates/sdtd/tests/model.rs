@@ -1,0 +1,313 @@
+//! Model-checked invariants of the extracted engine loop
+//! (`sdt_sdtd::engine::engine_loop`), explored under **every** schedule a
+//! bounded DFS reaches — producers racing the drain, batch coalescing,
+//! persist-then-reply, and the shutdown drain. The daemon's own `Engine`
+//! implements the same `EngineHost` trait against real slices and
+//! sockets; these tests implement it with a recording host that asserts
+//! the contract at each step:
+//!
+//! - **snapshot-before-reply**: a mutation's `ok` is delivered only after
+//!   a persist covered it (the crash-safety linchpin the kill-9 chaos
+//!   test can only sample);
+//! - **batched == sequential multiset**: coalescing runs never lose,
+//!   duplicate, or reorder work;
+//! - **FCFS per connection**: replies come back in request order;
+//! - **terminal replies on shutdown**: a queued request is either applied
+//!   or rejected — never silently dropped.
+//!
+//! These run in the plain build: the engine loop's concurrency surface is
+//! injected through traits, so it can be exhaustively explored without
+//! the `--cfg sdt_check` shim swap that the in-crate ports need.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::collections::BTreeMap;
+
+use sdt_check::sync::mpsc::{Receiver, TryRecvError};
+use sdt_check::thread;
+use sdt_sdtd::engine::{engine_loop, EngineHost, Poll, WorkSource};
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Kind {
+    /// Batchable state mutation (the daemon's admit/migrate/destroy).
+    Mutate,
+    /// Read-only request, applied alone.
+    Read,
+    /// Stops the engine after its reply.
+    Shutdown,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Item {
+    conn: u8,
+    seq: u32,
+    kind: Kind,
+}
+
+/// What happened to one request, in per-connection delivery order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Outcome {
+    Replied(u32),
+    Rejected(u32),
+}
+
+impl Outcome {
+    fn seq(self) -> u32 {
+        match self {
+            Outcome::Replied(s) | Outcome::Rejected(s) => s,
+        }
+    }
+}
+
+/// Recording host: applies mutations to an in-memory log, models the
+/// snapshot as a durable prefix length, and asserts the contract on every
+/// delivery.
+#[derive(Default)]
+struct RecordingHost {
+    /// Mutations applied, in application order.
+    applied: Vec<(u8, u32)>,
+    /// How many of `applied` the last persist made durable.
+    durable: usize,
+    dirty: bool,
+    /// Terminal outcomes per connection, in delivery order.
+    outcomes: BTreeMap<u8, Vec<Outcome>>,
+    /// Sizes of the coalesced runs that reached apply_run.
+    run_sizes: Vec<usize>,
+    rejected: usize,
+}
+
+impl EngineHost for RecordingHost {
+    type Item = Item;
+    type Reply = ();
+
+    fn batchable(&self, item: &Item) -> bool {
+        item.kind == Kind::Mutate
+    }
+
+    fn is_shutdown(&self, item: &Item) -> bool {
+        item.kind == Kind::Shutdown
+    }
+
+    fn apply_run(&mut self, run: &[Item]) -> Vec<()> {
+        assert!(!run.is_empty());
+        assert!(run.iter().all(|i| i.kind == Kind::Mutate), "only mutations coalesce");
+        self.run_sizes.push(run.len());
+        for item in run {
+            self.applied.push((item.conn, item.seq));
+        }
+        self.dirty = true;
+        vec![(); run.len()]
+    }
+
+    fn apply_one(&mut self, item: &Item) {
+        assert_ne!(item.kind, Kind::Mutate, "mutations go through apply_run");
+    }
+
+    fn persist_if_dirty(&mut self) {
+        if self.dirty {
+            self.durable = self.applied.len();
+            self.dirty = false;
+        }
+    }
+
+    fn deliver(&mut self, item: &Item, (): ()) {
+        if item.kind == Kind::Mutate {
+            // Snapshot-before-reply: the mutation acked here must already
+            // be inside the durable prefix.
+            let pos = self
+                .applied
+                .iter()
+                .position(|&e| e == (item.conn, item.seq))
+                .expect("an acked mutation was applied");
+            assert!(
+                pos < self.durable,
+                "reply for {:?} delivered before the snapshot covered it",
+                item
+            );
+        }
+        self.outcomes.entry(item.conn).or_default().push(Outcome::Replied(item.seq));
+    }
+
+    fn reject_undelivered(&mut self, item: Item) {
+        assert!(
+            !self.applied.contains(&(item.conn, item.seq)),
+            "an applied mutation must never be rejected"
+        );
+        self.outcomes.entry(item.conn).or_default().push(Outcome::Rejected(item.seq));
+        self.rejected += 1;
+    }
+
+    fn note_drain_cycle(&mut self) {}
+}
+
+impl RecordingHost {
+    /// Per-connection outcomes arrive in strictly increasing seq order.
+    fn assert_fcfs(&self) {
+        for (conn, outs) in &self.outcomes {
+            let seqs: Vec<u32> = outs.iter().map(|o| o.seq()).collect();
+            let mut sorted = seqs.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(seqs, sorted, "connection {conn} replies out of FCFS order");
+        }
+    }
+
+    fn terminal_count(&self) -> usize {
+        self.outcomes.values().map(Vec::len).sum()
+    }
+}
+
+/// Bridges the checked channel into the engine's `WorkSource` (the daemon
+/// uses the `sdt_sync` receiver, which is this same type only under
+/// `--cfg sdt_check`).
+struct CheckedSource(Receiver<Item>);
+
+impl WorkSource<Item> for CheckedSource {
+    fn next_blocking(&self) -> Option<Item> {
+        self.0.recv().ok()
+    }
+
+    fn poll(&self) -> Poll<Item> {
+        match self.0.try_recv() {
+            Ok(item) => Poll::Item(item),
+            Err(TryRecvError::Empty) => Poll::Empty,
+            Err(TryRecvError::Disconnected) => Poll::Closed,
+        }
+    }
+}
+
+const M: Kind = Kind::Mutate;
+
+/// Two connections racing mutations (plus one read) against the engine:
+/// on every schedule the applied multiset equals exactly what was sent,
+/// per-connection FCFS holds, and every mutation ack happens only after
+/// its snapshot — regardless of how the drain slices the backlog into
+/// batches.
+#[test]
+fn engine_batching_preserves_multiset_fcfs_and_durability() {
+    let exploration = sdt_check::Config::dfs()
+        .explore(|| {
+            let (tx, rx) = sdt_check::sync::mpsc::channel::<Item>();
+            let p1 = {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    tx.send(Item { conn: 1, seq: 1, kind: M }).unwrap();
+                    tx.send(Item { conn: 1, seq: 2, kind: M }).unwrap();
+                })
+            };
+            let p2 = {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    tx.send(Item { conn: 2, seq: 1, kind: M }).unwrap();
+                    tx.send(Item { conn: 2, seq: 2, kind: Kind::Read }).unwrap();
+                })
+            };
+            drop(tx);
+
+            let mut host = RecordingHost::default();
+            engine_loop(&mut host, &CheckedSource(rx), 2, 4);
+
+            // Batched == sequential multiset: nothing lost, duplicated,
+            // or invented, however the runs were coalesced.
+            let mut applied = host.applied.clone();
+            applied.sort_unstable();
+            assert_eq!(applied, vec![(1, 1), (1, 2), (2, 1)]);
+            assert!(host.run_sizes.iter().all(|&s| (1..=2).contains(&s)));
+            host.assert_fcfs();
+            assert_eq!(host.terminal_count(), 4, "every request is answered");
+            assert_eq!(host.rejected, 0);
+            // All acks delivered => the final persist covered everything.
+            assert_eq!(host.durable, 3);
+            p1.join().unwrap();
+            p2.join().unwrap();
+        })
+        .expect("no schedule may violate the engine contract");
+    assert!(
+        exploration.schedules > 50,
+        "producer/drain races must fan out into many schedules, got {}",
+        exploration.schedules
+    );
+}
+
+/// Shutdown ordered *after* all mutations (producer join barrier): every
+/// request — applied or not — gets exactly one terminal outcome, and the
+/// engine stops.
+#[test]
+fn shutdown_after_backlog_answers_everything() {
+    sdt_check::model(|| {
+        let (tx, rx) = sdt_check::sync::mpsc::channel::<Item>();
+        let shutdown_sender = {
+            let tx = tx.clone();
+            let producer = {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    tx.send(Item { conn: 1, seq: 1, kind: M }).unwrap();
+                    tx.send(Item { conn: 1, seq: 2, kind: M }).unwrap();
+                })
+            };
+            thread::spawn(move || {
+                producer.join().unwrap();
+                tx.send(Item { conn: 9, seq: 1, kind: Kind::Shutdown }).unwrap();
+            })
+        };
+        drop(tx);
+
+        let mut host = RecordingHost::default();
+        engine_loop(&mut host, &CheckedSource(rx), 2, 4);
+
+        host.assert_fcfs();
+        assert_eq!(host.terminal_count(), 3, "every request is answered, shutdown included");
+        shutdown_sender.join().unwrap();
+    });
+}
+
+/// Shutdown racing a two-request mutation producer: rejected items are never
+/// applied, per-connection order still holds, and across the exploration
+/// at least one schedule actually exercises the reject path (a queued
+/// mutation stranded behind the shutdown).
+#[test]
+fn shutdown_racing_mutations_never_drops_a_queued_request() {
+    // Outside the model on purpose: post-hoc statistics over all explored
+    // schedules. The model never branches on it, so determinism holds.
+    let reject_schedules = std::sync::atomic::AtomicUsize::new(0);
+    sdt_check::model(|| {
+        let (tx, rx) = sdt_check::sync::mpsc::channel::<Item>();
+        // On schedules where shutdown wins the race the engine exits and
+        // drops the receiver before a producer sends; that send fails,
+        // exactly like a reader thread's send after the real engine
+        // stops. The producers tolerate it (the reader logs and exits).
+        let p1 = {
+            let tx = tx.clone();
+            thread::spawn(move || {
+                let _ = tx.send(Item { conn: 1, seq: 1, kind: M });
+                let _ = tx.send(Item { conn: 1, seq: 2, kind: M });
+            })
+        };
+        let p3 = {
+            let tx = tx.clone();
+            thread::spawn(move || {
+                let _ = tx.send(Item { conn: 9, seq: 1, kind: Kind::Shutdown });
+            })
+        };
+        drop(tx);
+
+        let mut host = RecordingHost::default();
+        engine_loop(&mut host, &CheckedSource(rx), 2, 4);
+
+        host.assert_fcfs();
+        // The shutdown itself is always answered; each mutation the
+        // engine pulled is either applied+acked or rejected — never
+        // silently dropped while sitting in the queue.
+        assert!(host.outcomes.get(&9).is_some_and(|o| o == &[Outcome::Replied(1)]));
+        assert_eq!(host.applied.len() + host.rejected + 1, host.terminal_count());
+        if host.rejected > 0 {
+            reject_schedules.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        p1.join().unwrap();
+        p3.join().unwrap();
+    });
+    assert!(
+        reject_schedules.load(std::sync::atomic::Ordering::Relaxed) > 0,
+        "some schedule must strand a mutation behind the shutdown and reject it"
+    );
+}

@@ -1,0 +1,147 @@
+//! Drop-in concurrency primitives for the workspace, switchable between
+//! production `std`/`core` types and the `sdt-check` deterministic
+//! exploration scheduler.
+//!
+//! Normally every type here is a zero-cost re-export (or a trivially thin
+//! wrapper) of its `std` counterpart. Building with `RUSTFLAGS="--cfg
+//! sdt_check"` swaps in the instrumented versions from [`sdt_check`]: the
+//! same API, but every lock/unlock/send/recv/load/store becomes a
+//! scheduling decision point inside `sdt_check::model` closures, letting
+//! model tests exhaustively explore the interleavings of the real
+//! production code paths. Outside a model closure the instrumented types
+//! fall back to `std` behavior, so a `--cfg sdt_check` build of the whole
+//! workspace still passes the ordinary test suites.
+//!
+//! Two intentional API deviations from `std`, applied in **both** modes so
+//! production code compiles identically either way:
+//!
+//! - [`sync::Mutex::lock`] returns the guard directly instead of a
+//!   poison `Result`. Every call site in this workspace treated poisoning
+//!   as recoverable (`unwrap_or_else(|p| p.into_inner())`); the facade
+//!   centralizes that policy.
+//! - Channel/thread/atomic types keep their `std` names and error enums
+//!   (`TryRecvError::Empty` vs `::Disconnected`, `JoinHandle::join ->
+//!   thread::Result<T>`), so `match` arms and signatures port verbatim.
+
+/// True when this build routes primitives through the model checker.
+/// Production code uses this to skip branches that would make a model
+/// nondeterministic — e.g. wall-clock-based sequential-fallback probes.
+pub const CHECKED: bool = cfg!(sdt_check);
+
+/// Is the calling thread currently inside a `sdt_check::model` closure?
+/// Always `false` in a normal build. Prefer this over [`CHECKED`] when
+/// the same binary also runs non-model tests.
+#[must_use]
+pub fn modeling() -> bool {
+    #[cfg(sdt_check)]
+    {
+        sdt_check::is_modeling()
+    }
+    #[cfg(not(sdt_check))]
+    {
+        false
+    }
+}
+
+/// Mutexes, channels, and `Arc`.
+pub mod sync {
+    pub use std::sync::Arc;
+
+    #[cfg(sdt_check)]
+    pub use sdt_check::sync::{mpsc, Mutex, MutexGuard};
+
+    #[cfg(not(sdt_check))]
+    pub use std::sync::mpsc;
+
+    #[cfg(not(sdt_check))]
+    mod plain {
+        /// Thin wrapper over `std::sync::Mutex` with the workspace's
+        /// poison policy built in: a panicking holder already failed its
+        /// own thread loudly, and every datum guarded here is left in a
+        /// consistent state between mutations, so later threads recover
+        /// the guard instead of cascading the failure.
+        pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+        /// Guard type alias so signatures match the checked build.
+        pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+        impl<T> Mutex<T> {
+            pub fn new(value: T) -> Mutex<T> {
+                Mutex(std::sync::Mutex::new(value))
+            }
+        }
+
+        impl<T: ?Sized> Mutex<T> {
+            pub fn lock(&self) -> MutexGuard<'_, T> {
+                match self.0.lock() {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                }
+            }
+        }
+
+        impl<T: Default> Default for Mutex<T> {
+            fn default() -> Mutex<T> {
+                Mutex::new(T::default())
+            }
+        }
+
+        impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_struct("Mutex").finish_non_exhaustive()
+            }
+        }
+    }
+
+    #[cfg(not(sdt_check))]
+    pub use plain::{Mutex, MutexGuard};
+}
+
+/// Atomic integers and flags, with explicit `Ordering` arguments at every
+/// call site (the facade deliberately has no default-ordering helpers:
+/// each use is expected to document its contract — see
+/// `crates/openflow/src/table.rs` for the counter convention).
+pub mod atomic {
+    #[cfg(not(sdt_check))]
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+    #[cfg(sdt_check)]
+    pub use sdt_check::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+}
+
+/// Thread spawn/join and scoped threads.
+pub mod thread {
+    #[cfg(not(sdt_check))]
+    pub use std::thread::{scope, spawn, yield_now, JoinHandle, Scope, ScopedJoinHandle};
+
+    #[cfg(sdt_check)]
+    pub use sdt_check::thread::{scope, spawn, yield_now, JoinHandle, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_round_trips() {
+        let m = super::sync::Mutex::new(1u32);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+
+        let a = super::atomic::AtomicU64::new(0);
+        a.fetch_add(3, super::atomic::Ordering::Relaxed);
+        assert_eq!(a.load(super::atomic::Ordering::Relaxed), 3);
+
+        let (tx, rx) = super::sync::mpsc::channel::<u8>();
+        tx.send(7).ok();
+        assert_eq!(rx.recv().ok(), Some(7));
+
+        let h = super::thread::spawn(|| 5u8);
+        assert_eq!(h.join().ok(), Some(5));
+
+        super::thread::scope(|s| {
+            let h = s.spawn(|| 6u8);
+            assert_eq!(h.join().ok(), Some(6));
+        });
+
+        assert!(!super::modeling());
+    }
+}

@@ -44,7 +44,7 @@ use sdt_openflow::{
 };
 use sdt_routing::{default_strategy, RouteTable};
 use sdt_topology::{HostId, SwitchId, Topology};
-use sdt_verify::{Intent, TableView, Verifier, VerifyStats, WalkCache};
+use sdt_verify::{Intent, SharedWalkCache, TableView, Verifier, VerifyStats, WalkCache};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
@@ -391,7 +391,10 @@ pub struct SliceManager {
     /// manager runs (admissions, reconfigurations, teardowns, full
     /// re-verifies). Entries are fingerprint-validated, so they survive the
     /// escape hatch and direct table edits: a stale entry simply misses.
-    cache: WalkCache,
+    /// Held as a [`SharedWalkCache`]: each proof leases the cache and the
+    /// generation guard discards a pass's harvest if an invalidation
+    /// (e.g. [`SliceManager::switches_mut`]) raced it.
+    cache: SharedWalkCache,
     /// Per-round reconciliation budget for scheduled installs. The default
     /// suits epochs of a few hundred flow-mods; the expected number of
     /// stragglers after `r` retries is `mods * drop_prob^(r+1)`, so large
@@ -425,7 +428,7 @@ impl SliceManager {
             next_addr: 0,
             static_verify: true,
             verifier: None,
-            cache: WalkCache::new(),
+            cache: SharedWalkCache::new(),
             retry: crate::schedule::RetryPolicy::default(),
         }
     }
@@ -462,9 +465,14 @@ impl SliceManager {
     /// Mutable access to the live switches (the audit needs to forward
     /// probe packets, which bumps port counters). Drops the cached static
     /// proof: a caller may rewrite tables behind the manager's back, and a
-    /// stale proof would let the next delta check miss that damage.
+    /// stale proof would let the next delta check miss that damage. The
+    /// walk cache is invalidated too — its entries would merely miss on
+    /// fingerprints, but the generation bump also cancels any in-flight
+    /// lease, so a verify pass racing this edit can never restore results
+    /// computed from the pre-edit tables.
     pub fn switches_mut(&mut self) -> &mut [OpenFlowSwitch] {
         self.verifier = None;
+        self.cache.invalidate();
         &mut self.switches
     }
 
@@ -586,13 +594,16 @@ impl SliceManager {
     fn current_verifier(&mut self) -> Verifier {
         match self.verifier.take() {
             Some(v) => v,
-            None => Verifier::check_cached(
-                &self.cluster,
-                TableView::of_switches(&self.switches),
-                self.intent(),
-                sdt_verify::verify_threads(),
-                &mut self.cache,
-            ),
+            None => {
+                let mut cache = self.cache.lease();
+                Verifier::check_cached(
+                    &self.cluster,
+                    TableView::of_switches(&self.switches),
+                    self.intent(),
+                    sdt_verify::verify_threads(),
+                    &mut cache,
+                )
+            }
         }
     }
 
@@ -612,22 +623,27 @@ impl SliceManager {
     pub fn verify_report_with_stats(
         &mut self,
     ) -> (sdt_verify::VerifyReport, VerifyStats, usize) {
-        let v = Verifier::check_cached(
-            &self.cluster,
-            TableView::of_switches(&self.switches),
-            self.intent(),
-            sdt_verify::verify_threads(),
-            &mut self.cache,
-        );
+        let v = {
+            let mut cache = self.cache.lease();
+            Verifier::check_cached(
+                &self.cluster,
+                TableView::of_switches(&self.switches),
+                self.intent(),
+                sdt_verify::verify_threads(),
+                &mut cache,
+            )
+            // Lease drops here, restoring the warmed cache before the
+            // entry count below reads it.
+        };
         let report = v.report().clone();
         let stats = v.stats().clone();
         self.verifier = Some(v);
-        (report, stats, self.cache.entries())
+        (report, stats, self.walk_cache_entries())
     }
 
     /// Number of memoized walk-cache entries retained by this manager.
     pub fn walk_cache_entries(&self) -> usize {
-        self.cache.entries()
+        self.cache.with(WalkCache::entries)
     }
 
     /// Statically verify a pending epoch against the live tables plus its
@@ -636,13 +652,15 @@ impl SliceManager {
     /// are untouched either way.
     pub fn precheck_epoch(&mut self, epoch: &Epoch) -> Result<(), AdmissionError> {
         let current = self.current_verifier();
+        let mut cache = self.cache.lease();
         let pending = Verifier::check_delta_cached(
             &current,
             &epoch.ordered_mods(),
             self.intent(),
             sdt_verify::verify_threads(),
-            &mut self.cache,
+            &mut cache,
         );
+        drop(cache);
         self.verifier = Some(current);
         if pending.holds() {
             Ok(())
@@ -665,13 +683,15 @@ impl SliceManager {
             return Ok(None);
         }
         let current = self.current_verifier();
+        let mut cache = self.cache.lease();
         let pending = Verifier::check_delta_cached(
             &current,
             &epoch.ordered_mods(),
             intent,
             sdt_verify::verify_threads(),
-            &mut self.cache,
+            &mut cache,
         );
+        drop(cache);
         if pending.holds() {
             Ok(Some(pending))
         } else {
@@ -932,12 +952,16 @@ impl SliceManager {
         // this is what guarantees the scheduler's merge-on-failure
         // fallback terminates: the fully-merged round *is* this epoch.
         let current = self.current_verifier();
+        // One lease spans the whole-epoch gate and the per-round proofs:
+        // the rounds re-walk overlapping table states, so they feed on
+        // each other's harvest.
+        let mut cache = self.cache.lease();
         let pending = Verifier::check_delta_cached(
             &current,
             &epoch.ordered_mods(),
             post_intent.clone(),
             threads,
-            &mut self.cache,
+            &mut cache,
         );
         if !pending.holds() {
             let summary = pending.report().summary();
@@ -955,7 +979,7 @@ impl SliceManager {
             &post_intent,
             &self.timing,
             threads,
-            &mut self.cache,
+            &mut cache,
             &retry,
         ) {
             Ok((proof, sreport)) => {
@@ -1092,13 +1116,16 @@ impl SliceManager {
             self.verifier = Some(current);
             return fast;
         }
-        let pending = Verifier::check_cached(
-            &self.cluster,
-            TableView::of_switches(&self.switches),
-            self.intent(),
-            sdt_verify::verify_threads(),
-            &mut self.cache,
-        );
+        let pending = {
+            let mut cache = self.cache.lease();
+            Verifier::check_cached(
+                &self.cluster,
+                TableView::of_switches(&self.switches),
+                self.intent(),
+                sdt_verify::verify_threads(),
+                &mut cache,
+            )
+        };
         if pending.holds() {
             self.verifier = Some(pending);
             return fast;

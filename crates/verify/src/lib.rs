@@ -49,6 +49,7 @@
 pub mod analysis;
 pub mod fast;
 pub mod model;
+pub mod shared;
 
 pub use analysis::{
     BlackholeFinding, DropReason, LeakFinding, LoopFinding, NondetFinding, RuleRef,
@@ -56,6 +57,13 @@ pub use analysis::{
 };
 pub use fast::{VerifyStats, WalkCache};
 pub use model::{HeaderClass, HeaderValues, Intent, IntentHost, TableView};
+pub use shared::{CacheLease, SharedCache};
+
+/// The walk cache in its shareable form: leased for each verify pass,
+/// generation-guarded against concurrent invalidation. This is what
+/// long-lived owners (`SliceManager`, the daemon) hold; one-shot callers
+/// can keep passing a plain [`WalkCache`].
+pub type SharedWalkCache = SharedCache<WalkCache>;
 
 /// Worker count for the parallel analyses ([`Verifier::check`],
 /// [`Verifier::check_delta`], and the tenancy audit matrices):

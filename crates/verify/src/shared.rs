@@ -1,0 +1,197 @@
+//! Shared, invalidation-safe ownership of a cross-pass memo cache.
+//!
+//! [`WalkCache`](crate::WalkCache) entries are fingerprint-validated, so a
+//! *stale entry* can never replay against changed tables — it just misses.
+//! What fingerprints cannot protect against is a stale **cache object**:
+//! once the cache is shared (the daemon's engine verifying on one thread
+//! while an operator path invalidates on another), a verify pass that
+//! leased the cache *before* an invalidation could write its harvest back
+//! *after* it, resurrecting entries the invalidation was meant to kill —
+//! including the cluster-fingerprint binding itself.
+//!
+//! [`SharedCache`] closes that window with a generation counter under one
+//! mutex:
+//!
+//! * [`lease`](SharedCache::lease) takes the cache out (leaving an empty
+//!   one) and records the generation — the verify pass then works on the
+//!   leased value without holding any lock;
+//! * dropping the [`CacheLease`] restores the (now warmer) cache **only if
+//!   the generation is unchanged**; if an
+//!   [`invalidate`](SharedCache::invalidate) happened meanwhile, the
+//!   harvest is discarded wholesale — the cache stays cold rather than
+//!   possibly stale;
+//! * concurrent leases are legal: the second lease simply starts from the
+//!   empty cache (a cold pass, never a wrong one), and whichever restore
+//!   runs last against an unchanged generation wins.
+//!
+//! The mutex is an [`sdt_sync`] shim, so `sdt-check` model tests explore
+//! every interleaving of lease / restore / invalidate and prove the
+//! "never restored across an invalidation" claim on all of them.
+
+use std::mem;
+
+use sdt_sync::sync::{Arc, Mutex};
+
+/// A memo cache shared between threads, guarded by a generation counter.
+/// Cloning shares the underlying cache. `C` is the cache value —
+/// [`SharedWalkCache`](crate::SharedWalkCache) in production, anything
+/// `Default` in tests.
+#[derive(Debug, Default)]
+pub struct SharedCache<C> {
+    inner: Arc<Mutex<Slot<C>>>,
+}
+
+#[derive(Debug, Default)]
+struct Slot<C> {
+    cache: C,
+    generation: u64,
+}
+
+impl<C> Clone for SharedCache<C> {
+    fn clone(&self) -> Self {
+        SharedCache { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<C: Default> SharedCache<C> {
+    /// A fresh cache at generation 0.
+    pub fn new() -> Self {
+        SharedCache::default()
+    }
+
+    /// The current generation: bumped by every
+    /// [`invalidate`](SharedCache::invalidate).
+    pub fn generation(&self) -> u64 {
+        self.inner.lock().generation
+    }
+
+    /// Drop every entry and bump the generation, so that leases taken
+    /// before this call can no longer restore. Returns the new generation.
+    pub fn invalidate(&self) -> u64 {
+        let mut slot = self.inner.lock();
+        slot.cache = C::default();
+        slot.generation += 1;
+        slot.generation
+    }
+
+    /// Take the cache out for a verify pass. The shared slot holds an
+    /// empty cache until the lease drops (or forever, if an invalidation
+    /// intervenes — see [`CacheLease`]).
+    pub fn lease(&self) -> CacheLease<C> {
+        let mut slot = self.inner.lock();
+        CacheLease {
+            cache: mem::take(&mut slot.cache),
+            generation: slot.generation,
+            owner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Read the cache in place (for size/stats queries).
+    pub fn with<R>(&self, f: impl FnOnce(&C) -> R) -> R {
+        f(&self.inner.lock().cache)
+    }
+}
+
+/// Exclusive use of the cache between one [`SharedCache::lease`] and the
+/// drop that restores it. Dereferences to `C`; pass `&mut *lease` where a
+/// `&mut C` is expected.
+///
+/// Restoring on `Drop` (rather than an explicit call) makes early returns
+/// and `?` in verify paths restore the harvest automatically.
+#[derive(Debug)]
+pub struct CacheLease<C: Default> {
+    cache: C,
+    generation: u64,
+    owner: Arc<Mutex<Slot<C>>>,
+}
+
+impl<C: Default> CacheLease<C> {
+    /// The generation this lease was taken at.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
+impl<C: Default> std::ops::Deref for CacheLease<C> {
+    type Target = C;
+    fn deref(&self) -> &C {
+        &self.cache
+    }
+}
+
+impl<C: Default> std::ops::DerefMut for CacheLease<C> {
+    fn deref_mut(&mut self) -> &mut C {
+        &mut self.cache
+    }
+}
+
+impl<C: Default> Drop for CacheLease<C> {
+    fn drop(&mut self) {
+        // During a panic unwind, skip the restore entirely: the harvest of
+        // a pass that panicked is suspect anyway, and taking the lock here
+        // would risk a double panic.
+        if std::thread::panicking() {
+            return;
+        }
+        let mut slot = self.owner.lock();
+        if slot.generation == self.generation {
+            slot.cache = mem::take(&mut self.cache);
+        }
+        // Generation moved: an invalidation raced this pass. Drop the
+        // harvest — entries computed from pre-invalidation reads must not
+        // outlive the invalidation.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_restores_harvest_when_no_invalidation() {
+        let shared: SharedCache<Vec<u32>> = SharedCache::new();
+        {
+            let mut lease = shared.lease();
+            lease.push(7);
+        }
+        assert_eq!(shared.with(Vec::len), 1);
+        assert_eq!(shared.generation(), 0);
+    }
+
+    #[test]
+    fn invalidation_during_lease_discards_the_harvest() {
+        let shared: SharedCache<Vec<u32>> = SharedCache::new();
+        let mut lease = shared.lease();
+        lease.push(7);
+        assert_eq!(shared.invalidate(), 1);
+        drop(lease);
+        assert_eq!(shared.with(Vec::len), 0, "stale harvest must not be restored");
+        assert_eq!(shared.generation(), 1);
+    }
+
+    #[test]
+    fn concurrent_lease_starts_cold_and_last_restore_wins() {
+        let shared: SharedCache<Vec<u32>> = SharedCache::new();
+        let mut a = shared.lease();
+        a.push(1);
+        let mut b = shared.lease();
+        assert!(b.is_empty(), "second lease starts from the empty cache");
+        b.push(2);
+        drop(a);
+        drop(b);
+        assert_eq!(shared.with(|c| c.clone()), vec![2], "later restore wins");
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let shared: SharedCache<Vec<u32>> = SharedCache::new();
+        let other = shared.clone();
+        {
+            let mut lease = shared.lease();
+            lease.push(3);
+        }
+        assert_eq!(other.with(Vec::len), 1);
+        other.invalidate();
+        assert_eq!(shared.with(Vec::len), 0);
+    }
+}

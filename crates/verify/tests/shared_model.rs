@@ -1,0 +1,119 @@
+//! Model-checked invariants of [`sdt_verify::SharedCache`] — the
+//! generation-guarded lease/restore protocol behind [`SharedWalkCache`].
+//! Only meaningful under `--cfg sdt_check`, where the `sdt_sync` mutex
+//! inside the cache routes through the deterministic scheduler and the
+//! DFS explores every interleaving of lease / restore / invalidate.
+//!
+//! The claim being proved: **a harvest computed before an invalidation is
+//! never restored after it** — on any schedule. Entries are tagged with
+//! the generation their lease was taken at, so the invariant reduces to
+//! "every entry left in the cache carries the current generation".
+
+#![cfg(sdt_check)]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use sdt_check::thread;
+use sdt_verify::SharedCache;
+
+/// One verify pass racing one invalidation: whichever way the schedule
+/// lands, the cache never ends up holding a pre-invalidation harvest.
+#[test]
+fn harvest_never_survives_invalidation_on_any_schedule() {
+    let exploration = sdt_check::Config::dfs()
+        .explore(|| {
+            let shared: SharedCache<Vec<u64>> = SharedCache::new();
+            let verifier = {
+                let shared = shared.clone();
+                thread::spawn(move || {
+                    let mut lease = shared.lease();
+                    let tag = lease.generation();
+                    lease.push(tag);
+                })
+            };
+            let invalidator = {
+                let shared = shared.clone();
+                thread::spawn(move || {
+                    shared.invalidate();
+                })
+            };
+            verifier.join().unwrap();
+            invalidator.join().unwrap();
+
+            let generation = shared.generation();
+            assert_eq!(generation, 1, "exactly one invalidation happened");
+            shared.with(|cache| {
+                for &tag in cache {
+                    assert_eq!(
+                        tag, generation,
+                        "a pre-invalidation harvest was restored after the invalidation"
+                    );
+                }
+            });
+        })
+        .expect("no schedule may restore a stale harvest");
+    assert!(
+        exploration.schedules >= 2,
+        "lease/invalidate must race in more than one order, got {}",
+        exploration.schedules
+    );
+}
+
+/// Two concurrent verify passes and an invalidation: later leases start
+/// cold (never observe another pass's in-flight harvest), and whatever
+/// survives at the end is tagged with the final generation.
+#[test]
+fn concurrent_passes_and_invalidation_keep_only_current_generation() {
+    sdt_check::model(|| {
+        let shared: SharedCache<Vec<u64>> = SharedCache::new();
+        let passes: Vec<_> = (0..2)
+            .map(|_| {
+                let shared = shared.clone();
+                thread::spawn(move || {
+                    let mut lease = shared.lease();
+                    // A lease sees either an empty cache or a fully
+                    // restored harvest — never a torn intermediate state.
+                    let tag = lease.generation();
+                    assert!(lease.iter().all(|&t| t == tag));
+                    lease.push(tag);
+                })
+            })
+            .collect();
+        let invalidator = {
+            let shared = shared.clone();
+            thread::spawn(move || {
+                shared.invalidate();
+            })
+        };
+        for p in passes {
+            p.join().unwrap();
+        }
+        invalidator.join().unwrap();
+
+        let generation = shared.generation();
+        shared.with(|cache| {
+            for &tag in cache {
+                assert_eq!(tag, generation, "stale harvest survived the invalidation");
+            }
+        });
+    });
+}
+
+/// Sequential sanity inside the model runtime: no invalidation means the
+/// harvest always lands, and generations never move.
+#[test]
+fn undisturbed_lease_always_restores() {
+    sdt_check::model(|| {
+        let shared: SharedCache<Vec<u64>> = SharedCache::new();
+        let worker = {
+            let shared = shared.clone();
+            thread::spawn(move || {
+                let mut lease = shared.lease();
+                let tag = lease.generation();
+                lease.push(tag);
+            })
+        };
+        worker.join().unwrap();
+        assert_eq!(shared.generation(), 0);
+        assert_eq!(shared.with(Vec::len), 1, "undisturbed harvest must be restored");
+    });
+}
