@@ -1,0 +1,363 @@
+//! Decomposed-estimation benchmark artifact: the headline numbers for the
+//! `sdt-estimate` crate. Writes `results/BENCH_estimate.json`.
+//!
+//! Three sections:
+//!
+//! * **oracle** — the exact engine and the estimator run the *same*
+//!   Poisson mixes at fat-tree k=4 (websearch) and k=8 (hadoop), at the
+//!   calibration operating points the differential suite pins. Reports
+//!   mean/p99 relative error and the wall-time ratio. Gated against the
+//!   crate's published envelopes.
+//! * **scale** — what the engine cannot do at all: fat-tree k=32 and
+//!   k=64 with a million-plus flows through the four-stage pipeline.
+//!   Reports per-stage wall time, crossings, collapse, and a thread
+//!   scaling row per thread count, with byte-identity checked across
+//!   them (skipped in `--quick`, which substitutes a small k=8 run so CI
+//!   still exercises the path).
+//! * **collapse** — permutation traffic on k=8, where clustering must
+//!   actually dedup (ratio > 1 is a gate; Poisson traffic is the
+//!   no-collapse regime, structured traffic is the payoff).
+//!
+//! Run with: `cargo run --release -p sdt-bench --bin bench_estimate`
+//! (`--quick` is the CI smoke mode). Exits non-zero if any gate fails:
+//! error outside the envelope, a flow left unestimated, thread-count
+//! divergence, or no collapse on permutation traffic.
+
+use sdt::estimate::{
+    estimate, EstimateConfig, EstimateReport, SparseRoutes, MEAN_ERROR_ENVELOPE,
+    P99_ERROR_ENVELOPE,
+};
+use sdt::routing::{default_strategy, RouteTable};
+use sdt::sim::{SimConfig, SimOutcome, Simulator};
+use sdt::topology::fattree::fat_tree;
+use sdt::workloads::{permutation_flows, poisson_flows, FlowSpec, SizeDist};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// `writeln!` into a `String` cannot fail; swallow the `fmt::Result` so the
+/// JSON assembly below stays linear.
+macro_rules! jline {
+    ($($arg:tt)*) => {
+        let _ = writeln!($($arg)*);
+    };
+}
+
+fn mean(xs: &[u64]) -> f64 {
+    xs.iter().sum::<u64>() as f64 / xs.len() as f64
+}
+
+fn p99(xs: &[u64]) -> u64 {
+    let mut v = xs.to_vec();
+    v.sort_unstable();
+    let rank = (v.len() as f64 * 0.99).ceil() as usize;
+    v[rank.saturating_sub(1).min(v.len() - 1)]
+}
+
+fn rel_err(est: f64, exact: f64) -> f64 {
+    (est - exact).abs() / exact
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// One engine-vs-estimator comparison at a differential operating point.
+struct OracleRow {
+    k: u32,
+    dist: String,
+    flows: usize,
+    load: f64,
+    mean_err: f64,
+    p99_err: f64,
+    exact_wall_ms: f64,
+    est_wall_ms: f64,
+}
+
+fn oracle_case(k: u32, dist: &SizeDist, num_flows: usize, load: f64, seed: u64) -> OracleRow {
+    let topo = fat_tree(k);
+    let strategy = default_strategy(&topo);
+    let table = RouteTable::build_for_hosts(&topo, strategy.as_ref());
+    let cfg = SimConfig::default();
+    let flows = poisson_flows(dist, topo.num_hosts(), cfg.bytes_per_ns(), load, num_flows, seed);
+
+    let t0 = Instant::now();
+    let mut sim = Simulator::new(&topo, table.clone(), cfg.clone());
+    for f in &flows {
+        sim.schedule_raw_flow(f.src, f.dst, f.bytes, f.start_ns);
+    }
+    let outcome = sim.run();
+    assert_eq!(outcome, SimOutcome::Completed, "oracle run must finish");
+    let exact: Vec<u64> = sim
+        .flow_records()
+        .into_iter()
+        .map(|r| match r.fct_ns {
+            Some(ns) => ns,
+            None => unreachable!("completed run leaves no unfinished flows"),
+        })
+        .collect();
+    let exact_wall = t0.elapsed();
+
+    let t1 = Instant::now();
+    let routes = SparseRoutes::from_table(&topo, &table, &flows);
+    let report = estimate(&topo, &routes, &flows, &cfg, &EstimateConfig::default());
+    let est_wall = t1.elapsed();
+    assert_eq!(report.fcts.len(), flows.len(), "every flow must be estimated");
+
+    OracleRow {
+        k,
+        dist: dist.name().to_string(),
+        flows: num_flows,
+        load,
+        mean_err: rel_err(mean(&report.fcts), mean(&exact)),
+        p99_err: rel_err(p99(&report.fcts) as f64, p99(&exact) as f64),
+        exact_wall_ms: exact_wall.as_secs_f64() * 1e3,
+        est_wall_ms: est_wall.as_secs_f64() * 1e3,
+    }
+}
+
+/// One fabric-scale pipeline run, with thread-scaling rows.
+struct ScaleRow {
+    k: u32,
+    hosts: u32,
+    flows: usize,
+    routes_wall_ms: f64,
+    /// `(threads, total wall ms, report)` per thread count, ascending.
+    runs: Vec<(usize, f64, EstimateReport)>,
+    thread_invariant: bool,
+}
+
+fn scale_case(k: u32, num_flows: usize, threads: &[usize]) -> ScaleRow {
+    let topo = fat_tree(k);
+    let cfg = SimConfig::default();
+    eprintln!(
+        "scale k={k}: {} hosts, generating {num_flows} flows...",
+        topo.num_hosts()
+    );
+    let flows = poisson_flows(
+        &SizeDist::websearch(),
+        topo.num_hosts(),
+        cfg.bytes_per_ns(),
+        0.2,
+        num_flows,
+        1,
+    );
+    let strategy = default_strategy(&topo);
+    let t0 = Instant::now();
+    let routes = SparseRoutes::build(&topo, strategy.as_ref(), &flows);
+    let routes_wall = t0.elapsed();
+    eprintln!("scale k={k}: {} routed switch pairs in {:.1} s", routes.len(),
+        routes_wall.as_secs_f64());
+
+    let mut runs = Vec::new();
+    for &t in threads {
+        let est_cfg = EstimateConfig { threads: t, ..Default::default() };
+        let t1 = Instant::now();
+        let report = estimate(&topo, &routes, &flows, &cfg, &est_cfg);
+        let wall = t1.elapsed();
+        assert_eq!(report.fcts.len(), flows.len(), "every flow must be estimated");
+        eprintln!(
+            "scale k={k} threads={t}: {:.2} s wall ({:.0}/{:.0}/{:.0}/{:.0} ms \
+             decompose/cluster/simulate/aggregate), {} channels -> {} reps (collapse {:.2})",
+            wall.as_secs_f64(),
+            ms(report.stats.decompose_ns),
+            ms(report.stats.cluster_ns),
+            ms(report.stats.simulate_ns),
+            ms(report.stats.aggregate_ns),
+            report.stats.active_channels,
+            report.stats.representatives,
+            report.stats.collapse_ratio,
+        );
+        runs.push((t, wall.as_secs_f64() * 1e3, report));
+    }
+    let thread_invariant = runs.windows(2).all(|w| w[0].2.fcts == w[1].2.fcts);
+    ScaleRow { k, hosts: topo.num_hosts(), flows: num_flows, routes_wall_ms:
+        routes_wall.as_secs_f64() * 1e3, runs, thread_invariant }
+}
+
+fn main() -> std::io::Result<()> {
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    eprintln!("== oracle: estimator vs exact engine at the pinned operating points ==");
+    let oracle = vec![
+        oracle_case(4, &SizeDist::websearch(), 400, 0.3, 42),
+        oracle_case(8, &SizeDist::hadoop(), 1_500, 0.3, 7),
+    ];
+    for r in &oracle {
+        eprintln!(
+            "oracle k={} {}: mean err {:.3}, p99 err {:.3}, exact {:.0} ms vs estimate {:.1} ms",
+            r.k, r.dist, r.mean_err, r.p99_err, r.exact_wall_ms, r.est_wall_ms
+        );
+    }
+
+    eprintln!("== scale: the pipeline at fabric sizes the engine cannot reach ==");
+    let threads: Vec<usize> = [1usize, 2, 4]
+        .into_iter()
+        .chain(std::iter::once(
+            std::thread::available_parallelism().map(usize::from).unwrap_or(4),
+        ))
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let scale = if quick {
+        vec![scale_case(8, 100_000, &threads)]
+    } else {
+        vec![scale_case(32, 1_200_000, &threads), scale_case(64, 1_000_000, &threads)]
+    };
+
+    eprintln!("== collapse: permutation traffic must dedup ==");
+    let perm_topo = fat_tree(8);
+    let perm_flows: Vec<FlowSpec> = permutation_flows(perm_topo.num_hosts(), 300_000, 4, 400_000);
+    let perm_strategy = default_strategy(&perm_topo);
+    let perm_routes = SparseRoutes::build(&perm_topo, perm_strategy.as_ref(), &perm_flows);
+    let perm = estimate(
+        &perm_topo,
+        &perm_routes,
+        &perm_flows,
+        &SimConfig::default(),
+        &EstimateConfig::default(),
+    );
+    eprintln!(
+        "permutation k=8: {} channels -> {} reps (collapse {:.2})",
+        perm.stats.active_channels, perm.stats.representatives, perm.stats.collapse_ratio
+    );
+
+    let mut json = String::new();
+    jline!(json, "{{");
+    jline!(json, "  \"quick\": {quick},");
+    jline!(json, "  \"mean_error_envelope\": {MEAN_ERROR_ENVELOPE},");
+    jline!(json, "  \"p99_error_envelope\": {P99_ERROR_ENVELOPE},");
+    jline!(json, "  \"oracle\": [");
+    for (i, r) in oracle.iter().enumerate() {
+        let comma = if i + 1 < oracle.len() { "," } else { "" };
+        jline!(
+            json,
+            "    {{\"k\": {}, \"dist\": \"{}\", \"flows\": {}, \"load\": {}, \
+             \"mean_err\": {:.4}, \"p99_err\": {:.4}, \"exact_wall_ms\": {:.3}, \
+             \"estimate_wall_ms\": {:.3}, \"speedup\": {:.1}}}{comma}",
+            r.k,
+            r.dist,
+            r.flows,
+            r.load,
+            r.mean_err,
+            r.p99_err,
+            r.exact_wall_ms,
+            r.est_wall_ms,
+            r.exact_wall_ms / r.est_wall_ms.max(1e-9)
+        );
+    }
+    jline!(json, "  ],");
+    jline!(json, "  \"scale\": [");
+    for (i, s) in scale.iter().enumerate() {
+        let comma = if i + 1 < scale.len() { "," } else { "" };
+        jline!(json, "    {{");
+        jline!(json, "      \"k\": {}, \"hosts\": {}, \"flows\": {},", s.k, s.hosts, s.flows);
+        jline!(json, "      \"routes_wall_ms\": {:.3},", s.routes_wall_ms);
+        jline!(json, "      \"thread_invariant\": {},", s.thread_invariant);
+        jline!(json, "      \"runs\": [");
+        for (j, (t, wall, report)) in s.runs.iter().enumerate() {
+            let rcomma = if j + 1 < s.runs.len() { "," } else { "" };
+            let st = &report.stats;
+            jline!(
+                json,
+                "        {{\"threads\": {t}, \"wall_ms\": {:.3}, \"channels\": {}, \
+                 \"crossings\": {}, \"representatives\": {}, \"collapse_ratio\": {:.4}, \
+                 \"decompose_ms\": {:.3}, \"cluster_ms\": {:.3}, \"simulate_ms\": {:.3}, \
+                 \"aggregate_ms\": {:.3}}}{rcomma}",
+                wall,
+                st.active_channels,
+                st.crossings,
+                st.representatives,
+                st.collapse_ratio,
+                ms(st.decompose_ns),
+                ms(st.cluster_ns),
+                ms(st.simulate_ns),
+                ms(st.aggregate_ns)
+            );
+        }
+        jline!(json, "      ]");
+        jline!(json, "    }}{comma}");
+    }
+    jline!(json, "  ],");
+    jline!(json, "  \"permutation\": {{");
+    jline!(json, "    \"k\": 8, \"flows\": {},", perm_flows.len());
+    jline!(json, "    \"channels\": {},", perm.stats.active_channels);
+    jline!(json, "    \"representatives\": {},", perm.stats.representatives);
+    jline!(json, "    \"collapse_ratio\": {:.4}", perm.stats.collapse_ratio);
+    jline!(json, "  }},");
+    jline!(json, "  \"headline\": {{");
+    jline!(
+        json,
+        "    \"worst_mean_err\": {:.4},",
+        oracle.iter().map(|r| r.mean_err).fold(0.0, f64::max)
+    );
+    jline!(
+        json,
+        "    \"worst_p99_err\": {:.4},",
+        oracle.iter().map(|r| r.p99_err).fold(0.0, f64::max)
+    );
+    jline!(
+        json,
+        "    \"largest_fabric\": {{\"k\": {}, \"hosts\": {}, \"flows\": {}}},",
+        scale.last().map(|s| s.k).unwrap_or(0),
+        scale.last().map(|s| s.hosts).unwrap_or(0),
+        scale.last().map(|s| s.flows).unwrap_or(0)
+    );
+    jline!(
+        json,
+        "    \"best_scale_wall_ms\": {:.3}",
+        scale
+            .last()
+            .map(|s| s.runs.iter().map(|r| r.1).fold(f64::INFINITY, f64::min))
+            .unwrap_or(0.0)
+    );
+    jline!(json, "  }}");
+    jline!(json, "}}");
+
+    std::fs::create_dir_all("results")?;
+    std::fs::write("results/BENCH_estimate.json", &json)?;
+    print!("{json}");
+
+    // Gates.
+    let mut failed = false;
+    for r in &oracle {
+        if r.mean_err > MEAN_ERROR_ENVELOPE {
+            eprintln!(
+                "FAIL: k={} {} mean error {:.4} outside envelope {MEAN_ERROR_ENVELOPE}",
+                r.k, r.dist, r.mean_err
+            );
+            failed = true;
+        }
+        if r.p99_err > P99_ERROR_ENVELOPE {
+            eprintln!(
+                "FAIL: k={} {} p99 error {:.4} outside envelope {P99_ERROR_ENVELOPE}",
+                r.k, r.dist, r.p99_err
+            );
+            failed = true;
+        }
+    }
+    for s in &scale {
+        if !s.thread_invariant {
+            eprintln!("FAIL: k={} estimates diverge across thread counts", s.k);
+            failed = true;
+        }
+    }
+    if perm.stats.collapse_ratio <= 1.0 {
+        eprintln!(
+            "FAIL: permutation traffic did not collapse (ratio {:.4})",
+            perm.stats.collapse_ratio
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    eprintln!(
+        "headline: worst mean err {:.3} / p99 err {:.3} within envelope \
+         ({MEAN_ERROR_ENVELOPE}/{P99_ERROR_ENVELOPE}); largest fabric k={} with {} flows",
+        oracle.iter().map(|r| r.mean_err).fold(0.0, f64::max),
+        oracle.iter().map(|r| r.p99_err).fold(0.0, f64::max),
+        scale.last().map(|s| s.k).unwrap_or(0),
+        scale.last().map(|s| s.flows).unwrap_or(0),
+    );
+    Ok(())
+}

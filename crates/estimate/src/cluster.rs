@@ -1,0 +1,109 @@
+//! Stage 2: collapse identical link workloads onto representatives.
+//!
+//! Two channels whose canonical workloads are equal — same relative
+//! arrival pattern, same sizes — receive byte-identical delay vectors
+//! from [`crate::linksim::link_delays`], so only one of them needs to be
+//! simulated. This is the PR 6 collapse playbook (symmetry collapse in
+//! `sdt-verify`) applied to link workloads: a fingerprint prefilter
+//! buckets candidates, full equality confirms, and the cluster relation
+//! is *exact* — clustering on or off cannot change a single output bit,
+//! only the amount of work. Structured traffic (permutations,
+//! collectives, synchronized phases) collapses heavily; fully random
+//! Poisson traffic mostly does not, and the collapse ratio reported in
+//! [`crate::EstimateStats`] says which regime a run was in.
+
+use crate::linksim::CanonicalWorkload;
+use std::collections::HashMap;
+
+/// The channel → representative mapping produced by clustering.
+#[derive(Clone, Debug)]
+pub struct Clustering {
+    /// For each channel, the index (into `reps`) of its representative.
+    pub rep_of: Vec<u32>,
+    /// Channel index of each representative, in first-seen order.
+    pub reps: Vec<u32>,
+}
+
+impl Clustering {
+    /// Cluster `workloads` by exact equality. With `enabled == false`
+    /// every channel is its own representative (the "cluster off"
+    /// baseline — same outputs, no dedup).
+    pub fn build(workloads: &[CanonicalWorkload], enabled: bool) -> Self {
+        let n = workloads.len();
+        let mut rep_of = Vec::with_capacity(n);
+        let mut reps: Vec<u32> = Vec::with_capacity(n);
+        if !enabled {
+            rep_of.extend(0..n as u32);
+            reps.extend(0..n as u32);
+            return Clustering { rep_of, reps };
+        }
+        // Fingerprint buckets hold representative indices; equality within
+        // a bucket decides membership, so a fingerprint collision costs a
+        // comparison, never a wrong cluster.
+        let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
+        for (ci, w) in workloads.iter().enumerate() {
+            let bucket = buckets.entry(w.fingerprint()).or_default();
+            let hit = bucket
+                .iter()
+                .find(|&&ri| workloads[reps[ri as usize] as usize] == *w)
+                .copied();
+            match hit {
+                Some(ri) => rep_of.push(ri),
+                None => {
+                    let ri = reps.len() as u32;
+                    reps.push(ci as u32);
+                    bucket.push(ri);
+                    rep_of.push(ri);
+                }
+            }
+        }
+        Clustering { rep_of, reps }
+    }
+
+    /// Channels per simulated representative (≥ 1.0; 1.0 means no
+    /// collapse).
+    pub fn collapse_ratio(&self) -> f64 {
+        if self.reps.is_empty() {
+            return 1.0;
+        }
+        self.rep_of.len() as f64 / self.reps.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(entries: &[(u64, u64)]) -> CanonicalWorkload {
+        CanonicalWorkload { entries: entries.to_vec() }
+    }
+
+    #[test]
+    fn equal_workloads_share_a_representative() {
+        let ws = vec![w(&[(0, 100)]), w(&[(0, 200)]), w(&[(0, 100)]), w(&[(0, 100), (5, 7)])];
+        let c = Clustering::build(&ws, true);
+        assert_eq!(c.reps, vec![0, 1, 3]);
+        assert_eq!(c.rep_of, vec![0, 1, 0, 2]);
+        assert!((c.collapse_ratio() - 4.0 / 3.0).abs() < 1e-12);
+        // Every channel's representative has an equal workload.
+        for (ci, &ri) in c.rep_of.iter().enumerate() {
+            assert_eq!(ws[c.reps[ri as usize] as usize], ws[ci]);
+        }
+    }
+
+    #[test]
+    fn disabled_clustering_is_the_identity() {
+        let ws = vec![w(&[(0, 100)]), w(&[(0, 100)])];
+        let c = Clustering::build(&ws, false);
+        assert_eq!(c.rep_of, vec![0, 1]);
+        assert_eq!(c.reps, vec![0, 1]);
+        assert!((c.collapse_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let c = Clustering::build(&[], true);
+        assert!(c.rep_of.is_empty() && c.reps.is_empty());
+        assert!((c.collapse_ratio() - 1.0).abs() < 1e-12);
+    }
+}

@@ -184,6 +184,76 @@ where
     tagged.into_iter().map(|(_, r)| r).collect()
 }
 
+/// Like [`par_map_threads`], but workers claim **runs of `chunk` consecutive
+/// indexes** per counter fetch instead of one. Results still come back in
+/// input order, bit-identical to the sequential map.
+///
+/// Use this for huge item counts with tiny per-item cost (the estimator
+/// aggregates millions of per-flow delay sums): with per-item claiming, the
+/// shared-counter `fetch_add` and the `(index, result)` tagging dominate the
+/// work itself. Claiming a chunk amortizes both over `chunk` items, and each
+/// worker returns one `(start, Vec<R>)` run per claim, so the merge cost
+/// scales with the number of chunks, not items. `chunk = 1` degenerates to
+/// exactly [`par_map_threads`]'s claiming discipline; `chunk >= items.len()`
+/// degenerates to the sequential map.
+pub fn par_map_chunked_threads<T, R, F>(threads: usize, chunk: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let chunk = chunk.max(1);
+    let threads = threads.min(n.div_ceil(chunk));
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    // Probe on the first chunk, then project the remaining work per item —
+    // the same clock-gated fallback as the per-item variants.
+    let probe_len = chunk.min(n);
+    let t0 = Instant::now();
+    let mut first: Vec<R> = items[..probe_len].iter().map(&f).collect();
+    let probe_ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+    let projected = probe_ns.saturating_mul((n - probe_len) as u64) / probe_len as u64;
+    if !sdt_sync::modeling() && projected < SEQ_FALLBACK_NS {
+        first.extend(items[probe_len..].iter().map(&f));
+        return first;
+    }
+    let next = AtomicUsize::new(probe_len);
+    let mut tagged: Vec<(usize, Vec<R>)> = thread::scope(|s| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + chunk).min(n);
+                        local.push((start, items[start..end].iter().map(&f).collect()));
+                    }
+                    local
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| match w.join() {
+                Ok(part) => part,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    tagged.sort_unstable_by_key(|&(start, _)| start);
+    let mut out = first;
+    out.reserve(n - out.len());
+    for (_, run) in tagged {
+        out.extend(run);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,6 +339,40 @@ mod tests {
         );
         let none: Vec<u32> = vec![];
         assert!(par_map_weighted_threads(4, &none, |_| 1, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn chunked_matches_sequential_map() {
+        let items: Vec<u64> = (0..1000).collect();
+        let seq: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [1, 2, 4, 7] {
+            for chunk in [0, 1, 3, 64, 5000] {
+                assert_eq!(
+                    par_map_chunked_threads(threads, chunk, &items, |&x| x * x + 1),
+                    seq,
+                    "threads={threads} chunk={chunk}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_preserves_order_with_real_pool() {
+        // Early chunks sleep longest so completion order inverts claim
+        // order; the sleeps also defeat the sequential-fallback probe.
+        let items: Vec<u64> = (0..24).collect();
+        let out = par_map_chunked_threads(8, 3, &items, |&x| {
+            std::thread::sleep(std::time::Duration::from_millis(24 - x));
+            x
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn chunked_empty_and_singleton() {
+        let none: Vec<u32> = vec![];
+        assert!(par_map_chunked_threads(4, 8, &none, |&x| x).is_empty());
+        assert_eq!(par_map_chunked_threads(4, 8, &[9u32], |&x| x + 1), vec![10]);
     }
 
     #[test]

@@ -54,23 +54,34 @@ impl LatencySummary {
     /// Summarize a set of durations (ns). Order irrelevant; the vector is
     /// consumed because it must be sorted anyway.
     pub fn from_ns(mut samples: Vec<u64>) -> LatencySummary {
-        if samples.is_empty() {
+        samples.sort_unstable();
+        Self::from_sorted_ns(&samples)
+    }
+
+    /// Summarize an **already sorted** sample without copying or
+    /// re-sorting it. This is the zero-allocation path for callers that
+    /// keep their samples sorted anyway (the estimator's FCT
+    /// distributions, merged benchmark series). Sortedness is the
+    /// caller's contract — checked only under `debug_assertions`, since
+    /// verifying it is the O(n) scan this entry point exists to avoid.
+    pub fn from_sorted_ns(sorted: &[u64]) -> LatencySummary {
+        debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted ascending");
+        if sorted.is_empty() {
             return LatencySummary::default();
         }
-        samples.sort_unstable();
-        let n = samples.len();
-        let pct = |p: f64| match percentile_sorted(&samples, p) {
+        let n = sorted.len();
+        let pct = |p: f64| match percentile_sorted(sorted, p) {
             Some(v) => v,
-            None => unreachable!("samples is non-empty"),
+            None => unreachable!("sorted is non-empty"),
         };
         LatencySummary {
             count: n,
-            mean_ns: samples.iter().sum::<u64>() as f64 / n as f64,
-            min_ns: samples[0],
+            mean_ns: sorted.iter().sum::<u64>() as f64 / n as f64,
+            min_ns: sorted[0],
             p50_ns: pct(0.50),
             p99_ns: pct(0.99),
             p999_ns: pct(0.999),
-            max_ns: samples[n - 1],
+            max_ns: sorted[n - 1],
         }
     }
 }
@@ -126,6 +137,16 @@ mod tests {
             (42, 42, 42, 42, 42),
             "all order statistics of one sample are that sample"
         );
+    }
+
+    #[test]
+    fn from_sorted_matches_from_ns() {
+        let unsorted: Vec<u64> = (1..=1000).rev().collect();
+        let mut sorted = unsorted.clone();
+        sorted.sort_unstable();
+        assert_eq!(LatencySummary::from_ns(unsorted), LatencySummary::from_sorted_ns(&sorted));
+        assert_eq!(LatencySummary::from_sorted_ns(&[]), LatencySummary::default());
+        assert_eq!(LatencySummary::from_sorted_ns(&[7]).p999_ns, 7);
     }
 
     #[test]

@@ -1,0 +1,64 @@
+//! Order/determinism properties of every fan-out in `sdt-par`: for random
+//! items, thread counts and chunk sizes, the parallel maps return exactly
+//! the sequential map's bytes — same values, same order, regardless of how
+//! the work was claimed. The chunked variant additionally must agree with
+//! the per-item variant for every chunk size, including chunks larger than
+//! the input and the degenerate `chunk = 0` (treated as 1).
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+use proptest::prelude::*;
+use sdt_par::{par_map_chunked_threads, par_map_threads, par_map_weighted_threads};
+
+/// A result type with identity-sensitive content: the output must carry
+/// each item's index and value, so any reordering or duplication is
+/// visible, not masked by commutativity.
+fn tag(i: &(u64, u64)) -> (u64, u64, u64) {
+    (i.0, i.1, i.0.wrapping_mul(31).wrapping_add(i.1))
+}
+
+proptest! {
+    #[test]
+    fn par_map_is_the_sequential_map(
+        items in proptest::collection::vec((0u64..1_000, 0u64..1_000), 0..200),
+        threads in 1usize..9,
+    ) {
+        let seq: Vec<_> = items.iter().map(tag).collect();
+        prop_assert_eq!(par_map_threads(threads, &items, tag), seq);
+    }
+
+    #[test]
+    fn weighted_is_the_sequential_map(
+        items in proptest::collection::vec((0u64..1_000, 0u64..1_000), 0..200),
+        threads in 1usize..9,
+    ) {
+        let seq: Vec<_> = items.iter().map(tag).collect();
+        // Weight on the item's own value: ties and skew both occur.
+        prop_assert_eq!(
+            par_map_weighted_threads(threads, &items, |i| i.1, tag),
+            seq
+        );
+    }
+
+    #[test]
+    fn chunked_is_the_sequential_map_for_any_chunk(
+        items in proptest::collection::vec((0u64..1_000, 0u64..1_000), 0..300),
+        threads in 1usize..9,
+        chunk in 0usize..400,
+    ) {
+        let seq: Vec<_> = items.iter().map(tag).collect();
+        prop_assert_eq!(par_map_chunked_threads(threads, chunk, &items, tag), seq.clone());
+        // Chunked and per-item claiming are interchangeable.
+        prop_assert_eq!(par_map_threads(threads, &items, tag), seq);
+    }
+
+    #[test]
+    fn thread_count_is_unobservable(
+        items in proptest::collection::vec((0u64..1_000, 0u64..1_000), 1..150),
+        chunk in 1usize..32,
+    ) {
+        let one = par_map_chunked_threads(1, chunk, &items, tag);
+        for threads in [2, 4, 8] {
+            prop_assert_eq!(&par_map_chunked_threads(threads, chunk, &items, tag), &one);
+        }
+    }
+}

@@ -28,6 +28,10 @@
 //! * [`verify`] — static data-plane verification: symbolic loop /
 //!   blackhole / isolation proofs over installed flow tables, with
 //!   incremental pre-install epoch checking — no packet injection;
+//! * [`estimate`] — decomposed per-link FCT estimation (Parsimon-style):
+//!   fabric-scale what-if answers at fat-tree k=32/64 with millions of
+//!   flows, within an error envelope pinned differentially against
+//!   [`sim`];
 //! * [`controller`] — the config-file-driven SDT controller.
 //!
 //! ## Quickstart
@@ -51,6 +55,7 @@
 
 pub use sdt_controller as controller;
 pub use sdt_core as core;
+pub use sdt_estimate as estimate;
 pub use sdt_openflow as openflow;
 pub use sdt_partition as partition;
 pub use sdt_routing as routing;

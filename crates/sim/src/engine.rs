@@ -158,6 +158,23 @@ impl FlowStats {
     }
 }
 
+/// One row of the bulk per-flow export ([`Simulator::flow_records`]):
+/// everything a workload-level analysis needs, with the FCT already
+/// computed (unfinished flows report `None`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FlowRecord {
+    /// Source host node.
+    pub src_host: u32,
+    /// Destination host node.
+    pub dst_host: u32,
+    /// Total flow size, bytes.
+    pub bytes: u64,
+    /// Injection start, ns.
+    pub start: Time,
+    /// Flow completion time (`finish - start`), ns; `None` while in flight.
+    pub fct_ns: Option<u64>,
+}
+
 /// Aggregate simulation statistics.
 #[derive(Clone, Debug, Default)]
 pub struct SimStats {
@@ -501,6 +518,17 @@ impl Simulator {
         self.start_flow(src, dst, bytes, FlowKind::Raw)
     }
 
+    /// Schedule a raw bulk flow to start at absolute simulated time
+    /// `at_ns >= now`; returns its id immediately. The route is resolved
+    /// against the route table as of this call, and the flow's FCT clock
+    /// starts at `at_ns`, exactly as if [`Self::start_raw_flow`] had been
+    /// called then. Workload replays with timed arrival processes (e.g.
+    /// [`sdt_workloads::spec`] Poisson traffic) create every flow up front
+    /// and let the event queue pace the injections.
+    pub fn schedule_raw_flow(&mut self, src: HostId, dst: HostId, bytes: u64, at_ns: Time) -> FlowId {
+        self.start_flow_at(src, dst, bytes, FlowKind::Raw, at_ns)
+    }
+
     /// Start an "iperf3" TCP flow (`bytes = u64::MAX` for open-ended).
     pub fn start_tcp_flow(&mut self, src: HostId, dst: HostId, bytes: u64) -> FlowId {
         let tcp = TcpState {
@@ -525,7 +553,20 @@ impl Simulator {
         bytes: u64,
         kind: FlowKind,
     ) -> FlowId {
+        let now = self.now;
+        self.start_flow_at(src, dst, bytes, kind, now)
+    }
+
+    fn start_flow_at(
+        &mut self,
+        src: HostId,
+        dst: HostId,
+        bytes: u64,
+        kind: FlowKind,
+        at: Time,
+    ) -> FlowId {
         assert!(bytes > 0, "zero-byte flows are not modeled");
+        assert!(at >= self.now, "flows cannot start in the past ({at} < {})", self.now);
         let (channels, vcs) = if src == dst {
             (Vec::new(), Vec::new())
         } else {
@@ -552,15 +593,15 @@ impl Simulator {
             next_seq: 0,
             kind,
             dcqcn,
-            start: self.now,
+            start: at,
             finish: None,
             inject_scheduled: true,
             send_completed: false,
         });
-        self.push(self.now, Ev::Inject(id));
+        self.push(at, Ev::Inject(id));
         if let Some(d) = self.cfg.dcqcn.as_ref() {
             if dcqcn.is_some() {
-                self.push(self.now + d.timer_ns, Ev::DcqcnTimer(id));
+                self.push(at + d.timer_ns, Ev::DcqcnTimer(id));
             }
         }
         id
@@ -683,6 +724,24 @@ impl Simulator {
             start: f.start,
             finish: f.finish,
         }
+    }
+
+    /// All flows' records in creation order: one linear pass over the flow
+    /// table instead of a [`Self::flow_stats`] query per id. This is the
+    /// bulk-export path the estimator's differential oracle and workload
+    /// replays use — at millions of flows, per-id snapshots (and their
+    /// `Vec` clones) are the bottleneck, not the data.
+    pub fn flow_records(&self) -> Vec<FlowRecord> {
+        self.flows
+            .iter()
+            .map(|f| FlowRecord {
+                src_host: f.src_host,
+                dst_host: f.dst_host,
+                bytes: f.bytes_total,
+                start: f.start,
+                fct_ns: f.finish.map(|t| t.saturating_sub(f.start)),
+            })
+            .collect()
     }
 
     /// Number of flows created.

@@ -54,7 +54,9 @@ pub mod slices;
 pub mod telemetry;
 
 pub use config::{DcqcnConfig, Granularity, SimConfig, TcpConfig};
-pub use engine::{CaptureEvent, CaptureRecord, FlowStats, SimOutcome, SimStats, Simulator};
+pub use engine::{
+    CaptureEvent, CaptureRecord, FlowRecord, FlowStats, SimOutcome, SimStats, Simulator,
+};
 pub use faults::{ChaosConfig, ControlFaults, FaultEvent, FaultSchedule, TimedFault};
 pub use slices::MultiSliceSim;
 pub use telemetry::{ChannelUtilization, FctSummary};

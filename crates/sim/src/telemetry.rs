@@ -31,8 +31,19 @@ impl FctSummary {
     /// Summarize a set of completion times (ns). Order irrelevant. The
     /// percentile arithmetic is [`sdt_par::stats`] — the one nearest-rank
     /// implementation shared with the benchmark artifacts.
-    pub fn from_durations(fcts: Vec<u64>) -> FctSummary {
-        let s = sdt_par::stats::LatencySummary::from_ns(fcts);
+    pub fn from_durations(mut fcts: Vec<u64>) -> FctSummary {
+        fcts.sort_unstable();
+        Self::from_sorted(&fcts)
+    }
+
+    /// Summarize an **already sorted** set of completion times without
+    /// cloning or re-sorting it. Callers that keep their FCT samples
+    /// sorted (the estimator's aggregated distributions, merged sweep
+    /// series) borrow them here instead of paying a `Vec` copy per
+    /// summary; [`Self::from_durations`] is the convenience wrapper that
+    /// sorts first.
+    pub fn from_sorted(fcts: &[u64]) -> FctSummary {
+        let s = sdt_par::stats::LatencySummary::from_sorted_ns(fcts);
         FctSummary {
             count: s.count,
             mean_ns: s.mean_ns,
@@ -58,14 +69,11 @@ pub struct ChannelUtilization {
 }
 
 impl Simulator {
-    /// Flow-completion-time summary over all finished flows.
+    /// Flow-completion-time summary over all finished flows: one pass over
+    /// the bulk [`Simulator::flow_records`] export, no per-id snapshots.
     pub fn fct_summary(&self) -> FctSummary {
-        let fcts: Vec<Time> = (0..self.num_flows())
-            .filter_map(|f| {
-                let st = self.flow_stats(f);
-                st.finish.map(|t| t.saturating_sub(st.start))
-            })
-            .collect();
+        let fcts: Vec<Time> =
+            self.flow_records().into_iter().filter_map(|r| r.fct_ns).collect();
         FctSummary::from_durations(fcts)
     }
 
@@ -165,6 +173,45 @@ mod tests {
         let routes = RouteTable::build(&t, &Bfs::new(&t));
         let sim = Simulator::new(&t, routes, SimConfig::default());
         assert_eq!(sim.fct_summary().count, 0);
+    }
+
+    #[test]
+    fn flow_records_match_per_id_stats() {
+        let sim = run_two_flows();
+        let records = sim.flow_records();
+        assert_eq!(records.len(), sim.num_flows() as usize);
+        for (id, r) in records.iter().enumerate() {
+            let st = sim.flow_stats(id as u32);
+            assert_eq!((r.src_host, r.dst_host, r.start), (st.src_host, st.dst_host, st.start));
+            assert_eq!(r.fct_ns, st.finish.map(|t| t - st.start));
+        }
+        assert_eq!((records[0].bytes, records[1].bytes), (600_000, 150_000));
+    }
+
+    #[test]
+    fn scheduled_flow_starts_at_its_time() {
+        // A flow scheduled at t must behave exactly like one started by a
+        // caller at t: same start stamp, same FCT as an immediate start of
+        // an otherwise idle fabric.
+        let t = chain(4);
+        let routes = RouteTable::build(&t, &Bfs::new(&t));
+        let mut immediate = Simulator::new(&t, routes.clone(), SimConfig::default());
+        immediate.start_raw_flow(HostId(0), HostId(3), 150_000);
+        immediate.run();
+        let base = match immediate.flow_records()[0].fct_ns {
+            Some(f) => f,
+            None => unreachable!("flow finished"),
+        };
+
+        let mut sim = Simulator::new(&t, routes, SimConfig::default());
+        sim.schedule_raw_flow(HostId(0), HostId(3), 150_000, 5_000_000);
+        // Same-host scheduled flow: fixed engine constant, at its own time.
+        sim.schedule_raw_flow(HostId(2), HostId(2), 1_000, 7_000_000);
+        assert_eq!(sim.run(), crate::SimOutcome::Completed);
+        let recs = sim.flow_records();
+        assert_eq!(recs[0].start, 5_000_000);
+        assert_eq!(recs[0].fct_ns, Some(base));
+        assert_eq!((recs[1].start, recs[1].fct_ns), (7_000_000, Some(1_000)));
     }
 
     #[test]
